@@ -1,0 +1,66 @@
+"""Ablation — escaping the paper's anomaly with a diversified polish.
+
+The paper's conclusion documents a drawback of its method: the
+partition ``Partition_evaluate`` returns (by heuristic testing time)
+is not always the partition with the lowest testing time after the
+final exact optimization, because the heuristic can prefer the wrong
+number of TAMs.  This repository adds two opt-in mitigations:
+
+* ``polish_top_k=k`` — polish the k best distinct partitions;
+* ``polish_per_tam_count=True`` — keep and polish the best partition
+  of *every* TAM count (diversity where the anomaly actually lives).
+
+This bench quantifies both against the paper's method on d695 across
+the full width sweep.
+"""
+
+from repro.optimize.co_optimize import co_optimize
+from repro.report.tables import TextTable
+
+WIDTHS = (16, 24, 32, 40, 48, 56, 64)
+
+
+def test_ablation_anomaly_mitigation(benchmark, d695, report):
+    rows = []
+
+    def run():
+        rows.clear()
+        for width in WIDTHS:
+            base = co_optimize(d695, width, num_tams=range(1, 11))
+            top3 = co_optimize(d695, width, num_tams=range(1, 11),
+                               polish_top_k=3)
+            per_b = co_optimize(d695, width, num_tams=range(1, 11),
+                                polish_per_tam_count=True)
+            rows.append((width, base, top3, per_b))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["W", "paper method", "top-3 polish", "per-B polish",
+         "per-B gain %", "per-B time (s)"],
+        title="Ablation 5. Escaping the wrong-partition anomaly (d695, "
+              "P_NPAW).",
+    )
+    gains = []
+    for width, base, top3, per_b in rows:
+        gain = (base.testing_time - per_b.testing_time) \
+            / base.testing_time * 100
+        gains.append(gain)
+        table.add_row([
+            width, base.testing_time, top3.testing_time,
+            per_b.testing_time, round(gain, 2),
+            round(per_b.elapsed_seconds, 2),
+        ])
+    report("ablation_anomaly", table.render())
+
+    for width, base, top3, per_b in rows:
+        # The mitigations can only improve on the paper's method.
+        # (They are orthogonal diversity strategies — global top-k vs
+        # per-B best — so neither dominates the other.)
+        assert top3.testing_time <= base.testing_time
+        assert per_b.testing_time <= base.testing_time
+
+    # The anomaly genuinely bites somewhere in the sweep (the paper
+    # saw it on p21241 at W=16 and W=64; our d695 data shows it too).
+    assert max(gains) > 0.0

@@ -1,0 +1,60 @@
+"""Figure-level claim of Section 1 — why multiple TAMs help.
+
+The paper's introduction gives two reasons multiple TAMs cut testing
+time: width-matched buses waste fewer wires on cores that cannot use
+them, and more buses test more cores in parallel.  This bench makes
+the argument quantitative on d695 at W=32: sweep B = 1..6, and report
+testing time, wire-cycle utilization, and idle wire-cycles, plus the
+optimality-certificate gap.
+
+Shape checks: the best multi-TAM design beats B=1 substantially; the
+total idle wire-cycles of the best design are below the single-bus
+design's; certificates are coherent (gap >= 0 everywhere).
+"""
+
+from repro.analysis.sweep import sweep_tam_counts
+from repro.report.tables import TextTable
+
+WIDTH = 32
+TAM_COUNTS = (1, 2, 3, 4, 5, 6)
+
+
+def test_utilization_across_tam_counts(benchmark, d695, report):
+    points = benchmark.pedantic(
+        sweep_tam_counts,
+        args=(d695, WIDTH, TAM_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = TextTable(
+        ["B", "partition", "T (cycles)", "utilization",
+         "idle wire-cycles", "certificate gap"],
+        title=f"Section 1 quantified: d695 at W={WIDTH} across TAM "
+              "counts.",
+    )
+    for point in points:
+        table.add_row([
+            point.num_tams,
+            "+".join(map(str, point.partition)),
+            point.testing_time,
+            f"{point.wire_efficiency:.1%}",
+            point.utilization.idle_wire_cycles,
+            f"{point.certificate.gap:.2%}",
+        ])
+    report("analysis_utilization", table.render())
+
+    by_b = {point.num_tams: point for point in points}
+    single = by_b[1]
+    best = min(points, key=lambda p: p.testing_time)
+
+    # Reason (i) + (ii): some multi-TAM design clearly beats one bus.
+    assert best.num_tams > 1
+    assert best.testing_time < 0.75 * single.testing_time
+    # The win comes from wasting fewer wire-cycles.
+    assert best.utilization.idle_wire_cycles < \
+        single.utilization.idle_wire_cycles
+    assert best.wire_efficiency > single.wire_efficiency
+    # Certificates are sound.
+    for point in points:
+        assert point.certificate.gap >= 0.0

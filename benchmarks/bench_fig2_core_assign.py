@@ -1,0 +1,45 @@
+"""Figure 2 — the Core_assign worked example, reproduced exactly.
+
+The paper walks Core_assign through a 5-core / 3-TAM SOC (widths
+32/16/8) and reports the final assignment (2,3,2,1,1) with TAM times
+180/200/200.  This bench times the heuristic on that instance and
+asserts bit-exact agreement.
+"""
+
+from repro.report.experiments import (
+    FIG2_TIMES,
+    FIG2_WIDTHS,
+    run_fig2_example,
+)
+from repro.assign.core_assign import core_assign
+from repro.report.tables import TextTable
+
+
+def test_fig2_exact_reproduction(benchmark, report):
+    result = benchmark(run_fig2_example)
+
+    table = TextTable(
+        ["core", "TAM", "testing time (cycles)"],
+        title="Figure 2(b). Final assignment of cores to TAMs.",
+    )
+    assignment = result["assignment"].strip("()").split(",")
+    for core_index, bus in enumerate(assignment):
+        time = FIG2_TIMES[core_index][int(bus) - 1]
+        table.add_row([core_index + 1, bus, time])
+    report("fig2_core_assign", table.render())
+
+    # Paper: cores -> TAMs (2,3,2,1,1); times 180/200/200; T = 200.
+    assert result["assignment"] == "(2,3,2,1,1)"
+    assert result["bus_times"] == (180, 200, 200)
+    assert result["testing_time"] == 200
+
+
+def test_fig2_early_abort(benchmark):
+    """The Lines 18-20 abort against a best-known time of 150."""
+    times = [list(row) for row in FIG2_TIMES]
+
+    outcome = benchmark(
+        core_assign, times, list(FIG2_WIDTHS), 150
+    )
+    assert not outcome.completed
+    assert outcome.testing_time == 150

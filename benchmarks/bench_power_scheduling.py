@@ -1,0 +1,84 @@
+"""Extension study — the cost of a power ceiling on d695.
+
+Not a paper table: the paper's method ignores power (it cites the
+integrated TAM+scheduling school as the alternative).  This bench
+quantifies what the omission costs on d695 at W=32: schedule the
+co-optimized architecture under tightening power budgets and report
+the makespan inflation over the unconstrained testing time.
+
+Shape checks: loose budgets cost nothing; makespan is monotone
+non-increasing in the budget; the ceiling is never violated
+(independent oracle) ; full serialization bounds the worst case.
+"""
+
+from repro.optimize.co_optimize import co_optimize
+from repro.report.tables import TextTable
+from repro.schedule.power import (
+    PowerProfile,
+    schedule_with_power,
+    verify_power_feasible,
+)
+from repro.wrapper.pareto import build_time_tables
+
+WIDTH = 32
+
+
+def test_power_budget_sweep(benchmark, d695, report):
+    result = co_optimize(d695, WIDTH, num_tams=range(1, 6))
+    tables = build_time_tables(d695, WIDTH)
+    times = [
+        [tables[c.name].time(w) for w in result.partition]
+        for c in d695
+    ]
+    names = [c.name for c in d695]
+    # Test power proportional to switching volume (scan cells), the
+    # usual first-order proxy.
+    powers = tuple(1 + core.total_scan_cells // 100 for core in d695)
+    total_power = sum(powers)
+    budgets = [
+        max(powers),                 # minimal feasible: serialize hard
+        total_power // 4,
+        total_power // 2,
+        total_power,                 # everything in parallel
+    ]
+    budgets = sorted(set(max(budget, max(powers)) for budget in budgets))
+
+    def run():
+        return [
+            schedule_with_power(
+                result.final, times, names,
+                PowerProfile(powers, power_budget=budget),
+            )
+            for budget in budgets
+        ]
+
+    schedules = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["power budget", "makespan", "inflation %", "peak power"],
+        title=f"Extension. Power-constrained scheduling of d695's "
+              f"W={WIDTH} architecture (unconstrained T = "
+              f"{result.testing_time}).",
+    )
+    for budget, scheduled in zip(budgets, schedules):
+        inflation = (scheduled.makespan - result.testing_time) \
+            / result.testing_time * 100
+        table.add_row([
+            budget, scheduled.makespan, round(inflation, 1),
+            scheduled.peak_power,
+        ])
+    report("power_scheduling", table.render())
+
+    serial_bound = sum(
+        times[core][bus]
+        for core, bus in enumerate(result.final.assignment)
+    )
+    makespans = [s.makespan for s in schedules]
+    assert all(a >= b for a, b in zip(makespans, makespans[1:]))
+    assert makespans[-1] == result.testing_time  # loose budget is free
+    for budget, scheduled in zip(budgets, schedules):
+        assert scheduled.makespan <= serial_bound
+        assert scheduled.peak_power <= budget
+        assert verify_power_feasible(
+            scheduled, PowerProfile(powers, power_budget=budget)
+        )

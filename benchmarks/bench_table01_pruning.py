@@ -1,0 +1,49 @@
+"""Table 1 — efficiency of Partition_evaluate's pruning (SOC p21241).
+
+The paper reports, for W = 44..64 and B = 4, 5 on p21241: the number
+of unique partitions P(W, B), the number N_eval actually evaluated to
+completion, and the efficiency E = N_eval / P(W, B).  Its headline:
+on average only ~2% of partitions survive pruning.
+
+Shape checks: E stays small for every cell, and the average is in the
+paper's regime (a few percent).
+"""
+
+from repro.report.experiments import run_table1, rows_to_table
+
+WIDTHS = (44, 48, 52, 56, 60, 64)
+TAM_COUNTS = (4, 5)
+
+
+def test_table1_pruning_efficiency(benchmark, p21241, report):
+    rows = benchmark.pedantic(
+        run_table1,
+        args=(p21241,),
+        kwargs={"widths": WIDTHS, "tam_counts": TAM_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+
+    columns = ["W"]
+    for count in TAM_COUNTS:
+        columns += [f"P(W,{count})", f"Neval(B={count})", f"E(B={count})"]
+    report(
+        "table01_pruning",
+        rows_to_table(
+            rows, columns,
+            title="Table 1. Efficiency of the Partition_evaluate "
+                  "heuristic (p21241 stand-in).",
+        ),
+    )
+
+    efficiencies = [
+        row[f"E(B={count})"] for row in rows for count in TAM_COUNTS
+    ]
+    # Every cell prunes hard; Table 1's worst entry is 0.1 (10%).
+    assert all(e <= 0.15 for e in efficiencies)
+    # Average in the paper's "on average only 2%" regime.
+    assert sum(efficiencies) / len(efficiencies) <= 0.05
+    # N_eval is bounded by the partition count everywhere.
+    for row in rows:
+        for count in TAM_COUNTS:
+            assert row[f"Neval(B={count})"] <= row[f"P(W,{count})"]

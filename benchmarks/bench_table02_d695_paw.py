@@ -1,0 +1,68 @@
+"""Table 2 — d695, problem P_PAW at B = 2 and B = 3.
+
+The paper's four sub-tables compare, per width W = 16..64:
+(a)/(c) the exhaustive method of [8] (exact assignment per partition)
+against (b)/(d) the new co-optimization method — partition, testing
+time, CPU time, ΔT% and the CPU ratio.
+
+Shape checks (the paper's Section 4.1 claims):
+* the new method's testing time is within a few percent of the
+  exhaustive result at every width (paper range: +0% .. +19%);
+* the new method is never slower than the exhaustive sweep, and is
+  dramatically faster at the larger B;
+* testing time decreases monotonically with W for both methods.
+"""
+
+import pytest
+
+from repro.report.experiments import (
+    PAPER_WIDTHS,
+    run_paw_comparison,
+    rows_to_table,
+)
+
+COLUMNS = [
+    "W", "old_partition", "T_old", "t_old_s",
+    "new_partition", "T_new", "t_new_s", "delta_pct", "cpu_ratio",
+]
+
+
+@pytest.mark.parametrize("num_tams", [2, 3])
+def test_table2_d695(benchmark, d695, report, num_tams):
+    rows = benchmark.pedantic(
+        run_paw_comparison,
+        args=(d695, num_tams),
+        kwargs={"widths": PAPER_WIDTHS},
+        rounds=1,
+        iterations=1,
+    )
+
+    label = "ab" if num_tams == 2 else "cd"
+    report(
+        f"table02{label}_d695_b{num_tams}",
+        rows_to_table(
+            rows, COLUMNS,
+            title=f"Table 2({label}). d695, B={num_tams}: exhaustive "
+                  "[8] vs new co-optimization method.",
+        ),
+    )
+
+    for row in rows:
+        # Exhaustive ran to proven optimality on this small SOC.
+        assert row["old_complete"]
+        # Heuristic never beats the exact sweep, and stays within
+        # the paper's envelope (its worst entry is +19.33%; allow a
+        # little slack for the reconstructed d695 data).
+        assert -1e-9 <= row["delta_pct"] <= 23.0
+
+    old_times = [row["T_old"] for row in rows]
+    new_times = [row["T_new"] for row in rows]
+    # Exhaustive is exactly monotone in W; the heuristic may show
+    # tiny LPT-style anomalies (the paper documents them), so allow
+    # 2% slack there.
+    assert all(a >= b for a, b in zip(old_times, old_times[1:]))
+    assert all(a >= 0.98 * b for a, b in zip(new_times, new_times[1:]))
+
+    # W=16 -> W=64 improves roughly 2-3x (paper: 45055 -> 18205 at
+    # B=2, 42568 -> 12941 at B=3).
+    assert new_times[0] / new_times[-1] > 1.8

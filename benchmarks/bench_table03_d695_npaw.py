@@ -1,0 +1,52 @@
+"""Table 3 — d695, problem P_NPAW (free number of TAMs, B <= 10).
+
+The paper lets the new method choose B per width and reports that at
+W >= 48 the best architectures use 5-6 TAMs and beat the best B<=3
+exhaustive results of [8] (e.g. 12941 cycles at W=56 vs 13207).
+
+Shape checks:
+* per-width testing time at free B is never worse than at B=3;
+* at the largest widths the chosen B exceeds 3 (more TAMs genuinely
+  help, the paper's motivating observation);
+* testing time is (near-)monotone in W.
+"""
+
+from repro.optimize.co_optimize import co_optimize
+from repro.report.experiments import PAPER_WIDTHS, run_npaw, rows_to_table
+
+COLUMNS = ["W", "B", "partition", "T_new", "t_new_s", "assignment"]
+
+
+def test_table3_d695_npaw(benchmark, d695, report):
+    rows = benchmark.pedantic(
+        run_npaw,
+        args=(d695,),
+        kwargs={"widths": PAPER_WIDTHS, "max_tams": 10},
+        rounds=1,
+        iterations=1,
+    )
+
+    report(
+        "table03_d695_npaw",
+        rows_to_table(
+            rows, COLUMNS,
+            title="Table 3. d695, P_NPAW (B <= 10): new method.",
+        ),
+    )
+
+    times = [row["T_new"] for row in rows]
+    assert all(a >= 0.98 * b for a, b in zip(times, times[1:]))
+
+    # Free-B never loses to fixed B=3 *before the exact polish* (its
+    # search space strictly contains the B=3 partitions).  After the
+    # polish the free-B pick can occasionally lose by a few percent —
+    # the anomaly the paper documents in Sections 4.2/5 — so the
+    # post-polish check gets slack.
+    for row in rows:
+        fixed_b3 = co_optimize(d695, row["W"], num_tams=3)
+        assert row["T_heuristic"] <= fixed_b3.search.testing_time
+        assert row["T_new"] <= 1.08 * fixed_b3.testing_time
+
+    # At large widths more than 3 TAMs win (paper: B=5,6 at W>=48).
+    large_width_b = [row["B"] for row in rows if row["W"] >= 48]
+    assert max(large_width_b) > 3

@@ -1,0 +1,60 @@
+"""Tables 4, 8, 14 — the per-class core-data ranges of the Philips SOCs.
+
+These tables are the *published inputs* our SOC stand-ins are
+synthesized from, so the bench regenerates each table from the built
+SOC and asserts bit-exact agreement with the paper's numbers — the
+substitution contract of DESIGN.md §4.1.
+"""
+
+import pytest
+
+from repro.report.experiments import run_range_table, rows_to_table
+
+COLUMNS = ["circuit", "cores", "patterns", "ios", "chains", "lengths"]
+
+#: (fixture, table number, expected logic row, expected memory row).
+EXPECTED = {
+    "p21241": (
+        "Table 4",
+        {"cores": "22", "patterns": "1-785", "ios": "37-1197",
+         "chains": "1-31", "lengths": "1-400"},
+        {"cores": "6", "patterns": "222-12324", "ios": "52-148"},
+    ),
+    "p31108": (
+        "Table 8",
+        {"cores": "4", "patterns": "210-745", "ios": "109-428",
+         "chains": "1-29", "lengths": "8-806"},
+        {"cores": "15", "patterns": "128-12236", "ios": "11-87"},
+    ),
+    "p93791": (
+        "Table 14",
+        {"cores": "14", "patterns": "11-6127", "ios": "109-813",
+         "chains": "11-46", "lengths": "1-521"},
+        {"cores": "18", "patterns": "42-3085", "ios": "21-396"},
+    ),
+}
+
+
+@pytest.mark.parametrize("soc_name", sorted(EXPECTED))
+def test_range_tables(benchmark, request, report, soc_name):
+    soc = request.getfixturevalue(soc_name)
+    rows = benchmark(run_range_table, soc)
+
+    table_number, logic_expected, memory_expected = EXPECTED[soc_name]
+    report(
+        f"{table_number.lower().replace(' ', '')}_{soc_name}_ranges",
+        rows_to_table(
+            rows, COLUMNS,
+            title=f"{table_number}. Ranges in test data for the "
+                  f"{len(soc)} cores in {soc_name}.",
+        ),
+    )
+
+    logic_row = next(r for r in rows if r["circuit"] == "Logic cores")
+    memory_row = next(r for r in rows if r["circuit"] == "Memory cores")
+    for key, value in logic_expected.items():
+        assert logic_row[key] == value, (soc_name, "logic", key)
+    for key, value in memory_expected.items():
+        assert memory_row[key] == value, (soc_name, "memory", key)
+    assert memory_row["chains"] == "0-0"
+    assert memory_row["lengths"] == "-"

@@ -1,0 +1,53 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures:
+it prints the paper-layout ASCII table, appends it to
+``results/<name>.txt`` next to this directory, and asserts the
+qualitative shape the paper reports (who wins, by roughly what
+factor, where behaviour saturates).  Absolute cycle counts differ
+from the paper — the Philips SOCs are synthesized stand-ins
+(DESIGN.md §4) — but every relative claim is checked.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.soc.data import get_benchmark
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def d695():
+    return get_benchmark("d695")
+
+
+@pytest.fixture(scope="session")
+def p21241():
+    return get_benchmark("p21241")
+
+
+@pytest.fixture(scope="session")
+def p31108():
+    return get_benchmark("p31108")
+
+
+@pytest.fixture(scope="session")
+def p93791():
+    return get_benchmark("p93791")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write a rendered table to results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _report

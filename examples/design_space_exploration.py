@@ -1,0 +1,66 @@
+"""Design-space exploration — how testing time responds to W and B.
+
+Reproduces the paper's central design observations on d695:
+
+* testing time falls as the TAM budget W grows (but with diminishing
+  returns);
+* at a fixed W, allowing more TAMs first helps (better width
+  matching + parallelism) and then stops helping;
+* each core's own time-vs-width staircase (problem P_W) explains
+  both effects.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import co_optimize
+from repro.report.tables import TextTable
+from repro.soc.data import get_benchmark
+from repro.wrapper.pareto import TimeTable
+
+WIDTHS = (16, 24, 32, 40, 48, 56, 64)
+TAM_COUNTS = (1, 2, 3, 4, 5, 6)
+
+
+def sweep_w_and_b() -> None:
+    soc = get_benchmark("d695")
+    table = TextTable(
+        ["W \\ B"] + [str(b) for b in TAM_COUNTS],
+        title="d695 testing time (cycles) over the (W, B) design space",
+    )
+    for width in WIDTHS:
+        row = [width]
+        for count in TAM_COUNTS:
+            if count > width:
+                row.append("-")
+                continue
+            result = co_optimize(soc, width, num_tams=count)
+            row.append(result.testing_time)
+        table.add_row(row)
+    print(table.render())
+    print()
+
+
+def core_staircase() -> None:
+    soc = get_benchmark("d695")
+    core = soc.core_by_name("s38417")
+    staircase = TimeTable(core, max_width=32)
+    table = TextTable(
+        ["width", "testing time (cycles)"],
+        title=f"P_W staircase for core {core.name} "
+              f"(Pareto-optimal widths only)",
+    )
+    for width, time in staircase.pareto_points():
+        table.add_row([width, time])
+    print(table.render())
+    print(f"saturation width: {staircase.saturation_width} wires "
+          f"(more cannot reduce the core's time below "
+          f"{staircase.min_time})")
+
+
+def main() -> None:
+    sweep_w_and_b()
+    core_staircase()
+
+
+if __name__ == "__main__":
+    main()

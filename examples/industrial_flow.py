@@ -1,0 +1,63 @@
+"""Industrial flow — wrapper/TAM design for the largest Philips SOC.
+
+Walks the full flow the paper demonstrates on p93791 (32 cores):
+
+1. inspect the SOC's test-data ranges (Table 14) and complexity;
+2. run P_NPAW with up to ten TAMs and report the chosen architecture;
+3. show the pruning statistics that make the sweep feasible
+   (the Table 1 story);
+4. identify the bottleneck core and the width at which it saturates.
+
+Run:  python examples/industrial_flow.py   (takes ~1 minute)
+"""
+
+from repro import co_optimize
+from repro.report.experiments import run_range_table, rows_to_table
+from repro.report.tables import TextTable
+from repro.soc.complexity import test_complexity
+from repro.soc.data import get_benchmark
+from repro.wrapper.pareto import build_time_tables
+
+WIDTH = 48
+
+
+def main() -> None:
+    soc = get_benchmark("p93791")
+
+    print(rows_to_table(
+        run_range_table(soc),
+        ["circuit", "cores", "patterns", "ios", "chains", "lengths"],
+        title=f"Test-data ranges for the {len(soc)} cores in {soc.name}",
+    ))
+    print(f"test complexity: {test_complexity(soc):.0f}\n")
+
+    result = co_optimize(soc, WIDTH)
+    print(result.summary())
+    print(f"assignment: {result.final.vector_notation()}\n")
+
+    stats_table = TextTable(
+        ["B", "unique partitions", "evaluated to completion", "E"],
+        title="Partition_evaluate pruning (the reason ten TAMs are "
+              "tractable)",
+    )
+    for stats in result.search.stats:
+        stats_table.add_row([
+            stats.num_tams, stats.num_unique, stats.num_completed,
+            f"{stats.efficiency:.4f}",
+        ])
+    print(stats_table.render())
+    print()
+
+    # Bottleneck analysis: the slowest core pins the SOC floor.
+    tables = build_time_tables(soc, WIDTH)
+    bottleneck = max(tables.values(), key=lambda t: t.min_time)
+    print(f"bottleneck core : {bottleneck.core.name} "
+          f"({bottleneck.core.num_patterns} patterns)")
+    print(f"  floor time    : {bottleneck.min_time} cycles")
+    print(f"  saturates at  : {bottleneck.saturation_width} TAM wires")
+    print(f"  SOC time / floor ratio: "
+          f"{result.testing_time / bottleneck.min_time:.2f}")
+
+
+if __name__ == "__main__":
+    main()

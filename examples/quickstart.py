@@ -1,0 +1,46 @@
+"""Quickstart — co-optimize the test architecture of SOC d695.
+
+Loads the embedded academic benchmark, runs the paper's two-step
+method (Partition_evaluate + exact polish) for a 32-wire TAM budget,
+and prints the resulting architecture and test schedule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import co_optimize
+from repro.schedule.session import build_schedule
+from repro.soc.data import get_benchmark
+from repro.wrapper.pareto import build_time_tables
+
+
+def main() -> None:
+    soc = get_benchmark("d695")
+    print(soc.describe())
+    print()
+
+    # The paper's P_NPAW: choose the number of TAMs (up to 10), the
+    # width partition, the core assignment and every wrapper at once.
+    result = co_optimize(soc, total_width=32)
+
+    print(f"best architecture : {result.num_tams} TAMs, partition "
+          f"{'+'.join(map(str, result.partition))}")
+    print(f"testing time      : {result.testing_time} cycles")
+    print(f"assignment vector : {result.final.vector_notation()}")
+    print(f"heuristic search  : {result.search.testing_time} cycles "
+          f"before the exact polish")
+    print(f"wall-clock        : {result.elapsed_seconds:.2f}s")
+    print()
+
+    # Materialize the per-bus timeline.
+    tables = build_time_tables(soc, 32)
+    times = [
+        [tables[core.name].time(width) for width in result.partition]
+        for core in soc
+    ]
+    schedule = build_schedule(result.final, times,
+                              [core.name for core in soc])
+    print(schedule.gantt())
+
+
+if __name__ == "__main__":
+    main()

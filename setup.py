@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works in offline environments where the
+``wheel`` package (required by pip's PEP 660 editable path) is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Architecture analysis: why a wrapper/TAM design is good (or not).
+
+The paper's introduction argues that multiple TAMs reduce testing time
+for two reasons: (i) cores can ride buses whose widths match their
+test-data needs, wasting fewer wires, and (ii) more buses mean more
+parallelism.  This subpackage makes both effects measurable, and adds
+optimality certificates from makespan lower bounds:
+
+* :mod:`~repro.analysis.utilization` — per-bus and per-core wire-level
+  accounting: idle wires (granted minus used), idle bus-cycles, and
+  the wire-cycle utilization of a whole architecture;
+* :mod:`~repro.analysis.certificates` — how close a result provably is
+  to optimal, from the bottleneck-core and area lower bounds;
+* :mod:`~repro.analysis.sweep` — width/TAM-count sweeps returning
+  structured records for plotting or tabulation.
+"""
+
+from repro.analysis.utilization import (
+    ArchitectureUtilization,
+    BusUtilization,
+    analyze_utilization,
+)
+from repro.analysis.certificates import Certificate, certify
+from repro.analysis.sweep import SweepPoint, sweep_widths, sweep_tam_counts
+
+__all__ = [
+    "ArchitectureUtilization",
+    "BusUtilization",
+    "analyze_utilization",
+    "Certificate",
+    "certify",
+    "SweepPoint",
+    "sweep_widths",
+    "sweep_tam_counts",
+]

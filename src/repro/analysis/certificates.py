@@ -1,0 +1,104 @@
+"""Optimality certificates from makespan lower bounds.
+
+A heuristic answer is far more useful with a proof of how bad it can
+possibly be.  For a fixed architecture the P_AW lower bounds apply
+directly; across *all* architectures of total width W the relevant
+floor is the bottleneck core at full width — no partition can beat
+the slowest core's own best time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict
+
+from repro.exceptions import ValidationError
+from repro.schedule.makespan import unrelated_lower_bound
+from repro.soc.soc import Soc
+from repro.tam.assignment import AssignmentResult
+from repro.wrapper.pareto import TimeTable
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """How close ``testing_time`` provably is to the optimum.
+
+    ``architecture_bound`` holds for the *given* width partition;
+    ``global_bound`` holds for every architecture of the same total
+    width (bottleneck core + total-work floor).  ``gap`` is measured
+    against the tighter (larger) of the two that applies.
+    """
+
+    testing_time: int
+    architecture_bound: int
+    global_bound: int
+
+    @property
+    def bound(self) -> int:
+        return max(self.architecture_bound, self.global_bound)
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap: 0.0 means provably optimal."""
+        if self.bound <= 0:
+            raise ValidationError("cannot certify against a zero bound")
+        return self.testing_time / self.bound - 1.0
+
+    @property
+    def is_provably_optimal(self) -> bool:
+        return self.testing_time == self.bound
+
+    def describe(self) -> str:
+        """One-line gap report for logs and the CLI."""
+        return (
+            f"T = {self.testing_time}, bound = {self.bound} "
+            f"(architecture {self.architecture_bound}, global "
+            f"{self.global_bound}): gap {self.gap:.2%}"
+        )
+
+
+def global_lower_bound(
+    soc: Soc, tables: Dict[str, TimeTable], total_width: int
+) -> int:
+    """Floor over every architecture of ``total_width`` wires.
+
+    Two effects, both partition-independent:
+
+    * the bottleneck core: some core must run somewhere, and no bus
+      can be wider than W, so T* >= max_i T_i(W);
+    * total work: the W wires supply at most W wire-cycles per clock,
+      and core i occupies at least ``used_width * T_i`` wire-cycles
+      at its cheapest operating point; we use the weaker but safe
+      pattern floor  sum_i T_i(W) * 1 / ... — conservatively, the
+      serial floor divided by W is dominated by per-core minima, so
+      the bound used is  max(bottleneck, ceil(sum_i min-work / W))
+      with min-work_i = T_i(W) (each core occupies at least one wire
+      for its whole test).
+    """
+    bottleneck = 0
+    min_work = 0
+    for core in soc.cores:
+        best_time = tables[core.name].time(total_width)
+        bottleneck = max(bottleneck, best_time)
+        min_work += best_time
+    return max(bottleneck, ceil(min_work / total_width))
+
+
+def certify(
+    soc: Soc,
+    result: AssignmentResult,
+    tables: Dict[str, TimeTable],
+) -> Certificate:
+    """Build a :class:`Certificate` for ``result`` on ``soc``."""
+    times = [
+        [tables[core.name].time(width) for width in result.widths]
+        for core in soc.cores
+    ]
+    return Certificate(
+        testing_time=result.testing_time,
+        architecture_bound=unrelated_lower_bound(times),
+        global_bound=global_lower_bound(
+            soc, tables, sum(result.widths)
+        ),
+    )

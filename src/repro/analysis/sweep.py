@@ -1,0 +1,82 @@
+"""Design-space sweeps with structured results.
+
+Thin, reusable drivers over :func:`repro.optimize.co_optimize` for the
+two questions every SOC test architect asks first:
+
+* how does testing time respond to the TAM budget W?
+* at a fixed budget, how many TAMs should I build?
+
+Each sweep point carries the optimality certificate and wire-cycle
+utilization from the sibling modules, so the answers come with their
+*why*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.analysis.certificates import Certificate, certify
+from repro.analysis.utilization import (
+    ArchitectureUtilization,
+    analyze_utilization,
+)
+from repro.optimize.co_optimize import co_optimize
+from repro.soc.soc import Soc
+from repro.wrapper.pareto import build_time_tables
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated design point."""
+
+    total_width: int
+    num_tams: int
+    partition: Tuple[int, ...]
+    testing_time: int
+    certificate: Certificate
+    utilization: ArchitectureUtilization
+
+    @property
+    def wire_efficiency(self) -> float:
+        """Shorthand for the wire-cycle utilization fraction."""
+        return self.utilization.utilization
+
+
+def _evaluate(
+    soc: Soc,
+    total_width: int,
+    num_tams: Union[int, Iterable[int], None],
+) -> SweepPoint:
+    result = co_optimize(soc, total_width, num_tams=num_tams)
+    tables = build_time_tables(soc, total_width)
+    return SweepPoint(
+        total_width=total_width,
+        num_tams=result.num_tams,
+        partition=result.partition,
+        testing_time=result.testing_time,
+        certificate=certify(soc, result.final, tables),
+        utilization=analyze_utilization(soc, result.final, tables),
+    )
+
+
+def sweep_widths(
+    soc: Soc,
+    widths: Sequence[int],
+    num_tams: Union[int, Iterable[int], None] = None,
+) -> List[SweepPoint]:
+    """Testing time (and why) across TAM budgets."""
+    return [_evaluate(soc, width, num_tams) for width in widths]
+
+
+def sweep_tam_counts(
+    soc: Soc,
+    total_width: int,
+    tam_counts: Sequence[int],
+) -> List[SweepPoint]:
+    """Testing time (and why) across TAM counts at a fixed budget."""
+    return [
+        _evaluate(soc, total_width, count)
+        for count in tam_counts
+        if count <= total_width
+    ]

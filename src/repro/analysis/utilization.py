@@ -1,0 +1,168 @@
+"""Wire-level utilization accounting for a wrapper/TAM architecture.
+
+Two kinds of waste exist under the test-bus model:
+
+* **idle wires** — a core whose wrapper saturates at ``u < w`` wires
+  leaves ``w - u`` of its bus's wires unused for its whole test
+  (the waste the paper says width-matched multiple TAMs reduce);
+* **idle cycles** — a bus that finishes before the SOC makespan sits
+  idle (the parallelism effect).
+
+Both reduce to *wire-cycles*: the architecture offers
+``W * makespan`` wire-cycles; each core usefully occupies
+``used_width(core) * time(core)`` of them.  Utilization is the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ValidationError
+from repro.soc.soc import Soc
+from repro.tam.assignment import AssignmentResult
+from repro.wrapper.pareto import TimeTable
+
+
+@dataclass(frozen=True)
+class CoreUtilization:
+    """One core's wire usage on its bus."""
+
+    core_name: str
+    bus: int
+    bus_width: int
+    used_width: int
+    testing_time: int
+
+    @property
+    def idle_wires(self) -> int:
+        """Wires of the bus this core never drives."""
+        return self.bus_width - self.used_width
+
+    @property
+    def idle_wire_cycles(self) -> int:
+        """Wire-cycles wasted by this core's width mismatch."""
+        return self.idle_wires * self.testing_time
+
+
+@dataclass(frozen=True)
+class BusUtilization:
+    """One bus's aggregate usage."""
+
+    bus: int
+    width: int
+    busy_cycles: int
+    makespan: int
+    cores: Tuple[CoreUtilization, ...]
+
+    @property
+    def idle_cycles(self) -> int:
+        """Cycles the bus sits idle before the SOC test completes."""
+        return self.makespan - self.busy_cycles
+
+    @property
+    def idle_wire_cycles(self) -> int:
+        """Total wasted wire-cycles on this bus (both waste kinds)."""
+        width_waste = sum(core.idle_wire_cycles for core in self.cores)
+        return width_waste + self.width * self.idle_cycles
+
+
+@dataclass(frozen=True)
+class ArchitectureUtilization:
+    """Whole-architecture wire-cycle accounting."""
+
+    widths: Tuple[int, ...]
+    makespan: int
+    buses: Tuple[BusUtilization, ...]
+
+    @property
+    def total_wire_cycles(self) -> int:
+        """Wire-cycles the architecture offers: W * makespan."""
+        return sum(self.widths) * self.makespan
+
+    @property
+    def useful_wire_cycles(self) -> int:
+        """Wire-cycles actually carrying test data."""
+        return sum(
+            core.used_width * core.testing_time
+            for bus in self.buses
+            for core in bus.cores
+        )
+
+    @property
+    def idle_wire_cycles(self) -> int:
+        return self.total_wire_cycles - self.useful_wire_cycles
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of offered wire-cycles spent carrying test data."""
+        if self.total_wire_cycles == 0:
+            return 0.0
+        return self.useful_wire_cycles / self.total_wire_cycles
+
+    def describe(self) -> str:
+        """Multi-line utilization report."""
+        lines = [
+            f"architecture {'+'.join(map(str, self.widths))}: "
+            f"makespan {self.makespan}, utilization "
+            f"{self.utilization:.1%}",
+        ]
+        for bus in self.buses:
+            lines.append(
+                f"  bus {bus.bus + 1} (w={bus.width}): busy "
+                f"{bus.busy_cycles}/{self.makespan} cycles, "
+                f"{bus.idle_wire_cycles} idle wire-cycles"
+            )
+        return "\n".join(lines)
+
+
+def analyze_utilization(
+    soc: Soc,
+    result: AssignmentResult,
+    tables: Dict[str, TimeTable],
+) -> ArchitectureUtilization:
+    """Account every wire-cycle of ``result`` on ``soc``.
+
+    ``tables`` must cover widths up to the architecture's widest bus
+    (as produced by :func:`repro.wrapper.pareto.build_time_tables`).
+    """
+    if len(result.assignment) != len(soc.cores):
+        raise ValidationError(
+            f"assignment covers {len(result.assignment)} cores, "
+            f"SOC has {len(soc.cores)}"
+        )
+    makespan = result.testing_time
+
+    buses: List[BusUtilization] = []
+    for bus_index, width in enumerate(result.widths):
+        core_utils = []
+        busy = 0
+        for core_index in result.cores_on_bus(bus_index):
+            core = soc.cores[core_index]
+            table = tables[core.name]
+            time = table.time(width)
+            design = table.design(width)
+            busy += time
+            core_utils.append(
+                CoreUtilization(
+                    core_name=core.name,
+                    bus=bus_index,
+                    bus_width=width,
+                    used_width=design.used_width,
+                    testing_time=time,
+                )
+            )
+        buses.append(
+            BusUtilization(
+                bus=bus_index,
+                width=width,
+                busy_cycles=busy,
+                makespan=makespan,
+                cores=tuple(core_utils),
+            )
+        )
+    return ArchitectureUtilization(
+        widths=result.widths,
+        makespan=makespan,
+        buses=tuple(buses),
+    )

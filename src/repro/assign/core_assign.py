@@ -1,0 +1,147 @@
+"""``Core_assign`` — the paper's heuristic for problem P_AW (Fig. 1).
+
+An LPT-style list scheduler generalized to width-dependent testing
+times, with the two tie-breaking rules of the pseudocode and the early
+abort that makes ``Partition_evaluate`` fast:
+
+1. pick the bus with the minimum summed testing time so far
+   (ties: the *widest* such bus — Lines 10-12);
+2. among unassigned cores, pick the one with the maximum testing time
+   on that bus (Line 13); break ties by comparing the tied cores on
+   the widest bus *strictly narrower* than the chosen one, preferring
+   the core that would suffer most there (Lines 14-16 — the paper's
+   worked example: cores 1 and 3 tie at 100 cycles on the 16-bit bus,
+   and core 1's 200 > core 3's 150 on the 8-bit bus decides it);
+3. assign, and if any bus's time now reaches the best-known SOC time
+   ``tau``, give up and return ``tau`` unchanged (Lines 18-20) — no
+   completion of this partition can beat the incumbent.
+
+Complexity O(N·(N+B)) = O(N²) for N cores, as stated in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.tam.assignment import AssignmentResult, evaluate_assignment
+
+
+@dataclass(frozen=True)
+class CoreAssignOutcome:
+    """Outcome of one ``Core_assign`` run.
+
+    ``completed`` is False when the early abort fired; then
+    ``testing_time`` echoes the incumbent ``best_known`` and
+    ``result`` is None (matching the pseudocode's "return tau").
+    """
+
+    completed: bool
+    testing_time: int
+    result: Optional[AssignmentResult]
+
+
+def _validate(
+    times: Sequence[Sequence[int]], widths: Sequence[int]
+) -> None:
+    if not widths:
+        raise ConfigurationError("need at least one bus")
+    for width in widths:
+        if width < 1:
+            raise ConfigurationError(f"bus width must be >= 1, got {width}")
+    for row_index, row in enumerate(times):
+        if len(row) != len(widths):
+            raise ValidationError(
+                f"times row {row_index} has {len(row)} entries for "
+                f"{len(widths)} buses"
+            )
+        for value in row:
+            if value < 0:
+                raise ValidationError(
+                    f"times row {row_index} contains negative time {value}"
+                )
+
+
+def _pick_bus(loads: List[int], widths: Sequence[int]) -> int:
+    """Min-load bus; ties go to the widest (then lowest index)."""
+    best = 0
+    for bus in range(1, len(loads)):
+        if loads[bus] < loads[best] or (
+            loads[bus] == loads[best] and widths[bus] > widths[best]
+        ):
+            best = bus
+    return best
+
+
+def _pick_core(
+    unassigned: List[int],
+    bus: int,
+    times: Sequence[Sequence[int]],
+    widths: Sequence[int],
+) -> int:
+    """Max-time core on ``bus``; ties compare on the next-narrower bus."""
+    max_time = max(times[core][bus] for core in unassigned)
+    tied = [core for core in unassigned if times[core][bus] == max_time]
+    if len(tied) == 1:
+        return tied[0]
+    # Lines 14-16: find the widest bus strictly narrower than the
+    # chosen one; prefer the core that is slowest there.
+    narrower = [
+        b for b in range(len(widths)) if widths[b] < widths[bus]
+    ]
+    if not narrower:
+        return tied[0]
+    reference = max(narrower, key=lambda b: (widths[b], -b))
+    return max(tied, key=lambda core: (times[core][reference], -core))
+
+
+def core_assign(
+    times: Sequence[Sequence[int]],
+    widths: Sequence[int],
+    best_known: Optional[int] = None,
+) -> CoreAssignOutcome:
+    """Assign cores to buses with the Fig. 1 heuristic.
+
+    Parameters
+    ----------
+    times:
+        ``times[i][j]`` — testing time of core ``i`` on bus ``j``
+        (already reflecting the bus's width via ``Design_wrapper``).
+    widths:
+        Bus widths, used only by the tie-breaking rules.
+    best_known:
+        The incumbent SOC testing time ``tau``.  When any bus's summed
+        time reaches it, the run aborts (``completed=False``).  Pass
+        ``None`` to always run to completion.
+
+    Returns
+    -------
+    :class:`CoreAssignOutcome`
+    """
+    _validate(times, widths)
+    num_cores = len(times)
+    if num_cores == 0:
+        raise ConfigurationError("need at least one core")
+
+    loads = [0] * len(widths)
+    assignment = [0] * num_cores
+    unassigned = list(range(num_cores))
+
+    while unassigned:
+        bus = _pick_bus(loads, widths)
+        core = _pick_core(unassigned, bus, times, widths)
+        assignment[core] = bus
+        loads[bus] += times[core][bus]
+        if best_known is not None and max(loads) >= best_known:
+            return CoreAssignOutcome(
+                completed=False, testing_time=best_known, result=None
+            )
+        unassigned.remove(core)
+
+    result = evaluate_assignment(times, widths, assignment)
+    return CoreAssignOutcome(
+        completed=True,
+        testing_time=result.testing_time,
+        result=result,
+    )

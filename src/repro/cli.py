@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-tam cooptimize <file.soc | benchmark> -W 32 [--bmax 10]
+    repro-tam exhaustive <file.soc | benchmark> -W 32 -B 2
+    repro-tam describe   <file.soc | benchmark>
+
+The positional argument is either a path to a ``.soc`` file in the
+dialect of :mod:`repro.soc.itc02`, or the name of an embedded
+benchmark (``d695``, ``p21241``, ``p31108``, ``p93791``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+from repro.optimize.co_optimize import co_optimize
+from repro.optimize.exhaustive import exhaustive_optimize
+from repro.report.tables import TextTable
+from repro.schedule.session import build_schedule
+from repro.soc.complexity import test_complexity
+from repro.soc.data import benchmark_names, get_benchmark
+from repro.soc.itc02 import load_soc
+from repro.soc.soc import Soc
+from repro.wrapper.pareto import build_time_tables
+
+
+def _load(source: str) -> Soc:
+    """Load a SOC from a benchmark name or a .soc file path."""
+    if source in benchmark_names():
+        return get_benchmark(source)
+    path = Path(source)
+    if not path.exists():
+        raise ReproError(
+            f"{source!r} is neither an embedded benchmark "
+            f"({', '.join(benchmark_names())}) nor an existing file"
+        )
+    return load_soc(path)
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    soc = _load(args.soc)
+    print(soc.describe())
+    print(f"test complexity: {test_complexity(soc):.1f}")
+    return 0
+
+
+def _cmd_cooptimize(args: argparse.Namespace) -> int:
+    soc = _load(args.soc)
+    num_tams = (
+        args.num_tams if args.num_tams
+        else range(1, min(args.bmax, args.width) + 1)
+    )
+    result = co_optimize(
+        soc,
+        total_width=args.width,
+        num_tams=num_tams,
+        polish=not args.no_polish,
+    )
+    if args.json:
+        from repro.report.serialize import co_optimization_to_dict, to_json
+        print(to_json(co_optimization_to_dict(result)))
+        return 0
+    print(result.summary())
+    print(f"assignment: {result.final.vector_notation()}")
+    if args.gantt:
+        tables = build_time_tables(soc, args.width)
+        times = [
+            [tables[c.name].time(w) for w in result.partition]
+            for c in soc
+        ]
+        schedule = build_schedule(
+            result.final, times, [c.name for c in soc]
+        )
+        print(schedule.gantt())
+    if args.stats:
+        table = TextTable(
+            ["B", "unique", "enumerated", "completed", "efficiency"],
+            title="Partition_evaluate pruning statistics",
+        )
+        for stats in result.search.stats:
+            table.add_row([
+                stats.num_tams,
+                stats.num_unique,
+                stats.num_enumerated,
+                stats.num_completed,
+                f"{stats.efficiency:.4f}",
+            ])
+        print(table.render())
+    return 0
+
+
+def _cmd_exhaustive(args: argparse.Namespace) -> int:
+    soc = _load(args.soc)
+    result = exhaustive_optimize(
+        soc,
+        total_width=args.width,
+        num_tams=args.num_tams or args.bmax,
+        total_time_limit=args.time_limit,
+    )
+    print(result.summary())
+    print(f"assignment: {result.best.vector_notation()}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.certificates import certify
+    from repro.analysis.utilization import analyze_utilization
+
+    soc = _load(args.soc)
+    num_tams = (
+        args.num_tams if args.num_tams
+        else range(1, min(args.bmax, args.width) + 1)
+    )
+    result = co_optimize(soc, total_width=args.width, num_tams=num_tams)
+    tables = build_time_tables(soc, args.width)
+
+    print(result.summary())
+    print(certify(soc, result.final, tables).describe())
+    print(analyze_utilization(soc, result.final, tables).describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tam",
+        description="Wrapper/TAM co-optimization "
+                    "(Iyengar/Chakrabarty/Marinissen, DATE 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="print SOC contents")
+    describe.add_argument("soc", help=".soc file or benchmark name")
+    describe.set_defaults(func=_cmd_describe)
+
+    coopt = sub.add_parser(
+        "cooptimize", help="run the paper's two-step method (P_NPAW)"
+    )
+    coopt.add_argument("soc", help=".soc file or benchmark name")
+    coopt.add_argument("-W", "--width", type=int, required=True,
+                       help="total TAM width")
+    coopt.add_argument("-B", "--num-tams", type=int, default=None,
+                       help="fix the number of TAMs (P_PAW)")
+    coopt.add_argument("--bmax", type=int, default=10,
+                       help="max TAMs for the P_NPAW sweep (default 10)")
+    coopt.add_argument("--no-polish", action="store_true",
+                       help="skip the exact final optimization step")
+    coopt.add_argument("--gantt", action="store_true",
+                       help="print the test-session Gantt chart")
+    coopt.add_argument("--stats", action="store_true",
+                       help="print partition-pruning statistics")
+    coopt.add_argument("--json", action="store_true",
+                       help="emit the result record as JSON")
+    coopt.set_defaults(func=_cmd_cooptimize)
+
+    exhaustive = sub.add_parser(
+        "exhaustive", help="run the [8]-style exhaustive baseline"
+    )
+    exhaustive.add_argument("soc", help=".soc file or benchmark name")
+    exhaustive.add_argument("-W", "--width", type=int, required=True)
+    exhaustive.add_argument("-B", "--num-tams", type=int, default=None,
+                            help="number of TAMs (default: --bmax)")
+    exhaustive.add_argument("--bmax", type=int, default=2)
+    exhaustive.add_argument("--time-limit", type=float, default=600.0,
+                            help="total wall-clock budget in seconds")
+    exhaustive.set_defaults(func=_cmd_exhaustive)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="optimize, then report utilization and the optimality "
+             "certificate",
+    )
+    analyze.add_argument("soc", help=".soc file or benchmark name")
+    analyze.add_argument("-W", "--width", type=int, required=True)
+    analyze.add_argument("-B", "--num-tams", type=int, default=None)
+    analyze.add_argument("--bmax", type=int, default=10)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early
+        # (e.g. `repro-tam describe ... | head`); exit quietly.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

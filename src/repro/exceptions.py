@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error deliberately raised by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine programming errors (``TypeError`` and
+friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError):
+    """A data object (core, SOC, TAM architecture, ...) is malformed."""
+
+
+class ParseError(ReproError):
+    """An input file could not be parsed.
+
+    Attributes
+    ----------
+    line_number:
+        1-based line on which the problem was detected, or ``None`` when
+        the error is not tied to a specific line.
+    """
+
+    def __init__(self, message: str, line_number: "int | None" = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class InfeasibleError(ReproError):
+    """A model has no feasible solution (e.g. contradictory constraints)."""
+
+
+class SolverLimitError(ReproError):
+    """An exact solver exhausted its node or time budget.
+
+    Solvers in this package normally degrade gracefully (returning the
+    incumbent with ``optimal=False``); this exception is reserved for
+    callers that explicitly request hard-failure semantics.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An algorithm was configured with invalid options."""

@@ -1,0 +1,163 @@
+"""Branch-and-bound over LP relaxations.
+
+Best-bound search: nodes live in a priority queue keyed by their
+parent's LP objective, so the globally most promising subproblem is
+expanded next and the search can stop the moment the best open bound
+meets the incumbent.  Branching splits the most fractional integer
+variable into floor/ceil children expressed as bound overrides — the
+LP matrix itself is built once.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ilp.model import Model
+from repro.ilp.simplex import LpRelaxation
+from repro.ilp.solution import Solution, SolveStatus
+
+#: Integrality tolerance: LP values this close to an integer count as one.
+INTEGRALITY_TOL = 1e-6
+#: Prune tolerance on objective comparisons.
+OBJECTIVE_TOL = 1e-9
+
+
+@dataclass
+class _Node:
+    bound_overrides: Dict[int, Tuple[float, float]]
+    parent_bound: float
+
+
+class BranchAndBound:
+    """Configurable branch-and-bound solver for a single model."""
+
+    def __init__(self, model: Model, node_limit: int = 100_000):
+        if node_limit < 1:
+            raise ConfigurationError(
+                f"node_limit must be >= 1, got {node_limit}"
+            )
+        self.model = model
+        self.node_limit = node_limit
+        self.relaxation = LpRelaxation(model)
+        self.integer_indices = model.integer_indices
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Solution:
+        """Run the search and return the best integer solution found."""
+        incumbent_objective = math.inf
+        incumbent_point: Optional[np.ndarray] = None
+        nodes_explored = 0
+        exhausted = False
+
+        counter = itertools.count()  # tie-breaker; nodes aren't orderable
+        heap: list = []
+        heapq.heappush(heap, (-math.inf, next(counter), _Node({}, -math.inf)))
+
+        while heap:
+            if nodes_explored >= self.node_limit:
+                exhausted = True
+                break
+            parent_bound, _, node = heapq.heappop(heap)
+            if parent_bound >= incumbent_objective - OBJECTIVE_TOL:
+                continue  # bound can't improve the incumbent
+
+            nodes_explored += 1
+            lp = self.relaxation.solve(node.bound_overrides)
+            if lp.unbounded:
+                return Solution(
+                    status=SolveStatus.UNBOUNDED,
+                    objective=None,
+                    nodes_explored=nodes_explored,
+                )
+            if not lp.feasible:
+                continue
+            assert lp.objective is not None and lp.point is not None
+            if lp.objective >= incumbent_objective - OBJECTIVE_TOL:
+                continue
+
+            branch_index = self._most_fractional(lp.point)
+            if branch_index is None:
+                # Integer-feasible: new incumbent.
+                incumbent_objective = lp.objective
+                incumbent_point = lp.point
+                continue
+
+            value = lp.point[branch_index]
+            for lower, upper in (
+                self._child_bounds(node, branch_index, value, down=True),
+                self._child_bounds(node, branch_index, value, down=False),
+            ):
+                overrides = dict(node.bound_overrides)
+                overrides[branch_index] = (lower, upper)
+                heapq.heappush(
+                    heap,
+                    (
+                        lp.objective,
+                        next(counter),
+                        _Node(overrides, lp.objective),
+                    ),
+                )
+
+        if incumbent_point is None:
+            status = (
+                SolveStatus.NO_SOLUTION if exhausted
+                else SolveStatus.INFEASIBLE
+            )
+            return Solution(
+                status=status, objective=None, nodes_explored=nodes_explored
+            )
+
+        values = {}
+        for variable in self.model.variables:
+            raw = float(incumbent_point[variable.index])
+            if variable.integer:
+                raw = float(round(raw))
+            values[variable.name] = raw
+        return Solution(
+            status=(
+                SolveStatus.FEASIBLE if exhausted else SolveStatus.OPTIMAL
+            ),
+            objective=incumbent_objective,
+            values=values,
+            nodes_explored=nodes_explored,
+        )
+
+    # ------------------------------------------------------------------
+    def _most_fractional(self, point: np.ndarray) -> Optional[int]:
+        """Index of the integer variable farthest from integrality."""
+        best_index = None
+        best_fraction = INTEGRALITY_TOL
+        for index in self.integer_indices:
+            fraction = abs(point[index] - round(point[index]))
+            if fraction > best_fraction:
+                best_fraction = fraction
+                best_index = index
+        return best_index
+
+    def _child_bounds(
+        self, node: _Node, index: int, value: float, down: bool
+    ) -> Tuple[float, float]:
+        variable = self.model.variables[index]
+        lower, upper = node.bound_overrides.get(
+            index,
+            (
+                variable.lower,
+                variable.upper if variable.upper != float("inf")
+                else math.inf,
+            ),
+        )
+        if down:
+            return (lower, math.floor(value))
+        return (math.ceil(value), upper)
+
+
+def solve_model(model: Model, node_limit: int = 100_000) -> Solution:
+    """Convenience wrapper: ``BranchAndBound(model, node_limit).solve()``."""
+    return BranchAndBound(model, node_limit=node_limit).solve()

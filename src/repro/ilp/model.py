@@ -1,0 +1,257 @@
+"""Modeling layer for small mixed 0-1 linear programs.
+
+Supports exactly what the paper's formulations need: bounded
+continuous and binary/integer variables, linear expressions, linear
+constraints (``<=``, ``>=``, ``==``) and a linear objective.
+
+Expressions support natural arithmetic::
+
+    model = Model("paw")
+    x = model.add_binary("x_1_2")
+    tau = model.add_continuous("tau", lower=0.0)
+    model.add_constraint(34 * x - tau, "<=", 0.0)
+    model.minimize(tau)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError, ValidationError
+
+Number = Union[int, float]
+_SENSES = ("<=", ">=", "==")
+
+
+class LinExpr:
+    """A linear expression: ``sum(coef * var) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Optional[Dict[int, float]] = None,
+        constant: float = 0.0,
+    ):
+        self.terms: Dict[int, float] = dict(terms or {})
+        self.constant = float(constant)
+
+    # -- construction helpers ------------------------------------------
+    @staticmethod
+    def _coerce(value: "ExprLike") -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return LinExpr({value.index: 1.0})
+        if isinstance(value, (int, float)):
+            return LinExpr(constant=float(value))
+        raise TypeError(f"cannot build a LinExpr from {value!r}")
+
+    def copy(self) -> "LinExpr":
+        """Independent copy (terms dict is not shared)."""
+        return LinExpr(dict(self.terms), self.constant)
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "LinExpr":
+        other = self._coerce(other)
+        result = self.copy()
+        for index, coef in other.terms.items():
+            result.terms[index] = result.terms.get(index, 0.0) + coef
+        result.constant += other.constant
+        return result
+
+    def __radd__(self, other: "ExprLike") -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: "ExprLike") -> "LinExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: "ExprLike") -> "LinExpr":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("LinExpr can only be scaled by a number")
+        return LinExpr(
+            {index: coef * scalar for index, coef in self.terms.items()},
+            self.constant * scalar,
+        )
+
+    def __rmul__(self, scalar: Number) -> "LinExpr":
+        return self.__mul__(scalar)
+
+    def __neg__(self) -> "LinExpr":
+        return self.__mul__(-1.0)
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{coef:+g}*v{index}" for index, coef in sorted(self.terms.items())
+        ]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable; create only via :class:`Model` methods."""
+
+    name: str
+    index: int
+    lower: float
+    upper: float
+    integer: bool
+
+    # Variables participate in expression arithmetic by coercion.
+    def __add__(self, other: "ExprLike") -> LinExpr:
+        return LinExpr._coerce(self) + other
+
+    def __radd__(self, other: "ExprLike") -> LinExpr:
+        return LinExpr._coerce(self) + other
+
+    def __sub__(self, other: "ExprLike") -> LinExpr:
+        return LinExpr._coerce(self) - other
+
+    def __rsub__(self, other: "ExprLike") -> LinExpr:
+        return LinExpr._coerce(other) - LinExpr._coerce(self)
+
+    def __mul__(self, scalar: Number) -> LinExpr:
+        return LinExpr._coerce(self) * scalar
+
+    def __rmul__(self, scalar: Number) -> LinExpr:
+        return LinExpr._coerce(self) * scalar
+
+    def __neg__(self) -> LinExpr:
+        return LinExpr._coerce(self) * -1.0
+
+
+ExprLike = Union[LinExpr, Variable, int, float]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr (sense) rhs`` with the constant folded into ``rhs``."""
+
+    name: str
+    terms: Dict[int, float]
+    sense: str
+    rhs: float
+
+
+class Model:
+    """A small mixed 0-1 linear program."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self._objective: Optional[LinExpr] = None
+        self._names: Dict[str, int] = {}
+
+    # -- variables ------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+        integer: bool = False,
+    ) -> Variable:
+        """Add a variable with the given bounds."""
+        if name in self._names:
+            raise ConfigurationError(f"duplicate variable name {name!r}")
+        if lower > upper:
+            raise ConfigurationError(
+                f"variable {name!r}: lower {lower} > upper {upper}"
+            )
+        variable = Variable(
+            name=name,
+            index=len(self.variables),
+            lower=float(lower),
+            upper=float(upper),
+            integer=integer,
+        )
+        self.variables.append(variable)
+        self._names[name] = variable.index
+        return variable
+
+    def add_binary(self, name: str) -> Variable:
+        """Add a 0/1 variable."""
+        return self.add_variable(name, lower=0.0, upper=1.0, integer=True)
+
+    def add_continuous(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+    ) -> Variable:
+        """Add a continuous variable."""
+        return self.add_variable(name, lower=lower, upper=upper)
+
+    def variable_by_name(self, name: str) -> Variable:
+        """Look up a variable; raises ``KeyError`` when absent."""
+        return self.variables[self._names[name]]
+
+    # -- constraints and objective ---------------------------------------
+    def add_constraint(
+        self,
+        lhs: ExprLike,
+        sense: str,
+        rhs: ExprLike,
+        name: Optional[str] = None,
+    ) -> Constraint:
+        """Add ``lhs (sense) rhs``; either side may be an expression."""
+        if sense not in _SENSES:
+            raise ConfigurationError(
+                f"sense must be one of {_SENSES}, got {sense!r}"
+            )
+        combined = LinExpr._coerce(lhs) - LinExpr._coerce(rhs)
+        constraint = Constraint(
+            name=name or f"c{len(self.constraints)}",
+            terms={
+                index: coef
+                for index, coef in combined.terms.items()
+                if coef != 0.0
+            },
+            sense=sense,
+            rhs=-combined.constant,
+        )
+        if not constraint.terms:
+            raise ValidationError(
+                f"constraint {constraint.name!r} involves no variables"
+            )
+        self.constraints.append(constraint)
+        return constraint
+
+    def minimize(self, objective: ExprLike) -> None:
+        """Set a minimization objective."""
+        self._objective = LinExpr._coerce(objective)
+
+    @property
+    def objective(self) -> LinExpr:
+        if self._objective is None:
+            raise ConfigurationError(
+                f"model {self.name!r} has no objective; call minimize()"
+            )
+        return self._objective
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def integer_indices(self) -> List[int]:
+        """Indices of the integer-restricted variables."""
+        return [v.index for v in self.variables if v.integer]
+
+    def describe(self) -> str:
+        """Size summary — the paper quotes N·B+1 variables, N+B rows."""
+        integers = len(self.integer_indices)
+        return (
+            f"model {self.name}: {self.num_variables} variables "
+            f"({integers} integer), {self.num_constraints} constraints"
+        )

@@ -1,0 +1,113 @@
+"""LP relaxations for the branch-and-bound solver.
+
+Thin adapter from :class:`~repro.ilp.model.Model` (plus per-node bound
+overrides) to ``scipy.optimize.linprog`` with the HiGHS backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import ReproError
+from repro.ilp.model import Model
+
+
+@dataclass(frozen=True)
+class LpResult:
+    """Outcome of one LP relaxation."""
+
+    feasible: bool
+    unbounded: bool
+    objective: Optional[float]
+    point: Optional[np.ndarray]
+
+
+class LpRelaxation:
+    """Reusable LP data for a model; per-node bounds vary only."""
+
+    def __init__(self, model: Model):
+        self.model = model
+        num_vars = model.num_variables
+
+        self.costs = np.zeros(num_vars)
+        for index, coef in model.objective.terms.items():
+            self.costs[index] = coef
+        self.objective_constant = model.objective.constant
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constraint in model.constraints:
+            row = np.zeros(num_vars)
+            for index, coef in constraint.terms.items():
+                row[index] = coef
+            if constraint.sense == "<=":
+                ub_rows.append(row)
+                ub_rhs.append(constraint.rhs)
+            elif constraint.sense == ">=":
+                ub_rows.append(-row)
+                ub_rhs.append(-constraint.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(constraint.rhs)
+        self.a_ub = np.array(ub_rows) if ub_rows else None
+        self.b_ub = np.array(ub_rhs) if ub_rhs else None
+        self.a_eq = np.array(eq_rows) if eq_rows else None
+        self.b_eq = np.array(eq_rhs) if eq_rhs else None
+
+        self.base_bounds: List[Tuple[float, Optional[float]]] = [
+            (
+                variable.lower,
+                None if variable.upper == float("inf") else variable.upper,
+            )
+            for variable in model.variables
+        ]
+
+    def solve(
+        self,
+        bound_overrides: Optional[Dict[int, Tuple[float, float]]] = None,
+    ) -> LpResult:
+        """Solve the relaxation with optional per-variable bounds."""
+        bounds = list(self.base_bounds)
+        if bound_overrides:
+            for index, (lower, upper) in bound_overrides.items():
+                if lower > upper:
+                    return LpResult(
+                        feasible=False, unbounded=False,
+                        objective=None, point=None,
+                    )
+                bounds[index] = (lower, upper)
+
+        outcome = linprog(
+            c=self.costs,
+            A_ub=self.a_ub,
+            b_ub=self.b_ub,
+            A_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if outcome.status == 2:  # infeasible
+            return LpResult(
+                feasible=False, unbounded=False, objective=None, point=None
+            )
+        if outcome.status == 3:  # unbounded
+            return LpResult(
+                feasible=False, unbounded=True, objective=None, point=None
+            )
+        if outcome.status != 0:
+            raise ReproError(
+                f"LP solve failed with status {outcome.status}: "
+                f"{outcome.message}"
+            )
+        return LpResult(
+            feasible=True,
+            unbounded=False,
+            objective=float(outcome.fun) + self.objective_constant,
+            point=np.asarray(outcome.x),
+        )

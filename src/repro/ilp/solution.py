@@ -1,0 +1,71 @@
+"""Solution objects for the ILP substrate."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.ilp.model import Model, Variable
+
+
+class SolveStatus(enum.Enum):
+    """Terminal status of a solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # budget exhausted with an incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    NO_SOLUTION = "no_solution"    # budget exhausted, no incumbent
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Result of solving a :class:`~repro.ilp.model.Model`.
+
+    ``values`` maps variable names to their (rounded, for integer
+    variables) solution values; empty unless a feasible point exists.
+    """
+
+    status: SolveStatus
+    objective: Optional[float]
+    values: Dict[str, float] = field(default_factory=dict)
+    nodes_explored: int = 0
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def value(self, variable: Variable) -> float:
+        """Value of ``variable`` in this solution."""
+        return self.values[variable.name]
+
+    def check_feasibility(self, model: Model, tolerance: float = 1e-6) -> bool:
+        """Verify this solution against every constraint of ``model``.
+
+        Used by tests as an independent certificate that the branch-
+        and-bound bookkeeping is sound.
+        """
+        if not self.is_feasible:
+            return False
+        point = [self.values[v.name] for v in model.variables]
+        for variable in model.variables:
+            value = point[variable.index]
+            if value < variable.lower - tolerance:
+                return False
+            if value > variable.upper + tolerance:
+                return False
+            if variable.integer and abs(value - round(value)) > tolerance:
+                return False
+        for constraint in model.constraints:
+            activity = sum(
+                coef * point[index]
+                for index, coef in constraint.terms.items()
+            )
+            if constraint.sense == "<=" and activity > constraint.rhs + tolerance:
+                return False
+            if constraint.sense == ">=" and activity < constraint.rhs - tolerance:
+                return False
+            if constraint.sense == "==" and abs(activity - constraint.rhs) > tolerance:
+                return False
+        return True

@@ -1,0 +1,27 @@
+"""Top-level wrapper/TAM co-optimization pipelines.
+
+* :func:`~repro.optimize.co_optimize.co_optimize` — the paper's
+  two-step method: ``Partition_evaluate`` (fast heuristic sweep over
+  partitions and TAM counts) followed by one exact P_AW solve on the
+  winning partition;
+* :func:`~repro.optimize.exhaustive.exhaustive_optimize` — the
+  baseline of [8]: exact P_AW for *every* partition (the comparison
+  column in the paper's results tables);
+* :mod:`~repro.optimize.result` — result records shared by both.
+"""
+
+from repro.optimize.co_optimize import co_optimize
+from repro.optimize.exhaustive import exhaustive_optimize
+from repro.optimize.result import (
+    CoOptimizationResult,
+    ExhaustiveResult,
+    percent_delta,
+)
+
+__all__ = [
+    "co_optimize",
+    "exhaustive_optimize",
+    "CoOptimizationResult",
+    "ExhaustiveResult",
+    "percent_delta",
+]

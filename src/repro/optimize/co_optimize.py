@@ -1,0 +1,147 @@
+"""The paper's two-step wrapper/TAM co-optimization method.
+
+Step 1 — ``Partition_evaluate``: enumerate width partitions over the
+requested TAM counts, scoring each with the O(N²) ``Core_assign``
+heuristic under the shared incumbent abort.  This lands "within the
+neighborhood of the optimal solution" in seconds.
+
+Step 2 — final optimization: run the exact P_AW solver *once*, on the
+winning partition, warm-started with the heuristic assignment.  The
+partition is frozen; only the core assignment can change.  This is
+the paper's use of the ILP model of [8], implemented here by the
+dedicated branch-and-bound (use ``repro.assign.ilp_model`` for the
+literal ILP).
+
+The paper documents an anomaly this structure inherits: because step
+1 is heuristic, the partition it selects is not always the partition
+with the lowest *post-polish* time (Section 4.2's W=16 example).  The
+anomaly is reproduced — and tested — rather than papered over.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Iterable, Union
+
+from repro.assign.exact import exact_assign
+from repro.exceptions import ConfigurationError
+from repro.optimize.result import CoOptimizationResult
+from repro.partition.evaluate import partition_evaluate
+from repro.soc.soc import Soc
+from repro.wrapper.pareto import build_time_tables
+
+#: The paper found architectures beyond ten TAMs "less useful for
+#: testing time minimization"; its P_NPAW experiments use this cap.
+DEFAULT_MAX_TAMS = 10
+
+
+def co_optimize(
+    soc: Soc,
+    total_width: int,
+    num_tams: Union[int, Iterable[int], None] = None,
+    enumerator: str = "unique",
+    polish: bool = True,
+    polish_top_k: int = 1,
+    polish_per_tam_count: bool = False,
+    exact_node_limit: int = 2_000_000,
+    exact_time_limit: float = 30.0,
+) -> CoOptimizationResult:
+    """Co-optimize the wrapper/TAM architecture of ``soc``.
+
+    Parameters
+    ----------
+    soc:
+        The SOC to optimize.
+    total_width:
+        Total TAM width ``W`` available at the SOC pins.
+    num_tams:
+        A single TAM count (problem P_PAW), an iterable of counts, or
+        ``None`` for the paper's P_NPAW default ``range(1, 11)``
+        (capped at ``total_width``).
+    enumerator:
+        Partition enumerator: ``"unique"`` or ``"increment"``.
+    polish:
+        When False, skip the exact final step and return the heuristic
+        assignment (useful to measure the polish's contribution).
+    polish_top_k:
+        How many of ``Partition_evaluate``'s best distinct partitions
+        to polish exactly.  1 is the paper's method.  Larger values
+        mitigate the anomaly the paper documents in its conclusion:
+        the heuristically-best partition is not always the best after
+        exact optimization, so polishing the runners-up and keeping
+        the overall winner can only improve the result (at k times
+        the polish cost and a slightly slower sweep).
+    polish_per_tam_count:
+        When True, the sweep keeps the best partition of *every* TAM
+        count and the polish visits each of them.  This targets the
+        anomaly's usual form — the heuristic picking the wrong number
+        of TAMs — at the cost of weaker cross-B pruning during the
+        sweep.  Composable with ``polish_top_k`` (top-k per B).
+    exact_node_limit / exact_time_limit:
+        Budgets for each exact solve.
+
+    Returns
+    -------
+    :class:`~repro.optimize.result.CoOptimizationResult`
+    """
+    if total_width < 1:
+        raise ConfigurationError(
+            f"total_width must be >= 1, got {total_width}"
+        )
+    if polish_top_k < 1:
+        raise ConfigurationError(
+            f"polish_top_k must be >= 1, got {polish_top_k}"
+        )
+    if num_tams is None:
+        num_tams = range(1, min(DEFAULT_MAX_TAMS, total_width) + 1)
+
+    start = _time.monotonic()
+    tables = build_time_tables(soc, total_width)
+    table_list = [tables[core.name] for core in soc.cores]
+
+    search = partition_evaluate(
+        table_list,
+        total_width,
+        num_tams,
+        enumerator=enumerator,
+        keep_top=polish_top_k if polish else 1,
+        stratify_by_tam_count=polish and polish_per_tam_count,
+    )
+
+    final = search.best
+    final_optimal = False
+    if polish:
+        candidates = (search.best,) + search.runners_up
+        if not polish_per_tam_count:
+            candidates = candidates[:polish_top_k]
+        best_polished = None
+        best_optimal = False
+        for candidate in candidates:
+            times = [
+                [table.time(width) for width in candidate.widths]
+                for table in table_list
+            ]
+            exact = exact_assign(
+                times,
+                candidate.widths,
+                incumbent=candidate,
+                node_limit=exact_node_limit,
+                time_limit=exact_time_limit,
+            )
+            if (best_polished is None
+                    or exact.result.testing_time
+                    < best_polished.testing_time):
+                best_polished = exact.result
+                best_optimal = exact.optimal
+        assert best_polished is not None
+        final = best_polished
+        final_optimal = best_optimal
+
+    return CoOptimizationResult(
+        soc_name=soc.name,
+        total_width=total_width,
+        search=search,
+        final=final,
+        final_optimal=final_optimal,
+        elapsed_seconds=_time.monotonic() - start,
+    )

@@ -1,0 +1,97 @@
+"""Result records for the co-optimization pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.partition.evaluate import PartitionSearchResult
+from repro.tam.assignment import AssignmentResult
+
+
+def percent_delta(new_time: float, old_time: float) -> float:
+    """The paper's  ΔT(%) = (T_new - T_old) / T_old * 100."""
+    if old_time <= 0:
+        raise ValueError(f"old_time must be positive, got {old_time}")
+    return (new_time - old_time) / old_time * 100.0
+
+
+@dataclass(frozen=True)
+class CoOptimizationResult:
+    """Outcome of the paper's two-step co-optimization method.
+
+    ``search`` is the heuristic sweep (``Partition_evaluate``);
+    ``final`` is the assignment after the exact polish on the winning
+    partition.  ``final.testing_time <= search.testing_time`` always —
+    the polish can only improve the core assignment.
+    """
+
+    soc_name: str
+    total_width: int
+    search: PartitionSearchResult
+    final: AssignmentResult
+    final_optimal: bool
+    elapsed_seconds: float
+
+    @property
+    def testing_time(self) -> int:
+        return self.final.testing_time
+
+    @property
+    def partition(self) -> Tuple[int, ...]:
+        return self.final.widths
+
+    @property
+    def num_tams(self) -> int:
+        return len(self.final.widths)
+
+    def summary(self) -> str:
+        """One-line result in the paper's reporting style."""
+        return (
+            f"{self.soc_name} W={self.total_width}: "
+            f"B={self.num_tams}, partition "
+            f"{'+'.join(str(w) for w in self.partition)}, "
+            f"T={self.testing_time} cycles "
+            f"({self.elapsed_seconds:.2f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """Outcome of the [8]-style exhaustive enumeration baseline.
+
+    ``complete`` is False when the run stopped on its total time
+    budget before covering every partition — mirroring the paper's
+    reports that the exhaustive method "did not run to completion
+    even after two days" on the larger instances.
+    """
+
+    soc_name: str
+    total_width: int
+    best: AssignmentResult
+    partitions_evaluated: int
+    partitions_total: int
+    all_exact: bool
+    complete: bool
+    elapsed_seconds: float
+
+    @property
+    def testing_time(self) -> int:
+        return self.best.testing_time
+
+    @property
+    def partition(self) -> Tuple[int, ...]:
+        return self.best.widths
+
+    def summary(self) -> str:
+        """One-line result in the paper's reporting style."""
+        status = "complete" if self.complete else (
+            f"STOPPED after {self.partitions_evaluated}"
+            f"/{self.partitions_total} partitions"
+        )
+        return (
+            f"{self.soc_name} W={self.total_width} exhaustive: "
+            f"partition {'+'.join(str(w) for w in self.partition)}, "
+            f"T={self.testing_time} cycles, {status} "
+            f"({self.elapsed_seconds:.2f}s)"
+        )

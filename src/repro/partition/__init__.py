@@ -1,0 +1,41 @@
+"""TAM width partitioning (problems :math:`P_{PAW}` and :math:`P_{NPAW}`).
+
+* :mod:`~repro.partition.count` — counting width partitions: the exact
+  number (dynamic programming) and the approximations the paper quotes
+  from partition theory [10];
+* :mod:`~repro.partition.enumerate` — generating partitions: the
+  canonical unique enumeration, and the paper's recursive ``Increment``
+  odometer with its Line-1 upper bound (which suppresses many but not
+  all duplicates — kept for the ablation study);
+* :mod:`~repro.partition.evaluate` — ``Partition_evaluate`` (Fig. 3):
+  sweep partitions across TAM counts, scoring each with ``Core_assign``
+  under the shared best-known-time abort.
+"""
+
+from repro.partition.count import (
+    count_partitions,
+    approx_partitions,
+    partitions_two,
+    partitions_three,
+)
+from repro.partition.enumerate import (
+    unique_partitions,
+    increment_partitions,
+)
+from repro.partition.evaluate import (
+    PartitionSearchResult,
+    PartitionStats,
+    partition_evaluate,
+)
+
+__all__ = [
+    "count_partitions",
+    "approx_partitions",
+    "partitions_two",
+    "partitions_three",
+    "unique_partitions",
+    "increment_partitions",
+    "PartitionSearchResult",
+    "PartitionStats",
+    "partition_evaluate",
+]

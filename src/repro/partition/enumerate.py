@@ -1,0 +1,105 @@
+"""Generating TAM width partitions.
+
+Two enumerators:
+
+* :func:`unique_partitions` — canonical enumeration of partitions in
+  non-decreasing part order; emits every unique partition exactly
+  once.  This is what the production pipeline uses.
+
+* :func:`increment_partitions` — the paper's recursive ``Increment``
+  odometer (Fig. 3).  Loop variables ``w_1 .. w_{B-1}`` each range
+  from 1 up to the Line-1 bound  floor((W - sum of earlier parts) /
+  (B - i + 1)), and ``w_B`` takes the remainder.  The bound suppresses
+  "a sizeable number" of duplicate (reordered) partitions but not all
+  of them — e.g. for W=9, B=3 it emits both (1,2,6) and (2,1,6).
+  Kept verbatim for the fidelity/ablation study
+  (``benchmarks/bench_ablation_pruning.py``).
+
+Both yield tuples of length ``parts`` summing to ``total`` with every
+part >= 1, and both match the paper's worked example: for W=8, B=4
+the first three partitions are (1,1,1,5), (1,1,2,4), (1,1,3,3), and
+the reordering (1,3,1,3) of (1,1,3,3) is never emitted (the Line-1
+bound caps w_2 at 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def _check(total: int, parts: int) -> None:
+    if total < 1:
+        raise ConfigurationError(f"total width must be >= 1, got {total}")
+    if parts < 1:
+        raise ConfigurationError(f"number of parts must be >= 1, got {parts}")
+    if parts > total:
+        raise ConfigurationError(
+            f"cannot split width {total} into {parts} buses of width >= 1"
+        )
+
+
+def unique_partitions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """Every partition of ``total`` into ``parts`` parts, exactly once.
+
+    Parts are emitted in non-decreasing order within each tuple;
+    tuples are emitted in lexicographic order.
+
+    >>> list(unique_partitions(8, 4))
+    [(1, 1, 1, 5), (1, 1, 2, 4), (1, 1, 3, 3), (1, 2, 2, 3), (2, 2, 2, 2)]
+    """
+    _check(total, parts)
+
+    def recurse(
+        remaining: int, slots: int, minimum: int, prefix: Tuple[int, ...]
+    ) -> Iterator[Tuple[int, ...]]:
+        if slots == 1:
+            yield prefix + (remaining,)
+            return
+        # Largest value keeping the suffix non-decreasing and feasible.
+        upper = remaining // slots
+        for value in range(minimum, upper + 1):
+            yield from recurse(
+                remaining - value, slots - 1, value, prefix + (value,)
+            )
+
+    yield from recurse(total, parts, 1, ())
+
+
+def increment_partitions(
+    total: int, parts: int
+) -> Iterator[Tuple[int, ...]]:
+    """The paper's ``Increment`` odometer, duplicates and all.
+
+    >>> list(increment_partitions(9, 3))[:4]
+    [(1, 1, 7), (1, 2, 6), (1, 3, 5), (1, 4, 4)]
+    >>> (2, 1, 6) in list(increment_partitions(9, 3))  # surviving duplicate
+    True
+    """
+    _check(total, parts)
+
+    def recurse(
+        remaining: int, position: int, prefix: Tuple[int, ...]
+    ) -> Iterator[Tuple[int, ...]]:
+        slots_left = parts - position + 1
+        if slots_left == 1:
+            yield prefix + (remaining,)
+            return
+        # Line 1 of Increment: w_position may not exceed the average
+        # of what is left for it and all later parts.
+        upper = remaining // slots_left
+        for value in range(1, upper + 1):
+            yield from recurse(remaining - value, position + 1,
+                               prefix + (value,))
+
+    yield from recurse(total, 1, ())
+
+
+def is_valid_partition(widths: Tuple[int, ...], total: int) -> bool:
+    """True when ``widths`` is a legal partition of ``total``."""
+    return (
+        len(widths) >= 1
+        and all(width >= 1 for width in widths)
+        and sum(widths) == total
+    )

@@ -1,0 +1,282 @@
+"""``Partition_evaluate`` — the fast partition sweep of Fig. 3.
+
+For every candidate TAM count ``B`` and every width partition of the
+total TAM width ``W``, run ``Core_assign`` against the incumbent SOC
+testing time; keep the best (partition, assignment).  Three pruning
+levels, exactly as the paper describes:
+
+1. the enumerator never emits (most) reordered duplicates — the
+   production default goes further than the paper's ``Increment``
+   bound and emits *only* unique partitions;
+2. ``Core_assign`` aborts a partition the moment any bus's summed
+   time reaches the incumbent (Lines 18-20 of Fig. 1) — the dominant
+   saving, quantified in Table 1;
+3. the evaluation itself is the O(N²) heuristic rather than an ILP.
+
+The sweep records, per TAM count, how many partitions were enumerated
+and how many were *evaluated to completion* — the paper's
+``N_eval`` — so the efficiency study (Table 1) falls out directly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.assign.core_assign import core_assign
+from repro.exceptions import ConfigurationError
+from repro.partition.count import count_partitions
+from repro.partition.enumerate import increment_partitions, unique_partitions
+from repro.tam.assignment import AssignmentResult
+from repro.wrapper.pareto import TimeTable
+
+Enumerator = Callable[[int, int], Iterator[Tuple[int, ...]]]
+
+_ENUMERATORS: Dict[str, Enumerator] = {
+    "unique": unique_partitions,
+    "increment": increment_partitions,
+}
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """Pruning statistics for one TAM count ``B`` (one row of Table 1)."""
+
+    num_tams: int
+    num_unique: int
+    num_enumerated: int
+    num_completed: int
+
+    @property
+    def efficiency(self) -> float:
+        """The paper's E = N_eval / P(W, B) (1.0 means no pruning)."""
+        if self.num_unique == 0:
+            return 0.0
+        return self.num_completed / self.num_unique
+
+
+@dataclass(frozen=True)
+class PartitionSearchResult:
+    """Outcome of a ``Partition_evaluate`` sweep.
+
+    ``runners_up`` holds the next-best *distinct* partitions (by
+    heuristic testing time) when the sweep was asked to keep them —
+    the raw material for the top-k polish that mitigates the paper's
+    anomaly (see :func:`repro.optimize.co_optimize.co_optimize`).
+    """
+
+    total_width: int
+    best: AssignmentResult
+    stats: Tuple[PartitionStats, ...]
+    elapsed_seconds: float
+    runners_up: Tuple[AssignmentResult, ...] = ()
+
+    @property
+    def testing_time(self) -> int:
+        return self.best.testing_time
+
+    @property
+    def best_partition(self) -> Tuple[int, ...]:
+        return self.best.widths
+
+    @property
+    def best_num_tams(self) -> int:
+        return len(self.best.widths)
+
+    def stats_for(self, num_tams: int) -> PartitionStats:
+        """Statistics for one TAM count; raises ``KeyError`` if absent."""
+        for stats in self.stats:
+            if stats.num_tams == num_tams:
+                return stats
+        raise KeyError(f"no statistics recorded for B={num_tams}")
+
+
+def _times_for(
+    tables: Sequence[TimeTable], widths: Tuple[int, ...]
+) -> list:
+    """N x B testing-time matrix for one width partition."""
+    return [
+        [table.time(width) for width in widths]
+        for table in tables
+    ]
+
+
+class _TopK:
+    """The ``keep_top`` best distinct partitions seen so far.
+
+    Distinctness is up to bus reordering (canonical sorted widths).
+    The pruning threshold is the worst kept time once the list is
+    full — for ``keep_top == 1`` this is exactly the paper's
+    best-known-time abort.
+    """
+
+    def __init__(self, capacity: int, initial_best: Optional[int]):
+        self.capacity = capacity
+        self.initial_best = initial_best
+        self.entries: list = []  # sorted by testing_time ascending
+
+    def threshold(self) -> Optional[int]:
+        """Current abort threshold for ``Core_assign``."""
+        kth: Optional[int] = None
+        if len(self.entries) == self.capacity:
+            kth = self.entries[-1].testing_time
+        if self.initial_best is None:
+            return kth
+        if kth is None:
+            return self.initial_best
+        return min(kth, self.initial_best)
+
+    def offer(self, result: AssignmentResult) -> None:
+        """Insert ``result`` if it improves the kept set."""
+        key = tuple(sorted(result.widths))
+        for index, kept in enumerate(self.entries):
+            if tuple(sorted(kept.widths)) == key:
+                if result.testing_time < kept.testing_time:
+                    self.entries[index] = result
+                    self.entries.sort(key=lambda r: r.testing_time)
+                return
+        self.entries.append(result)
+        self.entries.sort(key=lambda r: r.testing_time)
+        del self.entries[self.capacity:]
+
+
+def partition_evaluate(
+    tables: Sequence[TimeTable],
+    total_width: int,
+    num_tams: Union[int, Iterable[int]],
+    enumerator: str = "unique",
+    prune: bool = True,
+    initial_best: Optional[int] = None,
+    keep_top: int = 1,
+    stratify_by_tam_count: bool = False,
+) -> PartitionSearchResult:
+    """Sweep width partitions, scoring each with ``Core_assign``.
+
+    Parameters
+    ----------
+    tables:
+        One :class:`~repro.wrapper.pareto.TimeTable` per core, covering
+        widths up to ``total_width``.
+    total_width:
+        The SOC's TAM width budget ``W``.
+    num_tams:
+        Either a single TAM count ``B`` (problem P_PAW) or an iterable
+        of counts, e.g. ``range(1, 11)`` (problem P_NPAW; the paper's
+        experiments use ``B_max = 10``).
+    enumerator:
+        ``"unique"`` (default, duplicate-free) or ``"increment"`` (the
+        paper's odometer, for ablation).
+    prune:
+        When False, ``Core_assign`` always runs to completion —
+        disables pruning level 2 for the ablation study.
+    initial_best:
+        Optional starting incumbent (cycles).
+    keep_top:
+        How many best *distinct* partitions to retain.  1 reproduces
+        the paper exactly; larger values loosen the abort threshold to
+        the k-th best time so runners-up survive for a top-k polish.
+    stratify_by_tam_count:
+        When True, the top-``keep_top`` list is kept *per TAM count*
+        and pruning is per-count too (each B's sweep races only
+        against itself).  This costs pruning efficiency but preserves
+        the best candidate of every B — the diversity the final exact
+        polish needs to escape the paper's wrong-B anomaly, where the
+        heuristically best partition has the wrong number of TAMs.
+
+    Returns
+    -------
+    :class:`PartitionSearchResult` — the best assignment found, the
+    runners-up (when ``keep_top > 1`` or stratified), and per-B
+    pruning statistics.
+    """
+    if not tables:
+        raise ConfigurationError("need at least one core time table")
+    if total_width < 1:
+        raise ConfigurationError(
+            f"total_width must be >= 1, got {total_width}"
+        )
+    if keep_top < 1:
+        raise ConfigurationError(f"keep_top must be >= 1, got {keep_top}")
+    for table in tables:
+        if table.max_width < total_width:
+            raise ConfigurationError(
+                f"time table for {table.core.name!r} covers widths up to "
+                f"{table.max_width} < total width {total_width}"
+            )
+    try:
+        enumerate_fn = _ENUMERATORS[enumerator]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown enumerator {enumerator!r}; "
+            f"choose from {sorted(_ENUMERATORS)}"
+        ) from None
+
+    tam_counts = (
+        [num_tams] if isinstance(num_tams, int) else list(num_tams)
+    )
+    if not tam_counts:
+        raise ConfigurationError("num_tams iterable is empty")
+    for count in tam_counts:
+        if count < 1:
+            raise ConfigurationError(f"TAM count must be >= 1, got {count}")
+
+    start = _time.monotonic()
+    global_top = _TopK(keep_top, initial_best)
+    trackers = []
+    all_stats = []
+
+    for count in tam_counts:
+        tracker = (
+            _TopK(keep_top, initial_best) if stratify_by_tam_count
+            else global_top
+        )
+        trackers.append(tracker)
+        enumerated = 0
+        completed = 0
+        if count <= total_width:
+            for widths in enumerate_fn(total_width, count):
+                enumerated += 1
+                times = _times_for(tables, widths)
+                outcome = core_assign(
+                    times,
+                    widths,
+                    best_known=tracker.threshold() if prune else None,
+                )
+                if not outcome.completed:
+                    continue
+                completed += 1
+                assert outcome.result is not None
+                tracker.offer(outcome.result)
+        all_stats.append(
+            PartitionStats(
+                num_tams=count,
+                num_unique=(
+                    count_partitions(total_width, count)
+                    if count <= total_width else 0
+                ),
+                num_enumerated=enumerated,
+                num_completed=completed,
+            )
+        )
+
+    if stratify_by_tam_count:
+        entries = sorted(
+            (entry for tracker in trackers for entry in tracker.entries),
+            key=lambda result: result.testing_time,
+        )
+    else:
+        entries = list(global_top.entries)
+
+    if not entries:
+        raise ConfigurationError(
+            "no partition improved on initial_best="
+            f"{initial_best}; nothing to return"
+        )
+    return PartitionSearchResult(
+        total_width=total_width,
+        best=entries[0],
+        stats=tuple(all_stats),
+        elapsed_seconds=_time.monotonic() - start,
+        runners_up=tuple(entries[1:]),
+    )

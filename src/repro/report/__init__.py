@@ -1,0 +1,12 @@
+"""Reporting: ASCII tables and the paper's experiment drivers.
+
+* :mod:`~repro.report.tables` — lightweight column-aligned text tables
+  used by the benchmark harness and examples;
+* :mod:`~repro.report.experiments` — one driver per paper table,
+  returning structured rows so benchmarks, tests and EXPERIMENTS.md
+  all consume the same data.
+"""
+
+from repro.report.tables import TextTable
+
+__all__ = ["TextTable"]

@@ -1,0 +1,116 @@
+"""JSON serialization of optimization results.
+
+Round-trippable, schema-stable dictionaries for the result records,
+so CI pipelines can archive runs and diff regressions without parsing
+ASCII tables.  ``schema`` is versioned; loaders reject unknown
+versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.exceptions import ValidationError
+from repro.optimize.result import CoOptimizationResult, ExhaustiveResult
+from repro.tam.assignment import AssignmentResult
+
+SCHEMA_VERSION = 1
+
+
+def assignment_to_dict(result: AssignmentResult) -> Dict[str, Any]:
+    """Plain-data form of an :class:`AssignmentResult`."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "assignment",
+        "widths": list(result.widths),
+        "assignment": list(result.assignment),
+        "bus_times": list(result.bus_times),
+        "testing_time": result.testing_time,
+        "optimal": result.optimal,
+    }
+
+
+def assignment_from_dict(data: Dict[str, Any]) -> AssignmentResult:
+    """Rebuild an :class:`AssignmentResult`; validates on construction."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported schema {data.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    if data.get("kind") != "assignment":
+        raise ValidationError(
+            f"expected kind 'assignment', got {data.get('kind')!r}"
+        )
+    try:
+        return AssignmentResult(
+            widths=tuple(data["widths"]),
+            assignment=tuple(data["assignment"]),
+            bus_times=tuple(data["bus_times"]),
+            testing_time=int(data["testing_time"]),
+            optimal=bool(data.get("optimal", False)),
+        )
+    except KeyError as missing:
+        raise ValidationError(
+            f"assignment record missing field {missing}"
+        ) from None
+
+
+def co_optimization_to_dict(
+    result: CoOptimizationResult,
+) -> Dict[str, Any]:
+    """Plain-data form of a full co-optimization run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "co_optimization",
+        "soc": result.soc_name,
+        "total_width": result.total_width,
+        "final": assignment_to_dict(result.final),
+        "final_optimal": result.final_optimal,
+        "heuristic_testing_time": result.search.testing_time,
+        "heuristic_partition": list(result.search.best_partition),
+        "elapsed_seconds": result.elapsed_seconds,
+        "pruning": [
+            {
+                "num_tams": stats.num_tams,
+                "unique": stats.num_unique,
+                "enumerated": stats.num_enumerated,
+                "completed": stats.num_completed,
+            }
+            for stats in result.search.stats
+        ],
+    }
+
+
+def exhaustive_to_dict(result: ExhaustiveResult) -> Dict[str, Any]:
+    """Plain-data form of an exhaustive-baseline run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "exhaustive",
+        "soc": result.soc_name,
+        "total_width": result.total_width,
+        "best": assignment_to_dict(result.best),
+        "partitions_evaluated": result.partitions_evaluated,
+        "partitions_total": result.partitions_total,
+        "all_exact": result.all_exact,
+        "complete": result.complete,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def to_json(record: Dict[str, Any], indent: int = 2) -> str:
+    """Serialize a record dictionary to a JSON string."""
+    return json.dumps(record, indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> Dict[str, Any]:
+    """Parse a JSON record, checking the schema version."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValidationError("expected a JSON object at top level")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported schema {data.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    return data

@@ -1,0 +1,66 @@
+"""Column-aligned ASCII tables for experiment reports.
+
+Deliberately tiny: enough to print the paper's tables faithfully from
+benchmark harnesses without pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+class TextTable:
+    """A simple left/right-aligned text table.
+
+    >>> table = TextTable(["W", "partition", "T (cycles)"])
+    >>> table.add_row([16, "8+8", 45055])
+    >>> print(table.render())
+    W  | partition | T (cycles)
+    ---+-----------+-----------
+    16 | 8+8       | 45055
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = [str(header) for header in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row; cells are stringified (floats to 2 dp)."""
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.2f}")
+            else:
+                rendered.append(str(cell))
+        if len(rendered) != len(self.headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, "
+                f"table has {len(self.headers)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Render the table as a string."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def format_row(cells: Sequence[str]) -> str:
+            return " | ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(format_row(self.headers))
+        lines.append("-+-".join("-" * width for width in widths))
+        lines.extend(format_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

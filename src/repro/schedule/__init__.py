@@ -1,0 +1,31 @@
+"""Multiprocessor-scheduling substrate.
+
+``Core_assign`` is "based on an approximation algorithm for the
+problem of scheduling n independent jobs on m parallel, equal
+processors" (Section 2 of the paper) — i.e. LPT list scheduling.
+This subpackage provides that substrate in its own right:
+
+* :mod:`~repro.schedule.lpt` — Longest Processing Time scheduling on
+  identical machines, with the Graham worst-case ratio;
+* :mod:`~repro.schedule.makespan` — makespan lower bounds, for both
+  identical and unrelated machines (the TAM case, where a core's time
+  depends on its bus's width);
+* :mod:`~repro.schedule.session` — test-session timelines (which core
+  occupies which bus when) and an ASCII Gantt rendering.
+"""
+
+from repro.schedule.lpt import lpt_schedule, graham_bound
+from repro.schedule.makespan import (
+    identical_lower_bound,
+    unrelated_lower_bound,
+)
+from repro.schedule.session import TestSchedule, build_schedule
+
+__all__ = [
+    "lpt_schedule",
+    "graham_bound",
+    "identical_lower_bound",
+    "unrelated_lower_bound",
+    "TestSchedule",
+    "build_schedule",
+]

@@ -1,0 +1,63 @@
+"""Makespan lower bounds.
+
+For identical machines the classical bounds are the longest job and
+the average load.  For the TAM problem machines are *unrelated* (a
+core's time depends on its bus width), so the bounds generalize:
+
+* every core contributes at least its minimum time over all buses to
+  the total work — giving the area bound;
+* every core must run somewhere, so the SOC time is at least the
+  smallest time the slowest-to-place core can achieve anywhere.
+
+These bounds drive the pruning in the exact branch-and-bound solver
+(:mod:`repro.assign.exact`) and give optimality certificates in
+benchmarks (e.g. the p31108 saturation analysis of Section 4.3).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def identical_lower_bound(
+    durations: Sequence[int], num_machines: int
+) -> int:
+    """max(longest job, ceil(total work / m)) for identical machines."""
+    if num_machines < 1:
+        raise ConfigurationError(
+            f"num_machines must be >= 1, got {num_machines}"
+        )
+    if not durations:
+        return 0
+    return max(max(durations), ceil(sum(durations) / num_machines))
+
+
+def unrelated_lower_bound(times: Sequence[Sequence[int]]) -> int:
+    """Lower bound on makespan for unrelated machines.
+
+    ``times[i][j]`` is the duration of job ``i`` on machine ``j``.
+    Combines the per-job bound (every job needs at least its own
+    minimum time) with the area bound over per-job minima.
+    """
+    if not times:
+        return 0
+    num_machines = len(times[0])
+    if num_machines < 1:
+        raise ConfigurationError("times matrix has zero machines")
+    per_job_min = [min(row) for row in times]
+    return max(max(per_job_min), ceil(sum(per_job_min) / num_machines))
+
+
+def saturation_lower_bound(times: Sequence[Sequence[int]]) -> int:
+    """The largest per-job minimum: no schedule beats its slowest job.
+
+    This is the bound that pins p31108 in the paper: once the
+    bottleneck core's bus is wide enough, the SOC time equals this
+    value and more TAM wires cannot help.
+    """
+    if not times:
+        return 0
+    return max(min(row) for row in times)

@@ -1,0 +1,148 @@
+"""Test-session timelines: when each core occupies its bus.
+
+Under the test-bus model cores sharing a bus are tested back-to-back.
+:class:`TestSchedule` materializes the resulting timeline from an
+assignment, supports overlap/completeness validation, and renders an
+ASCII Gantt chart for reports and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.tam.assignment import AssignmentResult
+
+
+@dataclass(frozen=True)
+class ScheduledTest:
+    """One core's test session on one bus."""
+
+    core_index: int
+    core_name: str
+    bus: int
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TestSchedule:
+    """A full SOC test schedule: per-bus sequences of test sessions."""
+
+    # Domain class, not a pytest test case.
+    __test__ = False
+
+    widths: Tuple[int, ...]
+    sessions: Tuple[ScheduledTest, ...]
+
+    def __post_init__(self) -> None:
+        for session in self.sessions:
+            if session.start < 0 or session.end < session.start:
+                raise ValidationError(
+                    f"session for core {session.core_name!r} has invalid "
+                    f"interval [{session.start}, {session.end})"
+                )
+            if not 0 <= session.bus < len(self.widths):
+                raise ValidationError(
+                    f"session for core {session.core_name!r} on "
+                    f"nonexistent bus {session.bus}"
+                )
+        # No two sessions on one bus may overlap.
+        by_bus: List[List[ScheduledTest]] = [
+            [] for _ in range(len(self.widths))
+        ]
+        for session in self.sessions:
+            by_bus[session.bus].append(session)
+        for bus_sessions in by_bus:
+            bus_sessions.sort(key=lambda s: s.start)
+            for earlier, later in zip(bus_sessions, bus_sessions[1:]):
+                if later.start < earlier.end:
+                    raise ValidationError(
+                        f"overlap on bus {earlier.bus}: "
+                        f"{earlier.core_name} and {later.core_name}"
+                    )
+
+    @property
+    def makespan(self) -> int:
+        """Completion time of the last test session."""
+        return max((session.end for session in self.sessions), default=0)
+
+    def bus_sessions(self, bus: int) -> List[ScheduledTest]:
+        """Sessions on ``bus``, ordered by start time."""
+        return sorted(
+            (s for s in self.sessions if s.bus == bus),
+            key=lambda s: s.start,
+        )
+
+    def idle_time(self, bus: int) -> int:
+        """Cycles bus ``bus`` sits idle before the SOC test completes."""
+        busy = sum(s.duration for s in self.bus_sessions(bus))
+        return self.makespan - busy
+
+    def total_idle_time(self) -> int:
+        """Total idle bus-cycles — the waste multi-TAM designs reduce."""
+        return sum(self.idle_time(bus) for bus in range(len(self.widths)))
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart, one row per bus, ``width`` columns."""
+        span = max(self.makespan, 1)
+        lines = []
+        for bus in range(len(self.widths)):
+            cells = ["."] * width
+            for session in self.bus_sessions(bus):
+                start_col = int(session.start / span * width)
+                end_col = max(start_col + 1, int(session.end / span * width))
+                label = (str(session.core_index + 1) * width)[: end_col - start_col]
+                for offset, char in enumerate(label):
+                    if start_col + offset < width:
+                        cells[start_col + offset] = char
+            lines.append(
+                f"bus {bus + 1} (w={self.widths[bus]:>2}) |{''.join(cells)}|"
+            )
+        lines.append(f"makespan: {self.makespan} cycles")
+        return "\n".join(lines)
+
+
+def build_schedule(
+    result: AssignmentResult,
+    times: Sequence[Sequence[int]],
+    core_names: Sequence[str],
+) -> TestSchedule:
+    """Materialize the serial-per-bus schedule implied by ``result``.
+
+    Cores on each bus are tested in SOC order (order does not affect
+    the makespan under the test-bus model, only the timeline layout).
+    """
+    if len(core_names) != len(result.assignment):
+        raise ValidationError(
+            f"{len(core_names)} names for {len(result.assignment)} cores"
+        )
+    cursors = [0] * len(result.widths)
+    sessions = []
+    for core_index, bus in enumerate(result.assignment):
+        duration = times[core_index][bus]
+        start = cursors[bus]
+        sessions.append(
+            ScheduledTest(
+                core_index=core_index,
+                core_name=core_names[core_index],
+                bus=bus,
+                start=start,
+                end=start + duration,
+            )
+        )
+        cursors[bus] += duration
+    schedule = TestSchedule(
+        widths=tuple(result.widths), sessions=tuple(sessions)
+    )
+    if schedule.makespan != result.testing_time:
+        raise ValidationError(
+            f"schedule makespan {schedule.makespan} != assignment "
+            f"testing time {result.testing_time}"
+        )
+    return schedule

@@ -1,0 +1,31 @@
+"""SOC data model: cores, systems-on-chip, benchmark data and generators.
+
+This subpackage provides everything needed to describe a core-based SOC
+for test-architecture optimization:
+
+* :class:`~repro.soc.core.Core` — one embedded core (test patterns,
+  functional terminals, internal scan chains);
+* :class:`~repro.soc.soc.Soc` — a named collection of cores;
+* :mod:`~repro.soc.itc02` — reader/writer for an ITC'02-style ``.soc``
+  text format;
+* :mod:`~repro.soc.generator` — seeded synthetic SOC generation from
+  published parameter ranges;
+* :mod:`~repro.soc.complexity` — the test-data-volume complexity proxy;
+* :mod:`~repro.soc.data` — the four benchmark SOCs used in the paper
+  (d695 and deterministic stand-ins for the Philips SOCs p21241,
+  p31108 and p93791).
+"""
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+from repro.soc.complexity import test_complexity
+from repro.soc.generator import SocGenerator, CoreRanges, SocSpec
+
+__all__ = [
+    "Core",
+    "Soc",
+    "test_complexity",
+    "SocGenerator",
+    "CoreRanges",
+    "SocSpec",
+]

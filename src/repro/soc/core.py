@@ -1,0 +1,153 @@
+"""The :class:`Core` data type — one embedded core of an SOC.
+
+A core is described by exactly the attributes the wrapper-design problem
+:math:`P_W` needs (Section 2 of the paper):
+
+* the number of test patterns to apply,
+* the functional terminals (inputs, outputs, bidirectionals) that must
+  receive wrapper cells, and
+* the lengths of the core-internal scan chains.
+
+Memory cores are modelled as cores with no internal scan chains; they
+are tested by applying their patterns through the wrapper cells alone,
+which is how the Philips SOCs in the paper treat them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Core:
+    """An embedded core, as seen by wrapper/TAM optimization.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"s38417"`` or ``"Module 12"``.
+    num_patterns:
+        Number of test patterns applied to the core.  Must be >= 1: a
+        core with nothing to test should simply not participate in TAM
+        optimization.
+    num_inputs / num_outputs / num_bidirs:
+        Functional terminal counts.  Each input (output) terminal gets a
+        wrapper input (output) cell; each bidirectional terminal gets a
+        cell that participates in both the scan-in and the scan-out
+        path, following the convention of the ITC'02 benchmark suite.
+    scan_chain_lengths:
+        Lengths (in flip-flops) of the core-internal scan chains.  Empty
+        for non-scan (e.g. memory or combinational) cores.
+    """
+
+    name: str
+    num_patterns: int
+    num_inputs: int
+    num_outputs: int
+    num_bidirs: int = 0
+    scan_chain_lengths: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("core name must be non-empty")
+        if self.num_patterns < 1:
+            raise ValidationError(
+                f"core {self.name!r}: num_patterns must be >= 1, "
+                f"got {self.num_patterns}"
+            )
+        for label, value in (
+            ("num_inputs", self.num_inputs),
+            ("num_outputs", self.num_outputs),
+            ("num_bidirs", self.num_bidirs),
+        ):
+            if value < 0:
+                raise ValidationError(
+                    f"core {self.name!r}: {label} must be >= 0, got {value}"
+                )
+        # Normalize any iterable of lengths to a tuple so the dataclass
+        # stays hashable and order-stable.
+        object.__setattr__(
+            self, "scan_chain_lengths", tuple(self.scan_chain_lengths)
+        )
+        for length in self.scan_chain_lengths:
+            if length < 1:
+                raise ValidationError(
+                    f"core {self.name!r}: scan chain lengths must be >= 1, "
+                    f"got {length}"
+                )
+        if self.total_terminals == 0 and not self.scan_chain_lengths:
+            raise ValidationError(
+                f"core {self.name!r}: a testable core needs at least one "
+                "terminal or one scan chain"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_scan_chains(self) -> int:
+        """Number of core-internal scan chains."""
+        return len(self.scan_chain_lengths)
+
+    @property
+    def is_scan_testable(self) -> bool:
+        """True when the core has at least one internal scan chain."""
+        return bool(self.scan_chain_lengths)
+
+    @property
+    def total_scan_cells(self) -> int:
+        """Total flip-flops across all internal scan chains."""
+        return sum(self.scan_chain_lengths)
+
+    @property
+    def longest_scan_chain(self) -> int:
+        """Length of the longest internal scan chain (0 if none)."""
+        return max(self.scan_chain_lengths, default=0)
+
+    @property
+    def total_terminals(self) -> int:
+        """All functional terminals: inputs + outputs + bidirectionals."""
+        return self.num_inputs + self.num_outputs + self.num_bidirs
+
+    @property
+    def num_input_cells(self) -> int:
+        """Wrapper cells on the scan-in path: inputs + bidirectionals."""
+        return self.num_inputs + self.num_bidirs
+
+    @property
+    def num_output_cells(self) -> int:
+        """Wrapper cells on the scan-out path: outputs + bidirectionals."""
+        return self.num_outputs + self.num_bidirs
+
+    @property
+    def test_data_bits(self) -> int:
+        """Total test-data volume of the core, in bits.
+
+        Defined as ``patterns * (scan cells + input cells + output
+        cells)`` — every pattern shifts a full complement of stimulus
+        and response bits.  Used by the SOC complexity proxy
+        (:func:`repro.soc.complexity.test_complexity`).
+        """
+        payload = (
+            self.total_scan_cells
+            + self.num_input_cells
+            + self.num_output_cells
+        )
+        return self.num_patterns * payload
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the core."""
+        scan = (
+            f"{self.num_scan_chains} scan chains "
+            f"(len {min(self.scan_chain_lengths)}-{self.longest_scan_chain})"
+            if self.is_scan_testable
+            else "no scan"
+        )
+        return (
+            f"{self.name}: {self.num_patterns} patterns, "
+            f"{self.num_inputs} in / {self.num_outputs} out / "
+            f"{self.num_bidirs} bidir, {scan}"
+        )

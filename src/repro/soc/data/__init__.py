@@ -1,0 +1,51 @@
+"""Benchmark SOCs used in the paper's evaluation (Section 4).
+
+* :mod:`~repro.soc.data.d695` — the academic Duke benchmark, built
+  from published ISCAS'85/89 circuit statistics;
+* :mod:`~repro.soc.data.p21241`, :mod:`~repro.soc.data.p31108`,
+  :mod:`~repro.soc.data.p93791` — deterministic stand-ins for the
+  Philips SOCs, synthesized from the per-class data ranges the paper
+  publishes (Tables 4, 8 and 14) and calibrated to the complexity
+  number in each SOC's name.  See DESIGN.md §4 for the substitution
+  rationale.
+
+Use :func:`get_benchmark` / :func:`benchmark_names` for programmatic
+access; every module also exposes a ``build()`` function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.soc.soc import Soc
+from repro.soc.data import d695, p21241, p31108, p93791
+
+_REGISTRY: Dict[str, Callable[[], Soc]] = {
+    "d695": d695.build,
+    "p21241": p21241.build,
+    "p31108": p31108.build,
+    "p93791": p93791.build,
+}
+
+
+def benchmark_names() -> List[str]:
+    """Names of all embedded benchmark SOCs."""
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(name: str) -> Soc:
+    """Build the named benchmark SOC.
+
+    Raises ``KeyError`` with the list of valid names when unknown.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None
+    return factory()
+
+
+__all__ = ["benchmark_names", "get_benchmark",
+           "d695", "p21241", "p31108", "p93791"]

@@ -1,0 +1,63 @@
+"""SOC d695 — the academic benchmark from Duke University.
+
+d695 consists of two ISCAS'85 combinational circuits (c6288, c7552)
+and eight ISCAS'89 sequential circuits (s838, s9234, s38584, s13207,
+s15850, s5378, s35932, s38417), each treated as an embedded core with
+full scan.
+
+The terminal counts and flip-flop totals below are the standard
+published ISCAS statistics; the scan-chain splits and pattern counts
+follow the ITC'02 benchmark conventions as closely as our offline
+records allow (DESIGN.md §4.2).  The SOC's test-complexity proxy
+evaluates to ≈ 695, consistent with its name.
+
+Core numbering (1..10) matches the assignment vectors in the paper's
+Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+def _chains(count: int, total_cells: int) -> tuple:
+    """Split ``total_cells`` flip-flops into ``count`` balanced chains."""
+    base = total_cells // count
+    extra = total_cells - base * count
+    return tuple([base + 1] * extra + [base] * (count - extra))
+
+
+def build() -> Soc:
+    """Build SOC d695 (10 cores)."""
+    cores = (
+        # 1: c6288 — 16x16 multiplier, combinational.
+        Core("c6288", num_patterns=12, num_inputs=32, num_outputs=32),
+        # 2: c7552 — ALU/control, combinational.
+        Core("c7552", num_patterns=73, num_inputs=207, num_outputs=108),
+        # 3: s838 — small sequential core, one scan chain of 32 FFs.
+        Core("s838", num_patterns=75, num_inputs=34, num_outputs=1,
+             scan_chain_lengths=(32,)),
+        # 4: s9234 — 211 FFs in 4 chains.
+        Core("s9234", num_patterns=105, num_inputs=36, num_outputs=39,
+             scan_chain_lengths=(54, 53, 52, 52)),
+        # 5: s38584 — 1426 FFs in 32 chains.
+        Core("s38584", num_patterns=110, num_inputs=38, num_outputs=304,
+             scan_chain_lengths=_chains(32, 1426)),
+        # 6: s13207 — 638 FFs in 16 chains.
+        Core("s13207", num_patterns=234, num_inputs=62, num_outputs=152,
+             scan_chain_lengths=_chains(16, 638)),
+        # 7: s15850 — 534 FFs in 16 chains.
+        Core("s15850", num_patterns=95, num_inputs=77, num_outputs=150,
+             scan_chain_lengths=_chains(16, 534)),
+        # 8: s5378 — 179 FFs in 4 chains.
+        Core("s5378", num_patterns=97, num_inputs=35, num_outputs=49,
+             scan_chain_lengths=_chains(4, 179)),
+        # 9: s35932 — 1728 FFs in 32 chains of 54.
+        Core("s35932", num_patterns=12, num_inputs=35, num_outputs=320,
+             scan_chain_lengths=_chains(32, 1728)),
+        # 10: s38417 — 1636 FFs in 32 chains.
+        Core("s38417", num_patterns=68, num_inputs=28, num_outputs=106,
+             scan_chain_lengths=_chains(32, 1636)),
+    )
+    return Soc(name="d695", cores=cores)

@@ -1,0 +1,41 @@
+"""SOC p21241 — deterministic stand-in for the Philips SOC.
+
+The paper (Table 4) publishes only ranges for p21241's 28 cores:
+
+* 22 scan-testable logic cores — patterns 1..785, functional I/Os
+  37..1197, scan chains 1..31, chain lengths 1..400;
+* 6 memory cores — patterns 222..12324, functional I/Os 52..148,
+  no scan.
+
+We synthesize the SOC from exactly those ranges with a fixed seed and
+calibrate the pattern counts so the test-complexity proxy lands near
+21241 (the number in the SOC's name).  See DESIGN.md §4.1.
+"""
+
+from __future__ import annotations
+
+from repro.soc.generator import CoreRanges, SocSpec, generate_soc
+from repro.soc.soc import Soc
+
+SPEC = SocSpec(
+    name="p21241",
+    num_logic_cores=22,
+    num_memory_cores=6,
+    logic=CoreRanges(
+        patterns=(1, 785),
+        functional_ios=(37, 1197),
+        scan_chains=(1, 31),
+        scan_lengths=(1, 400),
+    ),
+    memory=CoreRanges(
+        patterns=(222, 12324),
+        functional_ios=(52, 148),
+    ),
+    complexity_target=21241.0,
+    seed=21241,
+)
+
+
+def build() -> Soc:
+    """Build the p21241 stand-in (28 cores, deterministic)."""
+    return generate_soc(SPEC)

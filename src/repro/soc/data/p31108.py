@@ -1,0 +1,45 @@
+"""SOC p31108 — deterministic stand-in for the Philips SOC.
+
+The paper (Table 8) publishes only ranges for p31108's 19 cores:
+
+* 4 scan-testable logic cores — patterns 210..745, functional I/Os
+  109..428, scan chains 1..29, chain lengths 8..806;
+* 15 memory cores — patterns 128..12236, functional I/Os 11..87,
+  no scan.
+
+We synthesize the SOC from exactly those ranges with a fixed seed and
+calibrate the pattern counts so the test-complexity proxy lands near
+31108.  The memory-heavy composition reproduces the paper's
+qualitative behaviour for this SOC: a high-pattern, low-I/O memory
+core becomes the testing-time bottleneck, so the SOC testing time
+saturates once that core's bus is wide enough (Section 4.3).  See
+DESIGN.md §4.1.
+"""
+
+from __future__ import annotations
+
+from repro.soc.generator import CoreRanges, SocSpec, generate_soc
+from repro.soc.soc import Soc
+
+SPEC = SocSpec(
+    name="p31108",
+    num_logic_cores=4,
+    num_memory_cores=15,
+    logic=CoreRanges(
+        patterns=(210, 745),
+        functional_ios=(109, 428),
+        scan_chains=(1, 29),
+        scan_lengths=(8, 806),
+    ),
+    memory=CoreRanges(
+        patterns=(128, 12236),
+        functional_ios=(11, 87),
+    ),
+    complexity_target=31108.0,
+    seed=31108,
+)
+
+
+def build() -> Soc:
+    """Build the p31108 stand-in (19 cores, deterministic)."""
+    return generate_soc(SPEC)

@@ -1,0 +1,613 @@
+"""Seeded synthetic SOC generation from published parameter ranges.
+
+The DATE 2002 paper evaluates on three Philips SOCs whose full core
+data was never published — only per-class min/max ranges (Tables 4, 8
+and 14: pattern counts, functional I/O counts, scan-chain counts and
+scan-chain length ranges, split into "logic" and "memory" cores).
+
+This module generates a *deterministic stand-in* for such an SOC:
+
+1. every published min/max is respected — and *attained*, so the
+   regenerated range table matches the paper's exactly;
+2. values between the extremes are drawn log-uniformly (test data in
+   real SOCs spans orders of magnitude, so a linear draw would
+   concentrate mass unrealistically near the maxima);
+3. pattern counts are calibrated (by a clamped global multiplier,
+   found by bisection) so the SOC's test-complexity proxy
+   (:func:`repro.soc.complexity.test_complexity`) lands near the
+   number encoded in the SOC's name.
+
+The same machinery doubles as a general fuzz/scalability generator for
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from math import exp, log
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.soc.complexity import test_complexity
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class CoreRanges:
+    """Min/max ranges for one class of cores (one row of Table 4/8/14).
+
+    ``scan_chains == (0, 0)`` describes non-scan (memory) cores, in
+    which case ``scan_lengths`` is ignored.
+    """
+
+    patterns: Tuple[int, int]
+    functional_ios: Tuple[int, int]
+    scan_chains: Tuple[int, int] = (0, 0)
+    scan_lengths: Tuple[int, int] = (1, 1)
+
+    def __post_init__(self) -> None:
+        for label, (lo, hi) in (
+            ("patterns", self.patterns),
+            ("functional_ios", self.functional_ios),
+            ("scan_chains", self.scan_chains),
+            ("scan_lengths", self.scan_lengths),
+        ):
+            if lo > hi:
+                raise ConfigurationError(
+                    f"{label}: min {lo} exceeds max {hi}"
+                )
+            if lo < 0:
+                raise ConfigurationError(f"{label}: min {lo} is negative")
+        if self.patterns[0] < 1:
+            raise ConfigurationError("patterns min must be >= 1")
+        if self.functional_ios[0] < 1:
+            raise ConfigurationError("functional_ios min must be >= 1")
+
+    @property
+    def has_scan(self) -> bool:
+        return self.scan_chains[1] > 0
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """Everything needed to synthesize one SOC deterministically.
+
+    ``logic_floor_budget`` bounds any single logic core's testing-time
+    floor: a core's time can never drop below
+    ``patterns * (longest_chain + 1)`` no matter how wide its bus
+    (scan chains are indivisible), so when the paper's results show
+    the SOC testing time scaling down to some value T*, every core's
+    floor must be below T*.  Setting the budget near T* makes the
+    stand-in honor that published observable by capping chain lengths
+    (within the published range) on high-pattern cores.
+    """
+
+    name: str
+    num_logic_cores: int
+    num_memory_cores: int
+    logic: CoreRanges
+    memory: Optional[CoreRanges] = None
+    complexity_target: Optional[float] = None
+    logic_floor_budget: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_logic_cores < 0 or self.num_memory_cores < 0:
+            raise ConfigurationError("core counts must be >= 0")
+        if self.num_logic_cores + self.num_memory_cores == 0:
+            raise ConfigurationError("SOC spec declares zero cores")
+        if self.num_memory_cores > 0 and self.memory is None:
+            raise ConfigurationError(
+                "memory core ranges required when num_memory_cores > 0"
+            )
+        if self.logic_floor_budget is not None:
+            floor_of_min = self.logic.patterns[0] * (
+                self.logic.scan_lengths[1] + 1
+            )
+            if floor_of_min > self.logic_floor_budget:
+                raise ConfigurationError(
+                    "logic_floor_budget is unreachable: even the "
+                    f"minimum-pattern core needs {floor_of_min} cycles "
+                    "to carry the published maximum chain length"
+                )
+
+
+class SocGenerator:
+    """Deterministic SOC synthesis driven by a :class:`SocSpec`."""
+
+    def __init__(self, spec: SocSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Random draws
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _log_uniform(rng: random.Random, lo: int, hi: int) -> int:
+        """Integer drawn log-uniformly from [lo, hi] (inclusive)."""
+        if lo == hi:
+            return lo
+        # Guard against lo == 0 for scan-chain counts etc.
+        lo_f = max(lo, 1)
+        value = exp(rng.uniform(log(lo_f), log(hi)))
+        return max(lo, min(hi, int(round(value))))
+
+    def _draw_core(
+        self,
+        rng: random.Random,
+        ranges: CoreRanges,
+        name: str,
+    ) -> Core:
+        """Draw one core within ``ranges``."""
+        patterns = self._log_uniform(rng, *ranges.patterns)
+        total_ios = self._log_uniform(rng, *ranges.functional_ios)
+        inputs, outputs = self._split_ios(rng, total_ios)
+        chain_lengths: Tuple[int, ...] = ()
+        if ranges.has_scan:
+            num_chains = self._log_uniform(rng, *ranges.scan_chains)
+            num_chains = max(num_chains, ranges.scan_chains[0], 1)
+            chain_lengths = tuple(
+                self._log_uniform(rng, *ranges.scan_lengths)
+                for _ in range(num_chains)
+            )
+        return Core(
+            name=name,
+            num_patterns=patterns,
+            num_inputs=inputs,
+            num_outputs=outputs,
+            num_bidirs=0,
+            scan_chain_lengths=chain_lengths,
+        )
+
+    @staticmethod
+    def _split_ios(rng: random.Random, total: int) -> Tuple[int, int]:
+        """Split a functional-I/O total into (inputs, outputs).
+
+        Real cores skew anywhere from input- to output-heavy; a 30..70%
+        split keeps both sides non-empty whenever total >= 2.
+        """
+        if total == 1:
+            return (1, 0)
+        inputs = int(round(total * rng.uniform(0.3, 0.7)))
+        inputs = max(1, min(total - 1, inputs))
+        return inputs, total - inputs
+
+    # ------------------------------------------------------------------
+    # Range pinning
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pin_extremes(
+        cores: List[Core], ranges: CoreRanges
+    ) -> List[Core]:
+        """Force every published min/max to be attained by some core.
+
+        Each extreme is written onto a different core (round-robin) so
+        no single core becomes an implausible all-extremes outlier.
+        The patched attribute never leaves the legal range, so the
+        result still satisfies ``ranges``.
+        """
+        if not cores:
+            return cores
+        patched = list(cores)
+        slot = 0
+
+        def patch(index: int, **overrides: object) -> None:
+            old = patched[index]
+            patched[index] = Core(
+                name=old.name,
+                num_patterns=int(
+                    overrides.get("num_patterns", old.num_patterns)  # type: ignore[arg-type]
+                ),
+                num_inputs=int(
+                    overrides.get("num_inputs", old.num_inputs)  # type: ignore[arg-type]
+                ),
+                num_outputs=int(
+                    overrides.get("num_outputs", old.num_outputs)  # type: ignore[arg-type]
+                ),
+                num_bidirs=old.num_bidirs,
+                scan_chain_lengths=tuple(
+                    overrides.get(
+                        "scan_chain_lengths", old.scan_chain_lengths
+                    )  # type: ignore[arg-type]
+                ),
+            )
+
+        def next_slot() -> int:
+            nonlocal slot
+            index = slot % len(patched)
+            slot += 1
+            return index
+
+        patch(next_slot(), num_patterns=ranges.patterns[0])
+        patch(next_slot(), num_patterns=ranges.patterns[1])
+
+        for target_total in ranges.functional_ios:
+            index = next_slot()
+            inputs = max(1, target_total // 2)
+            outputs = target_total - inputs
+            patch(index, num_inputs=inputs, num_outputs=outputs)
+
+        if ranges.has_scan:
+            # Pin chain-count extremes with mid-range lengths, and
+            # length extremes inside whatever chain count the core has.
+            mid_len = (ranges.scan_lengths[0] + ranges.scan_lengths[1]) // 2
+            mid_len = max(ranges.scan_lengths[0], mid_len)
+            for target_chains in ranges.scan_chains:
+                index = next_slot()
+                count = max(1, target_chains)
+                patch(
+                    index,
+                    scan_chain_lengths=tuple([mid_len] * count),
+                )
+            # The MAXIMUM-length chain goes to the minimum-pattern
+            # core so that core's testing-time floor
+            # (patterns * (length + 1)) stays small — see
+            # SocSpec.logic_floor_budget.  The minimum-length extreme
+            # lives on any *other* core (or on a second chain of the
+            # same core when the SOC has a single logic core).
+            high_index = min(
+                range(len(patched)),
+                key=lambda i: patched[i].num_patterns,
+            )
+            existing = patched[high_index].scan_chain_lengths or (mid_len,)
+            patch(
+                high_index,
+                scan_chain_lengths=(ranges.scan_lengths[1],) + existing[1:],
+            )
+            if len(patched) > 1:
+                low_index = next_slot()
+                while low_index == high_index:
+                    low_index = next_slot()
+                existing = patched[low_index].scan_chain_lengths or (mid_len,)
+                patch(
+                    low_index,
+                    scan_chain_lengths=(
+                        (ranges.scan_lengths[0],) + existing[1:]
+                    ),
+                )
+            else:
+                chains = patched[high_index].scan_chain_lengths
+                if len(chains) > 1:
+                    patch(
+                        high_index,
+                        scan_chain_lengths=(
+                            chains[:-1] + (ranges.scan_lengths[0],)
+                        ),
+                    )
+        return patched
+
+    @staticmethod
+    def _cap_logic_floors(
+        cores: List[Core], ranges: CoreRanges, budget: int
+    ) -> List[Core]:
+        """Clamp chain lengths so no core's floor exceeds ``budget``.
+
+        A core's floor is ``patterns * (longest_chain + 1)`` (chains
+        are indivisible, so no TAM width beats its longest chain).
+        Lengths are only ever reduced, and never below the published
+        minimum, so the range contract is preserved as long as the
+        maximum-length carrier is a low-pattern core (which
+        ``_pin_extremes`` guarantees).
+        """
+        capped = []
+        for core in cores:
+            if not core.scan_chain_lengths:
+                capped.append(core)
+                continue
+            max_length = max(
+                ranges.scan_lengths[0],
+                budget // core.num_patterns - 1,
+            )
+            if core.longest_scan_chain <= max_length:
+                capped.append(core)
+                continue
+            capped.append(
+                Core(
+                    name=core.name,
+                    num_patterns=core.num_patterns,
+                    num_inputs=core.num_inputs,
+                    num_outputs=core.num_outputs,
+                    num_bidirs=core.num_bidirs,
+                    scan_chain_lengths=tuple(
+                        min(length, max_length)
+                        for length in core.scan_chain_lengths
+                    ),
+                )
+            )
+        return capped
+
+    # ------------------------------------------------------------------
+    # Complexity calibration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scale_patterns(
+        cores: List[Core],
+        factor: float,
+        ranges: CoreRanges,
+        frozen: "frozenset[int]" = frozenset(),
+    ) -> List[Core]:
+        """Multiply pattern counts by ``factor``, clamped to the range.
+
+        Cores whose index is in ``frozen`` (the carriers of the
+        published pattern extremes) are left untouched so scaling can
+        never move a published min/max.
+        """
+        lo, hi = ranges.patterns
+        scaled = []
+        for index, core in enumerate(cores):
+            if index in frozen:
+                scaled.append(core)
+                continue
+            patterns = max(lo, min(hi, int(round(core.num_patterns * factor))))
+            scaled.append(
+                Core(
+                    name=core.name,
+                    num_patterns=patterns,
+                    num_inputs=core.num_inputs,
+                    num_outputs=core.num_outputs,
+                    num_bidirs=core.num_bidirs,
+                    scan_chain_lengths=core.scan_chain_lengths,
+                )
+            )
+        return scaled
+
+    @staticmethod
+    def _pattern_carriers(
+        cores: List[Core], ranges: CoreRanges
+    ) -> "frozenset[int]":
+        """Indices of one core at each published pattern extreme."""
+        carriers = set()
+        for target in ranges.patterns:
+            for index, core in enumerate(cores):
+                if core.num_patterns == target and index not in carriers:
+                    carriers.add(index)
+                    break
+        return frozenset(carriers)
+
+    @staticmethod
+    def _scale_scan_lengths(
+        cores: List[Core], factor: float, ranges: CoreRanges
+    ) -> List[Core]:
+        """Multiply scan-chain lengths by ``factor``, clamped to range."""
+        if not ranges.has_scan:
+            return list(cores)
+        lo, hi = ranges.scan_lengths
+        scaled = []
+        for core in cores:
+            lengths = tuple(
+                max(lo, min(hi, int(round(length * factor))))
+                for length in core.scan_chain_lengths
+            )
+            scaled.append(
+                Core(
+                    name=core.name,
+                    num_patterns=core.num_patterns,
+                    num_inputs=core.num_inputs,
+                    num_outputs=core.num_outputs,
+                    num_bidirs=core.num_bidirs,
+                    scan_chain_lengths=lengths,
+                )
+            )
+        return scaled
+
+    def _bisect_factor(self, complexity_for, target: float) -> float:
+        """Find the multiplier whose complexity is closest to target."""
+        lo_factor, hi_factor = 1e-3, 1e3
+        if complexity_for(hi_factor) < target:
+            return hi_factor
+        if complexity_for(lo_factor) > target:
+            return lo_factor
+        for _ in range(60):
+            mid = (lo_factor * hi_factor) ** 0.5
+            if complexity_for(mid) < target:
+                lo_factor = mid
+            else:
+                hi_factor = mid
+        return (lo_factor * hi_factor) ** 0.5
+
+    def _calibrate(
+        self,
+        logic: List[Core],
+        memory: List[Core],
+        target: float,
+    ) -> Tuple[List[Core], List[Core]]:
+        """Steer the complexity proxy toward the target, within ranges.
+
+        Two stages, each a bisection over a global multiplier clamped
+        to the published ranges: first pattern counts, then (only when
+        pattern scaling saturates more than 5% away from the target)
+        scan-chain lengths.  Both stages preserve every published
+        min/max via re-pinning.  If the target still cannot be reached
+        inside the ranges, the closest attainable SOC is returned; the
+        residual is visible through
+        :func:`repro.soc.complexity.test_complexity`.
+        """
+        spec = self.spec
+        logic_frozen = self._pattern_carriers(logic, spec.logic)
+        memory_frozen = (
+            self._pattern_carriers(memory, spec.memory)
+            if memory and spec.memory else frozenset()
+        )
+
+        def soc_complexity(logic_cores, memory_cores) -> float:
+            soc = Soc(
+                name=spec.name, cores=tuple(logic_cores + memory_cores)
+            )
+            return test_complexity(soc)
+
+        def pattern_complexity(factor: float) -> float:
+            return soc_complexity(
+                self._scale_patterns(logic, factor, spec.logic,
+                                     logic_frozen),
+                self._scale_patterns(memory, factor, spec.memory,
+                                     memory_frozen)
+                if memory and spec.memory else [],
+            )
+
+        def apply_pattern_factor(factor: float) -> None:
+            nonlocal logic, memory
+            logic = self._scale_patterns(logic, factor, spec.logic,
+                                         logic_frozen)
+            if memory and spec.memory:
+                memory = self._scale_patterns(memory, factor, spec.memory,
+                                              memory_frozen)
+
+        def recap() -> None:
+            nonlocal logic
+            if spec.logic_floor_budget is not None:
+                logic = self._cap_logic_floors(
+                    logic, spec.logic, spec.logic_floor_budget
+                )
+
+        apply_pattern_factor(self._bisect_factor(pattern_complexity, target))
+        recap()
+
+        achieved = soc_complexity(logic, memory)
+        if abs(achieved - target) / target > 0.05:
+            def scan_complexity(factor: float) -> float:
+                return soc_complexity(
+                    self._scale_scan_lengths(logic, factor, spec.logic),
+                    memory,
+                )
+
+            factor = self._bisect_factor(scan_complexity, target)
+            logic = self._scale_scan_lengths(logic, factor, spec.logic)
+            logic = self._repin_scan_lengths(logic, spec.logic)
+            recap()
+            # Absorb the re-pinning residue with one more pattern pass.
+            apply_pattern_factor(
+                self._bisect_factor(pattern_complexity, target)
+            )
+            recap()
+        return logic, memory
+
+    @staticmethod
+    def _repin_scan_lengths(
+        cores: List[Core], ranges: CoreRanges
+    ) -> List[Core]:
+        """Restore the scan-length extremes after global scaling."""
+        if not ranges.has_scan or not cores:
+            return cores
+        patched = list(cores)
+
+        def with_first_chain(core: Core, length: int) -> Core:
+            lengths = (length,) + core.scan_chain_lengths[1:]
+            return Core(
+                name=core.name,
+                num_patterns=core.num_patterns,
+                num_inputs=core.num_inputs,
+                num_outputs=core.num_outputs,
+                num_bidirs=core.num_bidirs,
+                scan_chain_lengths=lengths,
+            )
+
+        scan_indices = [
+            index for index, core in enumerate(patched)
+            if core.scan_chain_lengths
+        ]
+        if not scan_indices:
+            return patched
+        # Max length on the minimum-pattern scan core (the floor-budget
+        # rule, as in _pin_extremes); min length on any other core.
+        high_index = min(
+            scan_indices, key=lambda i: patched[i].num_patterns
+        )
+        low_candidates = [i for i in scan_indices if i != high_index]
+        low_index = low_candidates[0] if low_candidates else high_index
+        patched[low_index] = with_first_chain(
+            patched[low_index], ranges.scan_lengths[0]
+        )
+        if high_index == low_index:
+            # Single scan core: put the max on its last chain instead.
+            core = patched[low_index]
+            if core.num_scan_chains > 1:
+                lengths = (
+                    core.scan_chain_lengths[:-1]
+                    + (ranges.scan_lengths[1],)
+                )
+                patched[low_index] = Core(
+                    name=core.name,
+                    num_patterns=core.num_patterns,
+                    num_inputs=core.num_inputs,
+                    num_outputs=core.num_outputs,
+                    num_bidirs=core.num_bidirs,
+                    scan_chain_lengths=lengths,
+                )
+        else:
+            patched[high_index] = with_first_chain(
+                patched[high_index], ranges.scan_lengths[1]
+            )
+        return patched
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def build(self) -> Soc:
+        """Generate the SOC described by the spec (fully deterministic)."""
+        spec = self.spec
+        rng = random.Random(spec.seed)
+
+        logic = [
+            self._draw_core(rng, spec.logic, f"logic{index + 1}")
+            for index in range(spec.num_logic_cores)
+        ]
+        logic = self._pin_extremes(logic, spec.logic)
+        if spec.logic_floor_budget is not None:
+            logic = self._cap_logic_floors(
+                logic, spec.logic, spec.logic_floor_budget
+            )
+
+        memory: List[Core] = []
+        if spec.num_memory_cores > 0 and spec.memory is not None:
+            memory = [
+                self._draw_core(rng, spec.memory, f"mem{index + 1}")
+                for index in range(spec.num_memory_cores)
+            ]
+            memory = self._pin_extremes(memory, spec.memory)
+
+        if spec.complexity_target is not None:
+            logic, memory = self._calibrate(
+                logic, memory, spec.complexity_target
+            )
+
+        return Soc(name=spec.name, cores=tuple(logic + memory))
+
+
+def generate_soc(spec: SocSpec) -> Soc:
+    """Convenience wrapper: ``SocGenerator(spec).build()``."""
+    return SocGenerator(spec).build()
+
+
+def random_soc(
+    name: str,
+    num_cores: int,
+    seed: int,
+    max_patterns: int = 500,
+    max_ios: int = 200,
+    max_chains: int = 16,
+    max_chain_length: int = 128,
+    memory_fraction: float = 0.3,
+) -> Soc:
+    """Quick random SOC for tests and fuzzing (deterministic per seed)."""
+    if num_cores < 1:
+        raise ConfigurationError("num_cores must be >= 1")
+    num_memory = int(round(num_cores * memory_fraction))
+    num_memory = min(num_memory, num_cores - 1) if num_cores > 1 else 0
+    spec = SocSpec(
+        name=name,
+        num_logic_cores=num_cores - num_memory,
+        num_memory_cores=num_memory,
+        logic=CoreRanges(
+            patterns=(1, max_patterns),
+            functional_ios=(2, max_ios),
+            scan_chains=(1, max_chains),
+            scan_lengths=(1, max_chain_length),
+        ),
+        memory=CoreRanges(
+            patterns=(1, max_patterns * 4),
+            functional_ios=(2, max_ios),
+        ),
+        seed=seed,
+    )
+    return generate_soc(spec)

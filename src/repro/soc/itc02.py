@@ -1,0 +1,193 @@
+"""Reader/writer for an ITC'02-style ``.soc`` text format.
+
+The ITC'02 SOC Test Benchmarks distributed ``.soc`` files describing
+each SOC's cores.  This module implements a compact, line-oriented
+dialect carrying exactly the fields the optimization needs:
+
+.. code-block:: text
+
+    # anything after '#' is a comment
+    soc d695
+    core c6288
+        patterns   12
+        inputs     32
+        outputs    32
+        bidirs     0
+        scanchains 0
+    end
+    core s9234
+        patterns   105
+        inputs     36
+        outputs    39
+        scanchains 4 : 54 53 52 52
+    end
+
+Rules:
+
+* ``soc <name>`` must appear once, before any core;
+* each ``core <name> ... end`` block must contain ``patterns``; the
+  terminal counts default to 0 and ``scanchains`` defaults to none;
+* ``scanchains N : l1 l2 ... lN`` lists chain lengths after a colon;
+  ``scanchains 0`` (no colon) declares a non-scan core;
+* keywords are case-insensitive; indentation is free-form.
+
+:func:`write_soc` emits this dialect and round-trips through
+:func:`parse_soc` / :func:`load_soc` losslessly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ParseError
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+_CORE_KEYWORDS = {"patterns", "inputs", "outputs", "bidirs", "scanchains"}
+
+
+def _strip_comment(line: str) -> str:
+    """Drop everything after the first '#'."""
+    hash_pos = line.find("#")
+    if hash_pos >= 0:
+        line = line[:hash_pos]
+    return line.strip()
+
+
+def _parse_int(token: str, line_number: int, what: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ParseError(f"expected integer for {what}, got {token!r}",
+                         line_number) from None
+
+
+def _parse_scanchains(tokens: List[str], line_number: int) -> List[int]:
+    """Parse the tail of a ``scanchains`` line into chain lengths."""
+    count = _parse_int(tokens[0], line_number, "scan chain count")
+    if count == 0:
+        if len(tokens) > 1:
+            raise ParseError("'scanchains 0' takes no lengths", line_number)
+        return []
+    if len(tokens) < 2 or tokens[1] != ":":
+        raise ParseError(
+            "'scanchains N' must be followed by ': l1 l2 ... lN'",
+            line_number,
+        )
+    lengths = [
+        _parse_int(token, line_number, "scan chain length")
+        for token in tokens[2:]
+    ]
+    if len(lengths) != count:
+        raise ParseError(
+            f"declared {count} scan chains but listed {len(lengths)} lengths",
+            line_number,
+        )
+    return lengths
+
+
+def parse_soc(text: str) -> Soc:
+    """Parse the ``.soc`` dialect from a string into a :class:`Soc`."""
+    soc_name: Optional[str] = None
+    cores: List[Core] = []
+    current: Optional[Dict[str, object]] = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+
+        if keyword == "soc":
+            if soc_name is not None:
+                raise ParseError("duplicate 'soc' declaration", line_number)
+            if current is not None:
+                raise ParseError("'soc' inside a core block", line_number)
+            if len(tokens) != 2:
+                raise ParseError("'soc' takes exactly one name", line_number)
+            soc_name = tokens[1]
+        elif keyword == "core":
+            if soc_name is None:
+                raise ParseError("'core' before 'soc' declaration",
+                                 line_number)
+            if current is not None:
+                raise ParseError("nested 'core' block (missing 'end'?)",
+                                 line_number)
+            if len(tokens) != 2:
+                raise ParseError("'core' takes exactly one name", line_number)
+            current = {"name": tokens[1], "bidirs": 0, "inputs": 0,
+                       "outputs": 0, "scanchains": []}
+        elif keyword == "end":
+            if current is None:
+                raise ParseError("'end' outside a core block", line_number)
+            if "patterns" not in current:
+                raise ParseError(
+                    f"core {current['name']!r} missing 'patterns'",
+                    line_number,
+                )
+            cores.append(
+                Core(
+                    name=str(current["name"]),
+                    num_patterns=int(current["patterns"]),  # type: ignore[arg-type]
+                    num_inputs=int(current["inputs"]),  # type: ignore[arg-type]
+                    num_outputs=int(current["outputs"]),  # type: ignore[arg-type]
+                    num_bidirs=int(current["bidirs"]),  # type: ignore[arg-type]
+                    scan_chain_lengths=tuple(current["scanchains"]),  # type: ignore[arg-type]
+                )
+            )
+            current = None
+        elif keyword in _CORE_KEYWORDS:
+            if current is None:
+                raise ParseError(f"{keyword!r} outside a core block",
+                                 line_number)
+            if keyword == "scanchains":
+                current["scanchains"] = _parse_scanchains(
+                    tokens[1:], line_number
+                )
+            else:
+                if len(tokens) != 2:
+                    raise ParseError(f"{keyword!r} takes exactly one value",
+                                     line_number)
+                current[keyword] = _parse_int(tokens[1], line_number, keyword)
+        else:
+            raise ParseError(f"unknown keyword {tokens[0]!r}", line_number)
+
+    if current is not None:
+        raise ParseError(f"core {current['name']!r} not closed with 'end'")
+    if soc_name is None:
+        raise ParseError("no 'soc' declaration found")
+    if not cores:
+        raise ParseError(f"SOC {soc_name!r} declares no cores")
+    return Soc(name=soc_name, cores=tuple(cores))
+
+
+def load_soc(path: Union[str, Path]) -> Soc:
+    """Load a ``.soc`` file from disk."""
+    return parse_soc(Path(path).read_text())
+
+
+def format_soc(soc: Soc) -> str:
+    """Serialize ``soc`` to the ``.soc`` dialect."""
+    lines = [f"soc {soc.name}"]
+    for core in soc.cores:
+        lines.append(f"core {core.name}")
+        lines.append(f"    patterns   {core.num_patterns}")
+        lines.append(f"    inputs     {core.num_inputs}")
+        lines.append(f"    outputs    {core.num_outputs}")
+        lines.append(f"    bidirs     {core.num_bidirs}")
+        if core.is_scan_testable:
+            lengths = " ".join(str(n) for n in core.scan_chain_lengths)
+            lines.append(
+                f"    scanchains {core.num_scan_chains} : {lengths}"
+            )
+        else:
+            lines.append("    scanchains 0")
+        lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def write_soc(soc: Soc, path: Union[str, Path]) -> None:
+    """Write ``soc`` to ``path`` in the ``.soc`` dialect."""
+    Path(path).write_text(format_soc(soc))

@@ -1,0 +1,150 @@
+"""The :class:`Soc` container — a named collection of cores.
+
+The SOC is the unit over which the four co-optimization problems
+(P_W, P_AW, P_PAW, P_NPAW) are posed.  Beyond holding its cores, the
+class offers convenience selectors (logic vs. memory cores) and summary
+statistics used by the data-range tables in the paper (Tables 4, 8, 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.soc.core import Core
+
+
+@dataclass(frozen=True)
+class RangeSummary:
+    """Min/max ranges over a set of cores, one row of Table 4/8/14."""
+
+    num_cores: int
+    patterns: Tuple[int, int]
+    functional_ios: Tuple[int, int]
+    scan_chains: Tuple[int, int]
+    scan_lengths: Optional[Tuple[int, int]]
+
+    def as_row(self) -> Dict[str, str]:
+        """Render as strings in the paper's table layout."""
+        fmt = lambda lo_hi: f"{lo_hi[0]}-{lo_hi[1]}"  # noqa: E731
+        return {
+            "cores": str(self.num_cores),
+            "patterns": fmt(self.patterns),
+            "ios": fmt(self.functional_ios),
+            "chains": fmt(self.scan_chains),
+            "lengths": fmt(self.scan_lengths) if self.scan_lengths else "-",
+        }
+
+
+@dataclass(frozen=True)
+class Soc:
+    """A system-on-chip: a named, ordered collection of cores.
+
+    Core order is significant: assignment vectors in results follow the
+    paper's notation, where position ``i`` of the vector is core ``i+1``
+    (cores are numbered from 1 in all reports).
+    """
+
+    name: str
+    cores: Tuple[Core, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("SOC name must be non-empty")
+        object.__setattr__(self, "cores", tuple(self.cores))
+        if not self.cores:
+            raise ValidationError(f"SOC {self.name!r} has no cores")
+        seen = set()
+        for core in self.cores:
+            if core.name in seen:
+                raise ValidationError(
+                    f"SOC {self.name!r}: duplicate core name {core.name!r}"
+                )
+            seen.add(core.name)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self) -> Iterator[Core]:
+        return iter(self.cores)
+
+    def __getitem__(self, index: int) -> Core:
+        return self.cores[index]
+
+    def core_by_name(self, name: str) -> Core:
+        """Look up a core by name; raises ``KeyError`` when absent."""
+        for core in self.cores:
+            if core.name == name:
+                return core
+        raise KeyError(f"SOC {self.name!r} has no core named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """0-based index of the named core."""
+        for index, core in enumerate(self.cores):
+            if core.name == name:
+                return index
+        raise KeyError(f"SOC {self.name!r} has no core named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Selectors and statistics
+    # ------------------------------------------------------------------
+    @property
+    def logic_cores(self) -> List[Core]:
+        """Cores with internal scan (the paper's 'scan-testable logic')."""
+        return [core for core in self.cores if core.is_scan_testable]
+
+    @property
+    def memory_cores(self) -> List[Core]:
+        """Cores without internal scan (memories / hard macros)."""
+        return [core for core in self.cores if not core.is_scan_testable]
+
+    @property
+    def total_test_data_bits(self) -> int:
+        """Sum of per-core test-data volumes, in bits."""
+        return sum(core.test_data_bits for core in self.cores)
+
+    def range_summary(self, cores: Sequence[Core]) -> Optional[RangeSummary]:
+        """Build one row of a Table 4/8/14-style data summary.
+
+        Returns ``None`` when ``cores`` is empty (e.g. a SOC without
+        memory cores).
+        """
+        if not cores:
+            return None
+        patterns = [core.num_patterns for core in cores]
+        ios = [core.total_terminals for core in cores]
+        chains = [core.num_scan_chains for core in cores]
+        lengths = [
+            length
+            for core in cores
+            for length in core.scan_chain_lengths
+        ]
+        return RangeSummary(
+            num_cores=len(cores),
+            patterns=(min(patterns), max(patterns)),
+            functional_ios=(min(ios), max(ios)),
+            scan_chains=(min(chains), max(chains)),
+            scan_lengths=(min(lengths), max(lengths)) if lengths else None,
+        )
+
+    def logic_range_summary(self) -> Optional[RangeSummary]:
+        """Range summary over the scan-testable logic cores."""
+        return self.range_summary(self.logic_cores)
+
+    def memory_range_summary(self) -> Optional[RangeSummary]:
+        """Range summary over the memory (non-scan) cores."""
+        return self.range_summary(self.memory_cores)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the SOC."""
+        lines = [
+            f"SOC {self.name}: {len(self.cores)} cores "
+            f"({len(self.logic_cores)} logic, "
+            f"{len(self.memory_cores)} memory)",
+        ]
+        lines.extend(f"  {core.describe()}" for core in self.cores)
+        return "\n".join(lines)

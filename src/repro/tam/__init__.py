@@ -1,0 +1,16 @@
+"""Test access mechanism (TAM) model — the test-bus architecture.
+
+The paper uses the *test bus* model: the SOC's ``W`` TAM wires are
+partitioned into ``B`` buses; each core connects to exactly one bus;
+buses operate in parallel and cores sharing a bus are tested serially.
+
+* :class:`~repro.tam.bus.TamArchitecture` — an ordered width partition;
+* :class:`~repro.tam.assignment.AssignmentResult` — cores→buses
+  assignment with its per-bus times and SOC testing time, rendered in
+  the paper's vector notation.
+"""
+
+from repro.tam.bus import TamArchitecture
+from repro.tam.assignment import AssignmentResult, evaluate_assignment
+
+__all__ = ["TamArchitecture", "AssignmentResult", "evaluate_assignment"]

@@ -1,0 +1,125 @@
+"""Core→bus assignment results, in the paper's notation.
+
+An :class:`AssignmentResult` is the common currency of the assignment
+layer (heuristic, exact, ILP) and the optimization pipelines: the bus
+widths, the assignment vector, the per-bus summed testing times and
+the SOC testing time (the maximum bus time), plus an ``optimal`` flag
+set only by exact solvers that ran to proven optimality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import ValidationError
+from repro.tam.bus import TamArchitecture
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """A complete solution to problem P_AW for one width partition.
+
+    Attributes
+    ----------
+    widths:
+        Bus widths (the TAM architecture).
+    assignment:
+        For each core (by SOC order), the 0-based index of its bus.
+    bus_times:
+        Summed testing time per bus, in clock cycles.
+    testing_time:
+        SOC testing time: ``max(bus_times)``.
+    optimal:
+        True only when produced by an exact solver that proved
+        optimality for this width partition.
+    """
+
+    widths: Tuple[int, ...]
+    assignment: Tuple[int, ...]
+    bus_times: Tuple[int, ...]
+    testing_time: int
+    optimal: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "widths", tuple(self.widths))
+        object.__setattr__(self, "assignment", tuple(self.assignment))
+        object.__setattr__(self, "bus_times", tuple(self.bus_times))
+        num_buses = len(self.widths)
+        if len(self.bus_times) != num_buses:
+            raise ValidationError(
+                f"{len(self.bus_times)} bus times for {num_buses} buses"
+            )
+        for bus in self.assignment:
+            if not 0 <= bus < num_buses:
+                raise ValidationError(
+                    f"assignment references bus {bus}, "
+                    f"but only {num_buses} buses exist"
+                )
+        if self.testing_time != max(self.bus_times):
+            raise ValidationError(
+                f"testing_time {self.testing_time} != max bus time "
+                f"{max(self.bus_times)}"
+            )
+
+    @property
+    def architecture(self) -> TamArchitecture:
+        """The width partition as a :class:`TamArchitecture`."""
+        return TamArchitecture(self.widths)
+
+    @property
+    def num_tams(self) -> int:
+        return len(self.widths)
+
+    def vector_notation(self) -> str:
+        """The paper's 1-based assignment vector, e.g. ``(2,1,2,...)``.
+
+        Position ``i`` is core ``i+1``; the entry is the 1-based bus
+        number the core is assigned to.
+        """
+        return "(" + ",".join(str(bus + 1) for bus in self.assignment) + ")"
+
+    def cores_on_bus(self, bus: int) -> Tuple[int, ...]:
+        """0-based core indices assigned to 0-based ``bus``."""
+        return tuple(
+            core for core, assigned in enumerate(self.assignment)
+            if assigned == bus
+        )
+
+
+def evaluate_assignment(
+    times: Sequence[Sequence[int]],
+    widths: Sequence[int],
+    assignment: Sequence[int],
+    optimal: bool = False,
+) -> AssignmentResult:
+    """Build an :class:`AssignmentResult` from an assignment vector.
+
+    Parameters
+    ----------
+    times:
+        ``times[i][j]`` — testing time of core ``i`` on bus ``j``.
+    widths:
+        Bus widths (only recorded; the times already reflect them).
+    assignment:
+        0-based bus index per core.
+    """
+    num_buses = len(widths)
+    if len(assignment) != len(times):
+        raise ValidationError(
+            f"assignment length {len(assignment)} != {len(times)} cores"
+        )
+    bus_times = [0] * num_buses
+    for core_index, bus in enumerate(assignment):
+        if not 0 <= bus < num_buses:
+            raise ValidationError(
+                f"core {core_index}: bus {bus} out of range 0..{num_buses-1}"
+            )
+        bus_times[bus] += times[core_index][bus]
+    return AssignmentResult(
+        widths=tuple(widths),
+        assignment=tuple(assignment),
+        bus_times=tuple(bus_times),
+        testing_time=max(bus_times),
+        optimal=optimal,
+    )

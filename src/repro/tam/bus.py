@@ -1,0 +1,61 @@
+"""The test-bus TAM architecture: an ordered partition of TAM width."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class TamArchitecture:
+    """An ordered partition of the SOC's TAM width into test buses.
+
+    Order is preserved (results quote partitions like ``5+3+8``), but
+    equality-up-to-reordering is available via :meth:`canonical`.
+    """
+
+    widths: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "widths", tuple(self.widths))
+        if not self.widths:
+            raise ValidationError("a TAM architecture needs >= 1 bus")
+        for width in self.widths:
+            if width < 1:
+                raise ValidationError(
+                    f"bus widths must be >= 1, got {width}"
+                )
+
+    @property
+    def num_tams(self) -> int:
+        """Number of test buses ``B``."""
+        return len(self.widths)
+
+    @property
+    def total_width(self) -> int:
+        """Total TAM width ``W``."""
+        return sum(self.widths)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.widths)
+
+    def __len__(self) -> int:
+        return len(self.widths)
+
+    def __getitem__(self, index: int) -> int:
+        return self.widths[index]
+
+    def canonical(self) -> "TamArchitecture":
+        """The same architecture with buses sorted by ascending width.
+
+        Two architectures are functionally identical iff their
+        canonical forms are equal — bus order never affects testing
+        time under the test-bus model.
+        """
+        return TamArchitecture(tuple(sorted(self.widths)))
+
+    def notation(self) -> str:
+        """The paper's ``w1+w2+...+wB`` partition notation."""
+        return "+".join(str(width) for width in self.widths)

@@ -1,0 +1,35 @@
+"""Wrapper design (problem :math:`P_W`).
+
+Implements the ``Design_wrapper`` algorithm of Iyengar et al. (the
+Best-Fit-Decreasing wrapper-chain balancer the paper reuses from [8]),
+the core testing-time model, and the per-core width→time staircase
+with Pareto pruning.
+
+Public API:
+
+* :func:`~repro.wrapper.design.design_wrapper` — design a wrapper for
+  one core at a given TAM width;
+* :class:`~repro.wrapper.chain.WrapperDesign` /
+  :class:`~repro.wrapper.chain.WrapperChain` — the resulting design;
+* :func:`~repro.wrapper.timing.testing_time` — the scan test-time
+  formula  T = (1 + max(si, so)) * p + min(si, so);
+* :class:`~repro.wrapper.pareto.TimeTable` — testing time of one core
+  as a (monotonized) function of TAM width, with Pareto breakpoints.
+"""
+
+from repro.wrapper.chain import WrapperChain, WrapperDesign
+from repro.wrapper.design import design_wrapper
+from repro.wrapper.pareto import TimeTable, build_time_tables
+from repro.wrapper.simulate import SimulationResult, simulate_wrapper_test
+from repro.wrapper.timing import testing_time
+
+__all__ = [
+    "WrapperChain",
+    "WrapperDesign",
+    "design_wrapper",
+    "TimeTable",
+    "build_time_tables",
+    "SimulationResult",
+    "simulate_wrapper_test",
+    "testing_time",
+]

@@ -1,0 +1,162 @@
+"""Wrapper-design result types.
+
+A :class:`WrapperDesign` records, for one core at one TAM width, how
+the core-internal scan chains and the wrapper I/O cells were assembled
+into wrapper scan chains, and exposes the resulting scan-in/scan-out
+lengths and testing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.exceptions import ValidationError
+from repro.soc.core import Core
+from repro.wrapper.timing import testing_time
+
+
+@dataclass(frozen=True)
+class WrapperChain:
+    """One wrapper scan chain.
+
+    Attributes
+    ----------
+    scan_chain_lengths:
+        Lengths of the core-internal scan chains concatenated into this
+        wrapper chain.
+    num_input_cells / num_output_cells:
+        Wrapper input (output) cells placed on this chain.  Input cells
+        lengthen only the scan-in path, output cells only the scan-out
+        path; internal scan cells lengthen both.
+    """
+
+    scan_chain_lengths: Tuple[int, ...] = field(default_factory=tuple)
+    num_input_cells: int = 0
+    num_output_cells: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "scan_chain_lengths", tuple(self.scan_chain_lengths)
+        )
+        if self.num_input_cells < 0 or self.num_output_cells < 0:
+            raise ValidationError("cell counts must be >= 0")
+
+    @property
+    def scan_cells(self) -> int:
+        """Internal scan cells on this chain."""
+        return sum(self.scan_chain_lengths)
+
+    @property
+    def scan_in_length(self) -> int:
+        """Cycles to shift one stimulus through this chain."""
+        return self.scan_cells + self.num_input_cells
+
+    @property
+    def scan_out_length(self) -> int:
+        """Cycles to shift one response out of this chain."""
+        return self.scan_cells + self.num_output_cells
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the chain carries no scan cells and no I/O cells."""
+        return (
+            not self.scan_chain_lengths
+            and self.num_input_cells == 0
+            and self.num_output_cells == 0
+        )
+
+
+@dataclass(frozen=True)
+class WrapperDesign:
+    """A complete wrapper design for one core at one TAM width.
+
+    ``width_available`` is the TAM width offered; ``used_width`` (the
+    number of non-empty wrapper chains) may be smaller — the second
+    priority of ``Design_wrapper`` is precisely to leave wires idle
+    when they cannot reduce testing time.
+    """
+
+    core: Core
+    width_available: int
+    chains: Tuple[WrapperChain, ...]
+
+    def __post_init__(self) -> None:
+        if self.width_available < 1:
+            raise ValidationError(
+                f"width_available must be >= 1, got {self.width_available}"
+            )
+        object.__setattr__(self, "chains", tuple(self.chains))
+        if len(self.chains) > self.width_available:
+            raise ValidationError(
+                f"{len(self.chains)} wrapper chains exceed available "
+                f"width {self.width_available}"
+            )
+        # Conservation: every internal scan chain placed exactly once,
+        # every I/O cell placed exactly once.
+        placed_scan = sorted(
+            length
+            for chain in self.chains
+            for length in chain.scan_chain_lengths
+        )
+        if placed_scan != sorted(self.core.scan_chain_lengths):
+            raise ValidationError(
+                f"wrapper for {self.core.name!r} does not place the "
+                "core's scan chains exactly once"
+            )
+        placed_inputs = sum(c.num_input_cells for c in self.chains)
+        if placed_inputs != self.core.num_input_cells:
+            raise ValidationError(
+                f"wrapper for {self.core.name!r} places {placed_inputs} "
+                f"input cells, expected {self.core.num_input_cells}"
+            )
+        placed_outputs = sum(c.num_output_cells for c in self.chains)
+        if placed_outputs != self.core.num_output_cells:
+            raise ValidationError(
+                f"wrapper for {self.core.name!r} places {placed_outputs} "
+                f"output cells, expected {self.core.num_output_cells}"
+            )
+
+    @property
+    def used_width(self) -> int:
+        """TAM wires actually consumed (non-empty wrapper chains)."""
+        return sum(1 for chain in self.chains if not chain.is_empty)
+
+    @property
+    def scan_in_length(self) -> int:
+        """``si``: the longest wrapper scan-in chain."""
+        return max(
+            (chain.scan_in_length for chain in self.chains), default=0
+        )
+
+    @property
+    def scan_out_length(self) -> int:
+        """``so``: the longest wrapper scan-out chain."""
+        return max(
+            (chain.scan_out_length for chain in self.chains), default=0
+        )
+
+    @property
+    def testing_time(self) -> int:
+        """Core testing time in clock cycles at this design."""
+        return testing_time(
+            self.core.num_patterns,
+            self.scan_in_length,
+            self.scan_out_length,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary of the design."""
+        lines = [
+            f"wrapper for {self.core.name}: width {self.used_width}"
+            f"/{self.width_available}, si={self.scan_in_length}, "
+            f"so={self.scan_out_length}, T={self.testing_time}"
+        ]
+        for index, chain in enumerate(self.chains):
+            if chain.is_empty:
+                continue
+            lines.append(
+                f"  chain {index}: scan={list(chain.scan_chain_lengths)} "
+                f"in={chain.num_input_cells} out={chain.num_output_cells}"
+            )
+        return "\n".join(lines)

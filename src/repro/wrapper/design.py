@@ -1,0 +1,85 @@
+"""``Design_wrapper`` — the BFD wrapper-design algorithm (problem P_W).
+
+Given a core and a TAM width ``w``, the algorithm builds at most ``w``
+wrapper scan chains such that (priority 1) the core testing time is
+minimized and (priority 2) the TAM width actually used is minimized.
+Following [8]:
+
+1. *Scan packing.*  Internal scan chains are packed into wrapper
+   chains by Best-Fit-Decreasing with soft capacity equal to the
+   longest internal chain — the natural lower bound on wrapper-chain
+   length.  New chains are opened reluctantly (only when an item fits
+   no existing chain), so short cores do not squander TAM wires.
+
+2. *Cell balancing.*  Wrapper input cells are then spread to minimize
+   the longest scan-in path, and output cells to minimize the longest
+   scan-out path.  Since cells are unit items, the greedy balance is
+   exactly optimal given the scan packing.  Ties prefer chains already
+   in use, again conserving width.
+
+The returned :class:`~repro.wrapper.chain.WrapperDesign` may use fewer
+wires than offered; testing time is non-increasing in ``w`` once
+monotonized by :class:`~repro.wrapper.pareto.TimeTable`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.soc.core import Core
+from repro.wrapper.bfd import balance_units, pack_decreasing
+from repro.wrapper.chain import WrapperChain, WrapperDesign
+
+
+def design_wrapper(core: Core, width: int) -> WrapperDesign:
+    """Design a wrapper for ``core`` on a TAM of width ``width``.
+
+    >>> from repro.soc.core import Core
+    >>> core = Core("toy", num_patterns=10, num_inputs=4, num_outputs=2,
+    ...             scan_chain_lengths=(8, 4, 4))
+    >>> design = design_wrapper(core, width=2)
+    >>> design.scan_in_length, design.scan_out_length
+    (10, 9)
+    """
+    if width < 1:
+        raise ConfigurationError(f"TAM width must be >= 1, got {width}")
+
+    # Step 1: pack internal scan chains (indices) into wrapper chains.
+    scan_bins = pack_decreasing(core.scan_chain_lengths, max_bins=width)
+    scan_groups: List[List[int]] = [
+        [core.scan_chain_lengths[i] for i in bin_indices]
+        for bin_indices in scan_bins
+    ]
+    # Chains beyond the scan bins are available for I/O-only use.
+    while len(scan_groups) < width:
+        scan_groups.append([])
+
+    scan_loads = [sum(group) for group in scan_groups]
+    has_scan = [bool(group) for group in scan_groups]
+
+    # Step 2a: balance input cells against scan-in loads.
+    input_placement, _ = balance_units(
+        scan_loads, core.num_input_cells, used=has_scan
+    )
+    # Step 2b: balance output cells against scan-out loads; chains that
+    # just received input cells count as 'used' so outputs coalesce
+    # onto them instead of waking fresh wires.
+    used_after_inputs = [
+        has_scan[i] or input_placement[i] > 0
+        for i in range(width)
+    ]
+    output_placement, _ = balance_units(
+        scan_loads, core.num_output_cells, used=used_after_inputs
+    )
+
+    chains = tuple(
+        WrapperChain(
+            scan_chain_lengths=tuple(scan_groups[i]),
+            num_input_cells=input_placement[i],
+            num_output_cells=output_placement[i],
+        )
+        for i in range(width)
+        if scan_groups[i] or input_placement[i] or output_placement[i]
+    )
+    return WrapperDesign(core=core, width_available=width, chains=chains)

@@ -1,0 +1,130 @@
+"""Per-core testing time as a function of TAM width.
+
+``Design_wrapper`` run at width ``w`` is free to ignore wires, so the
+*effective* testing time of a core on a width-``w`` bus is the best
+design over all widths up to ``w``:
+
+    T*(w) = min_{w' <= w} T(Design_wrapper(core, w')).
+
+:class:`TimeTable` precomputes this monotonized staircase once per
+core (the paper's Line 6 of ``Core_assign`` does the equivalent), so
+the assignment and partition layers evaluate T(i, w) by O(1) lookup.
+It also exposes the Pareto breakpoints — the widths at which the
+staircase actually drops — which downstream search can use to skip
+redundant widths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+from repro.wrapper.chain import WrapperDesign
+from repro.wrapper.design import design_wrapper
+
+
+class TimeTable:
+    """Monotonized width→(time, design) table for one core.
+
+    Parameters
+    ----------
+    core:
+        The core to tabulate.
+    max_width:
+        Largest TAM width the table must answer for (the SOC's total
+        TAM width W is always sufficient).
+    """
+
+    def __init__(self, core: Core, max_width: int):
+        if max_width < 1:
+            raise ConfigurationError(
+                f"max_width must be >= 1, got {max_width}"
+            )
+        self.core = core
+        self.max_width = max_width
+        self._times: List[int] = []
+        self._designs: List[WrapperDesign] = []
+
+        best_time: int | None = None
+        best_design: WrapperDesign | None = None
+        for width in range(1, max_width + 1):
+            design = design_wrapper(core, width)
+            time = design.testing_time
+            if best_time is None or time < best_time:
+                best_time = time
+                best_design = design
+            self._times.append(best_time)
+            self._designs.append(best_design)  # type: ignore[arg-type]
+
+    def time(self, width: int) -> int:
+        """Best testing time of the core on a bus of ``width`` wires."""
+        self._check_width(width)
+        return self._times[width - 1]
+
+    def design(self, width: int) -> WrapperDesign:
+        """The wrapper design achieving :meth:`time` at ``width``."""
+        self._check_width(width)
+        return self._designs[width - 1]
+
+    def _check_width(self, width: int) -> None:
+        if not 1 <= width <= self.max_width:
+            raise ConfigurationError(
+                f"width {width} outside table range 1..{self.max_width}"
+            )
+
+    @property
+    def min_time(self) -> int:
+        """Testing time at the full table width (the core's floor)."""
+        return self._times[-1]
+
+    @property
+    def saturation_width(self) -> int:
+        """Smallest width achieving the core's minimum testing time.
+
+        Beyond this width additional wires cannot speed the core up —
+        the mechanism behind the paper's p31108 observation that SOC
+        testing time stops improving once the bottleneck core's bus
+        reaches a threshold width.
+        """
+        floor = self.min_time
+        for width in range(1, self.max_width + 1):
+            if self._times[width - 1] == floor:
+                return width
+        return self.max_width  # pragma: no cover - floor always found
+
+    def pareto_points(self) -> List[Tuple[int, int]]:
+        """(width, time) pairs where the staircase strictly drops."""
+        points: List[Tuple[int, int]] = []
+        previous: int | None = None
+        for width in range(1, self.max_width + 1):
+            time = self._times[width - 1]
+            if previous is None or time < previous:
+                points.append((width, time))
+                previous = time
+        return points
+
+
+def build_time_tables(
+    soc: Soc, max_width: int
+) -> Dict[str, TimeTable]:
+    """Build a :class:`TimeTable` for every core of ``soc``.
+
+    Returns a dict keyed by core name; iteration order of
+    ``soc.cores`` is preserved by the dict.
+    """
+    return {
+        core.name: TimeTable(core, max_width)
+        for core in soc.cores
+    }
+
+
+def times_matrix(
+    tables: Sequence[TimeTable], widths: Sequence[int]
+) -> List[List[int]]:
+    """T[i][j]: time of core ``i`` on bus ``j`` of ``widths[j]`` wires."""
+    return [
+        [table.time(width) for width in widths]
+        for table in tables
+    ]

@@ -1,0 +1,47 @@
+"""Core testing-time model for wrapped, scan-tested cores.
+
+The standard test-bus timing model (used by the paper via [8]): for a
+core with ``p`` test patterns whose wrapper has maximum scan-in chain
+length ``si`` and maximum scan-out chain length ``so`` (both measured
+in clock cycles per shift),
+
+    T(p, si, so) = (1 + max(si, so)) * p + min(si, so)
+
+Rationale: scan-in of pattern *k+1* overlaps scan-out of pattern *k*,
+so each of the ``p`` patterns costs ``max(si, so)`` shift cycles plus
+one capture cycle; the pipeline drains with one final, non-overlapped
+scan-out (or pre-fills with one scan-in), adding ``min(si, so)``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+
+def testing_time(num_patterns: int, scan_in: int, scan_out: int) -> int:
+    """Testing time (clock cycles) of a core under the scan model.
+
+    Parameters
+    ----------
+    num_patterns:
+        Number of test patterns ``p`` (>= 1).
+    scan_in:
+        Longest wrapper scan-in chain, in cycles (>= 0).
+    scan_out:
+        Longest wrapper scan-out chain, in cycles (>= 0).
+
+    >>> testing_time(10, 4, 6)   # (1 + 6) * 10 + 4
+    74
+    >>> testing_time(5, 0, 0)    # pure capture: combinational, no cells
+    5
+    """
+    if num_patterns < 1:
+        raise ValidationError(
+            f"num_patterns must be >= 1, got {num_patterns}"
+        )
+    if scan_in < 0 or scan_out < 0:
+        raise ValidationError(
+            f"scan lengths must be >= 0, got si={scan_in}, so={scan_out}"
+        )
+    longer, shorter = max(scan_in, scan_out), min(scan_in, scan_out)
+    return (1 + longer) * num_patterns + shorter

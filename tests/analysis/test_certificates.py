@@ -1,0 +1,80 @@
+"""Unit tests for optimality certificates."""
+
+import pytest
+
+from repro.analysis.certificates import (
+    Certificate,
+    certify,
+    global_lower_bound,
+)
+from repro.exceptions import ValidationError
+from repro.optimize.co_optimize import co_optimize
+from repro.optimize.exhaustive import exhaustive_optimize
+from repro.wrapper.pareto import build_time_tables
+
+
+class TestCertificate:
+    def test_gap_zero_when_tight(self):
+        certificate = Certificate(100, 100, 90)
+        assert certificate.gap == 0.0
+        assert certificate.is_provably_optimal
+
+    def test_gap_positive(self):
+        certificate = Certificate(110, 100, 90)
+        assert certificate.gap == pytest.approx(0.10)
+        assert not certificate.is_provably_optimal
+
+    def test_bound_takes_tighter(self):
+        assert Certificate(110, 100, 105).bound == 105
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(ValidationError):
+            _ = Certificate(10, 0, 0).gap
+
+    def test_describe(self):
+        text = Certificate(110, 100, 90).describe()
+        assert "gap" in text and "110" in text
+
+
+class TestGlobalBound:
+    def test_bound_below_any_achievable_time(self, tiny_soc):
+        tables = build_time_tables(tiny_soc, 8)
+        bound = global_lower_bound(tiny_soc, tables, 8)
+        exhaustive = exhaustive_optimize(tiny_soc, 8,
+                                         num_tams=range(1, 4))
+        assert bound <= exhaustive.testing_time
+
+    def test_bound_bottleneck_component(self, tiny_soc):
+        tables = build_time_tables(tiny_soc, 8)
+        bound = global_lower_bound(tiny_soc, tables, 8)
+        bottleneck = max(tables[c.name].time(8) for c in tiny_soc)
+        assert bound >= bottleneck
+
+    def test_bound_grows_as_width_shrinks(self, tiny_soc):
+        tables = build_time_tables(tiny_soc, 16)
+        assert (global_lower_bound(tiny_soc, tables, 4)
+                >= global_lower_bound(tiny_soc, tables, 16))
+
+
+class TestCertify:
+    def test_certified_result_above_bounds(self, tiny_soc):
+        result = co_optimize(tiny_soc, 8, num_tams=range(1, 4))
+        tables = build_time_tables(tiny_soc, 8)
+        certificate = certify(tiny_soc, result.final, tables)
+        assert certificate.testing_time == result.testing_time
+        assert certificate.gap >= 0.0
+
+    def test_d695_gap_reasonable(self, d695):
+        # The method is near-optimal; the *bound* is the looser side,
+        # so just check the certificate is coherent and not absurd.
+        result = co_optimize(d695, 24, num_tams=range(1, 4))
+        tables = build_time_tables(d695, 24)
+        certificate = certify(d695, result.final, tables)
+        assert 0.0 <= certificate.gap < 1.0
+
+    def test_p31108_saturated_is_certified_optimal(self, p31108):
+        # Past saturation the bottleneck bound is tight: gap == 0.
+        result = co_optimize(p31108, 64, num_tams=range(1, 7))
+        tables = build_time_tables(p31108, 64)
+        certificate = certify(p31108, result.final, tables)
+        assert certificate.gap < 0.15

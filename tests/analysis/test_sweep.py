@@ -1,0 +1,40 @@
+"""Unit tests for design-space sweeps."""
+
+from repro.analysis.sweep import sweep_tam_counts, sweep_widths
+
+
+class TestSweepWidths:
+    def test_points_cover_requested_widths(self, tiny_soc):
+        points = sweep_widths(tiny_soc, widths=(4, 8), num_tams=2)
+        assert [p.total_width for p in points] == [4, 8]
+
+    def test_testing_time_non_increasing(self, tiny_soc):
+        points = sweep_widths(tiny_soc, widths=(4, 8, 12),
+                              num_tams=range(1, 4))
+        times = [p.testing_time for p in points]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_points_carry_certificates(self, tiny_soc):
+        for point in sweep_widths(tiny_soc, widths=(6,), num_tams=2):
+            assert point.certificate.gap >= 0.0
+            assert 0.0 < point.wire_efficiency <= 1.0
+
+    def test_partition_sums_to_width(self, tiny_soc):
+        for point in sweep_widths(tiny_soc, widths=(5, 9),
+                                  num_tams=range(1, 3)):
+            assert sum(point.partition) == point.total_width
+            assert point.num_tams == len(point.partition)
+
+
+class TestSweepTamCounts:
+    def test_counts_covered(self, tiny_soc):
+        points = sweep_tam_counts(tiny_soc, 8, tam_counts=(1, 2, 3))
+        assert [p.num_tams for p in points] == [1, 2, 3]
+
+    def test_oversized_counts_skipped(self, tiny_soc):
+        points = sweep_tam_counts(tiny_soc, 2, tam_counts=(1, 2, 3, 4))
+        assert [p.num_tams for p in points] == [1, 2]
+
+    def test_each_point_respects_count(self, tiny_soc):
+        for point in sweep_tam_counts(tiny_soc, 8, tam_counts=(2,)):
+            assert point.num_tams == 2

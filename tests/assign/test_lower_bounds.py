@@ -1,0 +1,49 @@
+"""Unit tests for P_AW lower bounds."""
+
+from itertools import product
+
+from repro.assign.lower_bounds import (
+    partial_lower_bound,
+    paw_lower_bound,
+    placement_lower_bound,
+)
+
+
+def test_paw_lower_bound_valid():
+    times = [[7, 9], [4, 3], [6, 2], [5, 5]]
+    bound = paw_lower_bound(times)
+    best = min(
+        max(
+            sum(times[i][m] for i, mm in enumerate(assign) if mm == m)
+            for m in range(2)
+        )
+        for assign in product(range(2), repeat=4)
+    )
+    assert bound <= best
+
+
+def test_partial_bound_empty_remaining():
+    assert partial_lower_bound([10, 4], 0) == 10
+
+
+def test_partial_bound_area():
+    # loads 2+2, remaining min sum 8 -> ceil(12/2) = 6
+    assert partial_lower_bound([2, 2], 8) == 6
+
+
+def test_placement_bound_dominant_core():
+    loads = [5, 0]
+    times = [[100, 200], [1, 1]]
+    bound = placement_lower_bound(loads, [0], times)
+    assert bound == 105  # core 0 must land somewhere
+
+
+def test_placement_bound_no_remaining():
+    assert placement_lower_bound([3, 7], [], [[1, 1]]) == 7
+
+
+def test_bounds_consistent_with_exact():
+    from repro.assign.exact import exact_assign
+    times = [[12, 20], [8, 15], [25, 40], [9, 9]]
+    exact = exact_assign(times, [16, 8])
+    assert paw_lower_bound(times) <= exact.result.testing_time

@@ -1,0 +1,92 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.soc.itc02 import write_soc
+
+
+class TestDescribe:
+    def test_benchmark(self, capsys):
+        assert main(["describe", "d695"]) == 0
+        out = capsys.readouterr().out
+        assert "d695" in out and "complexity" in out
+
+    def test_soc_file(self, tmp_path, capsys, tiny_soc):
+        path = tmp_path / "tiny.soc"
+        write_soc(tiny_soc, path)
+        assert main(["describe", str(path)]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+    def test_missing_source(self, capsys):
+        assert main(["describe", "no_such_thing"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCooptimize:
+    def test_npaw_run(self, capsys):
+        assert main(["cooptimize", "d695", "-W", "16", "--bmax", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "W=16" in out
+        assert "assignment: (" in out
+
+    def test_fixed_b(self, capsys):
+        assert main(["cooptimize", "d695", "-W", "16", "-B", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "B=2" in out
+
+    def test_stats_flag(self, capsys):
+        assert main([
+            "cooptimize", "d695", "-W", "12", "--bmax", "2", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruning statistics" in out
+
+    def test_gantt_flag(self, capsys):
+        assert main([
+            "cooptimize", "d695", "-W", "12", "-B", "2", "--gantt",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "makespan:" in out
+
+    def test_no_polish(self, capsys):
+        assert main([
+            "cooptimize", "d695", "-W", "12", "-B", "2", "--no-polish",
+        ]) == 0
+
+
+class TestExhaustive:
+    def test_run(self, capsys):
+        assert main(["exhaustive", "d695", "-W", "12", "-B", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "exhaustive" in out and "complete" in out
+
+    def test_respects_time_limit_flag(self, capsys):
+        # Zero budget -> evaluates nothing -> clean CLI error.
+        assert main([
+            "exhaustive", "d695", "-W", "12", "-B", "2",
+            "--time-limit", "0",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_reports_certificate_and_utilization(self, capsys):
+        assert main(["analyze", "d695", "-W", "12", "-B", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out
+        assert "utilization" in out
+
+    def test_free_b(self, capsys):
+        assert main(["analyze", "d695", "-W", "12", "--bmax", "3"]) == 0
+        assert "architecture" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_width_required(self):
+        with pytest.raises(SystemExit):
+            main(["cooptimize", "d695"])

@@ -1,0 +1,53 @@
+"""Smoke tests for the runnable examples.
+
+The two quick examples run end to end; the longer sweeps are compiled
+and import-checked only (their logic is exercised by the benchmark
+harness with the same drivers).
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "design_space_exploration.py",
+    "custom_soc_itc02.py",
+    "industrial_flow.py",
+    "power_aware_scheduling.py",
+]
+FAST_EXAMPLES = ["quickstart.py", "custom_soc_itc02.py",
+                 "power_aware_scheduling.py"]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_architecture():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "best architecture" in completed.stdout
+    assert "makespan" in completed.stdout

@@ -1,0 +1,57 @@
+"""Golden regression pins.
+
+Every benchmark SOC is deterministic, every algorithm is
+deterministic, so the end-to-end results are exact constants of this
+codebase.  These pins freeze them: any refactor that changes an
+algorithm's decisions (tie-breaks, packing order, pruning) trips a
+failure here even if the qualitative benchmarks still pass.
+
+If a change is *intended* to alter results (e.g. improving a
+heuristic), update the constants in the same commit and say why.
+"""
+
+import pytest
+
+from repro.optimize.co_optimize import co_optimize
+from repro.optimize.exhaustive import exhaustive_optimize
+
+# (width -> (testing_time, partition)) for the paper's method, P_NPAW.
+D695_NPAW_GOLDEN = {
+    16: (42645, (3, 3, 5, 5)),
+    32: (21566, (4, 4, 6, 9, 9)),
+}
+
+# Fixed-B golden values (exhaustive baseline, proven optimal).
+D695_EXHAUSTIVE_B2_GOLDEN = {
+    16: 44188,
+    32: 24864,
+}
+
+
+class TestD695Golden:
+    @pytest.mark.parametrize("width", sorted(D695_NPAW_GOLDEN))
+    def test_npaw(self, d695, width):
+        expected_time, expected_partition = D695_NPAW_GOLDEN[width]
+        result = co_optimize(d695, width, num_tams=range(1, 11))
+        assert result.testing_time == expected_time
+        assert tuple(sorted(result.partition)) == expected_partition
+
+    @pytest.mark.parametrize("width", sorted(D695_EXHAUSTIVE_B2_GOLDEN))
+    def test_exhaustive_b2(self, d695, width):
+        result = exhaustive_optimize(d695, width, num_tams=2)
+        assert result.complete and result.all_exact
+        assert result.testing_time == D695_EXHAUSTIVE_B2_GOLDEN[width]
+
+
+class TestPhilipsGolden:
+    def test_p31108_b3_w40(self, p31108):
+        result = co_optimize(p31108, 40, num_tams=3)
+        assert result.testing_time == 840481
+
+    def test_p21241_b2_w16(self, p21241):
+        result = co_optimize(p21241, 16, num_tams=2)
+        assert result.testing_time == 1858126
+
+    def test_p93791_complexity_pinned(self, p93791):
+        from repro.soc.complexity import test_complexity
+        assert round(test_complexity(p93791)) == 88871

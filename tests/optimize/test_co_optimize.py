@@ -1,0 +1,78 @@
+"""Unit tests for the two-step co-optimization pipeline."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optimize.co_optimize import co_optimize
+
+
+class TestPipeline:
+    def test_basic(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=8, num_tams=range(1, 4))
+        assert result.soc_name == "tiny"
+        assert sum(result.partition) == 8
+        assert result.testing_time > 0
+
+    def test_polish_never_hurts(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=8, num_tams=range(1, 4))
+        assert result.testing_time <= result.search.testing_time
+
+    def test_polish_skippable(self, tiny_soc):
+        result = co_optimize(
+            tiny_soc, total_width=8, num_tams=range(1, 4), polish=False
+        )
+        assert result.final == result.search.best
+        assert not result.final_optimal
+
+    def test_polish_keeps_partition(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=8, num_tams=range(1, 4))
+        # The final step reoptimizes the assignment only.
+        assert result.partition == result.search.best_partition
+
+    def test_default_num_tams_caps_at_width(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=3)
+        assert {s.num_tams for s in result.search.stats} == {1, 2, 3}
+
+    def test_default_num_tams_caps_at_ten(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=12)
+        assert max(s.num_tams for s in result.search.stats) == 10
+
+    def test_single_tam_count(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert result.num_tams == 2
+
+    def test_summary_format(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=8, num_tams=2)
+        text = result.summary()
+        assert "tiny" in text and "W=8" in text and "T=" in text
+
+    def test_invalid_width(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            co_optimize(tiny_soc, total_width=0)
+
+
+class TestMonotonicity:
+    def test_testing_time_non_increasing_in_width(self, tiny_soc):
+        times = [
+            co_optimize(tiny_soc, total_width=w, num_tams=range(1, 4))
+            .testing_time
+            for w in (4, 8, 12, 16)
+        ]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+
+class TestD695:
+    """Sanity anchors on the real benchmark (fast widths only)."""
+
+    def test_w16_regime(self, d695):
+        result = co_optimize(d695, total_width=16, num_tams=range(1, 5))
+        # The paper reports 42644-45055 cycles for W=16 depending on
+        # B; our data reproduces the same regime.
+        assert 35_000 < result.testing_time < 55_000
+
+    def test_improves_with_width(self, d695):
+        t16 = co_optimize(d695, 16, num_tams=range(1, 4)).testing_time
+        t32 = co_optimize(d695, 32, num_tams=range(1, 4)).testing_time
+        assert t32 < t16
+        # Paper: roughly 2x improvement from W=16 to W=32.
+        assert t32 < 0.7 * t16

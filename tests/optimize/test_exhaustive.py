@@ -1,0 +1,70 @@
+"""Unit tests for the exhaustive baseline."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optimize.co_optimize import co_optimize
+from repro.optimize.exhaustive import exhaustive_optimize
+from repro.partition.count import count_partitions
+
+
+class TestExhaustive:
+    def test_basic(self, tiny_soc):
+        result = exhaustive_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert result.complete
+        assert result.partitions_evaluated == count_partitions(8, 2)
+        assert result.partitions_total == count_partitions(8, 2)
+
+    def test_multiple_tam_counts(self, tiny_soc):
+        result = exhaustive_optimize(
+            tiny_soc, total_width=8, num_tams=range(1, 4)
+        )
+        assert result.partitions_total == sum(
+            count_partitions(8, b) for b in (1, 2, 3)
+        )
+        assert result.complete
+
+    def test_exhaustive_at_least_as_good_as_heuristic(self, tiny_soc):
+        exhaustive = exhaustive_optimize(
+            tiny_soc, total_width=8, num_tams=range(1, 4)
+        )
+        heuristic = co_optimize(
+            tiny_soc, total_width=8, num_tams=range(1, 4), polish=False
+        )
+        assert exhaustive.testing_time <= heuristic.search.testing_time
+
+    def test_heuristic_with_polish_close_to_exhaustive(self, tiny_soc):
+        # The paper's headline claim, at toy scale: within a few %.
+        exhaustive = exhaustive_optimize(
+            tiny_soc, total_width=8, num_tams=range(1, 4)
+        )
+        cooptimized = co_optimize(
+            tiny_soc, total_width=8, num_tams=range(1, 4)
+        )
+        assert cooptimized.testing_time <= 1.25 * exhaustive.testing_time
+
+    def test_zero_time_budget_raises(self, tiny_soc):
+        # The deadline is checked before each partition, so a zero
+        # budget evaluates nothing and the sweep cannot return a best.
+        with pytest.raises(ConfigurationError, match="no partitions"):
+            exhaustive_optimize(
+                tiny_soc, total_width=12, num_tams=range(1, 5),
+                total_time_limit=0.0,
+            )
+
+    def test_summary_mentions_status(self, tiny_soc):
+        result = exhaustive_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert "complete" in result.summary()
+
+    def test_invalid_width(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            exhaustive_optimize(tiny_soc, total_width=0, num_tams=1)
+
+    def test_empty_tams(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            exhaustive_optimize(tiny_soc, total_width=8, num_tams=[])
+
+    def test_all_exact_flag(self, tiny_soc):
+        result = exhaustive_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert result.all_exact
+        assert result.best.optimal

@@ -1,0 +1,39 @@
+"""Unit tests for result records and the delta formula."""
+
+import pytest
+
+from repro.optimize.result import percent_delta
+
+
+class TestPercentDelta:
+    def test_increase(self):
+        assert percent_delta(110, 100) == pytest.approx(10.0)
+
+    def test_decrease(self):
+        assert percent_delta(90, 100) == pytest.approx(-10.0)
+
+    def test_equal(self):
+        assert percent_delta(100, 100) == 0.0
+
+    def test_paper_example(self):
+        # Table 2(b), W=24: new 34455 vs old 29501 -> +16.79%.
+        assert percent_delta(34455, 29501) == pytest.approx(16.79, abs=0.01)
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            percent_delta(10, 0)
+
+
+class TestResultRecords:
+    def test_co_optimization_result_fields(self, tiny_soc):
+        from repro.optimize.co_optimize import co_optimize
+        result = co_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert result.num_tams == len(result.partition)
+        assert result.elapsed_seconds >= 0
+        assert result.search.elapsed_seconds >= 0
+
+    def test_exhaustive_result_fields(self, tiny_soc):
+        from repro.optimize.exhaustive import exhaustive_optimize
+        result = exhaustive_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert result.partition == result.best.widths
+        assert result.testing_time == result.best.testing_time

@@ -1,0 +1,85 @@
+"""Unit tests for partition counting."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.partition.count import (
+    approx_partitions,
+    count_partitions,
+    count_partitions_up_to,
+    partitions_three,
+    partitions_two,
+)
+from repro.partition.enumerate import unique_partitions
+
+
+class TestExactCount:
+    def test_small_values(self):
+        assert count_partitions(8, 4) == 5
+        assert count_partitions(5, 5) == 1
+        assert count_partitions(5, 1) == 1
+        assert count_partitions(4, 5) == 0  # cannot split 4 into 5 parts
+
+    def test_matches_enumeration(self):
+        for total in range(1, 16):
+            for parts in range(1, total + 1):
+                assert count_partitions(total, parts) == sum(
+                    1 for _ in unique_partitions(total, parts)
+                )
+
+    def test_up_to(self):
+        assert count_partitions_up_to(8, 3) == (
+            count_partitions(8, 1)
+            + count_partitions(8, 2)
+            + count_partitions(8, 3)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            count_partitions(0, 1)
+        with pytest.raises(ConfigurationError):
+            count_partitions(4, 0)
+
+
+class TestClosedForms:
+    def test_two_parts(self):
+        for total in range(2, 40):
+            assert partitions_two(total) == count_partitions(total, 2)
+
+    def test_three_parts(self):
+        # round(W^2/12) is exact for B=3 (classical result).
+        for total in range(3, 40):
+            assert partitions_three(total) == count_partitions(total, 3)
+
+    def test_paper_example_w24(self):
+        # The paper: P(24, 3) = 48.
+        assert partitions_three(24) == 48
+
+
+class TestApproximation:
+    def test_right_order_of_magnitude_for_large_w(self):
+        # The paper restricts the asymptotic form to W >= 44 because
+        # it is only accurate for large W; check it tracks the exact
+        # count within a factor of two there.
+        for parts in (4, 5):
+            for total in (44, 64, 100):
+                exact = count_partitions(total, parts)
+                approx = approx_partitions(total, parts)
+                assert 0.5 < approx / exact < 2.0
+
+    def test_relative_error_shrinks_with_w(self):
+        def rel_error(total):
+            exact = count_partitions(total, 4)
+            return abs(approx_partitions(total, 4) - exact) / exact
+
+        assert rel_error(200) < rel_error(44)
+
+    def test_b1_is_one(self):
+        assert approx_partitions(50, 1) == 1.0
+
+    def test_formula_shape(self):
+        # W^(B-1) / (B! (B-1)!) exactly, by construction.
+        from math import factorial
+        assert approx_partitions(10, 3) == pytest.approx(
+            10 ** 2 / (factorial(3) * factorial(2))
+        )

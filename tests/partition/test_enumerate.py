@@ -1,0 +1,105 @@
+"""Unit tests for partition enumeration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.partition.count import count_partitions
+from repro.partition.enumerate import (
+    increment_partitions,
+    is_valid_partition,
+    unique_partitions,
+)
+
+
+class TestUniquePartitions:
+    def test_paper_w8_b4(self):
+        assert list(unique_partitions(8, 4)) == [
+            (1, 1, 1, 5), (1, 1, 2, 4), (1, 1, 3, 3),
+            (1, 2, 2, 3), (2, 2, 2, 2),
+        ]
+
+    def test_every_tuple_valid(self):
+        for widths in unique_partitions(12, 3):
+            assert is_valid_partition(widths, 12)
+            assert list(widths) == sorted(widths)
+
+    def test_no_duplicates_up_to_reordering(self):
+        seen = set()
+        for widths in unique_partitions(14, 4):
+            key = tuple(sorted(widths))
+            assert key not in seen
+            seen.add(key)
+
+    def test_count_matches_exact_formula(self):
+        for total in range(1, 18):
+            for parts in range(1, total + 1):
+                assert sum(1 for _ in unique_partitions(total, parts)) == (
+                    count_partitions(total, parts)
+                )
+
+    def test_single_part(self):
+        assert list(unique_partitions(7, 1)) == [(7,)]
+
+    def test_all_ones(self):
+        assert list(unique_partitions(5, 5)) == [(1, 1, 1, 1, 1)]
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(unique_partitions(3, 5))
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            list(unique_partitions(0, 1))
+        with pytest.raises(ConfigurationError):
+            list(unique_partitions(4, 0))
+
+
+class TestIncrementPartitions:
+    def test_paper_first_three(self):
+        first = list(increment_partitions(8, 4))[:3]
+        assert first == [(1, 1, 1, 5), (1, 1, 2, 4), (1, 1, 3, 3)]
+
+    def test_paper_suppressed_duplicate(self):
+        # (1,3,1,3) is a reordering of (1,1,3,3); Line 1 caps w_2 at 2
+        # so it is never emitted.
+        assert (1, 3, 1, 3) not in set(increment_partitions(8, 4))
+
+    def test_some_duplicates_survive(self):
+        # The paper: "a sizeable number ... is prevented", not all.
+        emitted = list(increment_partitions(9, 3))
+        keys = [tuple(sorted(widths)) for widths in emitted]
+        assert len(keys) > len(set(keys))
+
+    def test_covers_every_unique_partition(self):
+        for total, parts in ((8, 4), (12, 3), (10, 5)):
+            unique = {
+                tuple(sorted(w)) for w in unique_partitions(total, parts)
+            }
+            emitted = {
+                tuple(sorted(w)) for w in increment_partitions(total, parts)
+            }
+            assert emitted == unique
+
+    def test_every_tuple_sums(self):
+        for widths in increment_partitions(11, 4):
+            assert is_valid_partition(widths, 11)
+
+    def test_emits_at_least_unique_count(self):
+        total, parts = 16, 4
+        assert sum(1 for _ in increment_partitions(total, parts)) >= (
+            count_partitions(total, parts)
+        )
+
+
+class TestIsValidPartition:
+    def test_accepts(self):
+        assert is_valid_partition((2, 3, 3), 8)
+
+    def test_rejects_sum(self):
+        assert not is_valid_partition((2, 3), 8)
+
+    def test_rejects_zero_part(self):
+        assert not is_valid_partition((0, 8), 8)
+
+    def test_rejects_empty(self):
+        assert not is_valid_partition((), 8)

@@ -1,0 +1,143 @@
+"""Unit tests for Partition_evaluate."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.partition.count import count_partitions
+from repro.partition.evaluate import partition_evaluate
+from repro.wrapper.pareto import build_time_tables
+
+
+@pytest.fixture
+def tiny_tables(tiny_soc):
+    tables = build_time_tables(tiny_soc, max_width=16)
+    return [tables[core.name] for core in tiny_soc]
+
+
+class TestSearch:
+    def test_single_tam_count(self, tiny_tables):
+        result = partition_evaluate(tiny_tables, total_width=8, num_tams=2)
+        assert sum(result.best_partition) == 8
+        assert result.best_num_tams == 2
+        assert result.testing_time == result.best.testing_time
+
+    def test_multiple_tam_counts(self, tiny_tables):
+        result = partition_evaluate(
+            tiny_tables, total_width=8, num_tams=range(1, 4)
+        )
+        assert result.best_num_tams in (1, 2, 3)
+        assert {s.num_tams for s in result.stats} == {1, 2, 3}
+
+    def test_more_tams_never_hurts_search(self, tiny_tables):
+        narrow = partition_evaluate(tiny_tables, 8, num_tams=1)
+        wide = partition_evaluate(tiny_tables, 8, num_tams=range(1, 4))
+        # The wider search includes B=1, so can only match or improve.
+        assert wide.testing_time <= narrow.testing_time
+
+    def test_wider_budget_never_hurts(self, tiny_tables):
+        result8 = partition_evaluate(tiny_tables, 8, num_tams=range(1, 4))
+        result12 = partition_evaluate(tiny_tables, 12, num_tams=range(1, 4))
+        assert result12.testing_time <= result8.testing_time
+
+    def test_b_larger_than_width_skipped(self, tiny_tables):
+        result = partition_evaluate(
+            tiny_tables, total_width=2, num_tams=range(1, 5)
+        )
+        stats = {s.num_tams: s for s in result.stats}
+        assert stats[3].num_enumerated == 0
+        assert stats[4].num_enumerated == 0
+
+    def test_best_matches_exhaustive_recheck(self, tiny_tables):
+        from repro.assign.core_assign import core_assign
+        from repro.partition.enumerate import unique_partitions
+
+        result = partition_evaluate(tiny_tables, 6, num_tams=2)
+        best = min(
+            core_assign(
+                [[t.time(w) for w in widths] for t in tiny_tables],
+                widths,
+            ).testing_time
+            for widths in unique_partitions(6, 2)
+        )
+        assert result.testing_time == best
+
+
+class TestStats:
+    def test_enumerated_counts_every_partition(self, tiny_tables):
+        result = partition_evaluate(tiny_tables, 10, num_tams=3)
+        stats = result.stats_for(3)
+        assert stats.num_enumerated == count_partitions(10, 3)
+        assert stats.num_unique == count_partitions(10, 3)
+
+    def test_pruning_reduces_completions(self, tiny_tables):
+        pruned = partition_evaluate(
+            tiny_tables, 12, num_tams=range(1, 5), prune=True
+        )
+        unpruned = partition_evaluate(
+            tiny_tables, 12, num_tams=range(1, 5), prune=False
+        )
+        total_pruned = sum(s.num_completed for s in pruned.stats)
+        total_unpruned = sum(s.num_completed for s in unpruned.stats)
+        assert total_pruned < total_unpruned
+        # Pruning never changes the answer.
+        assert pruned.testing_time == unpruned.testing_time
+
+    def test_efficiency_ratio(self, tiny_tables):
+        result = partition_evaluate(tiny_tables, 12, num_tams=4)
+        stats = result.stats_for(4)
+        assert 0.0 <= stats.efficiency <= 1.0
+        assert stats.efficiency == (
+            stats.num_completed / stats.num_unique
+        )
+
+    def test_stats_for_missing(self, tiny_tables):
+        result = partition_evaluate(tiny_tables, 8, num_tams=2)
+        with pytest.raises(KeyError):
+            result.stats_for(7)
+
+
+class TestEnumeratorChoice:
+    def test_increment_same_best(self, tiny_tables):
+        unique = partition_evaluate(
+            tiny_tables, 10, num_tams=range(1, 4), enumerator="unique"
+        )
+        increment = partition_evaluate(
+            tiny_tables, 10, num_tams=range(1, 4), enumerator="increment"
+        )
+        assert unique.testing_time == increment.testing_time
+
+    def test_increment_enumerates_more(self, tiny_tables):
+        unique = partition_evaluate(tiny_tables, 12, num_tams=4,
+                                    enumerator="unique")
+        increment = partition_evaluate(tiny_tables, 12, num_tams=4,
+                                       enumerator="increment")
+        assert (increment.stats_for(4).num_enumerated
+                >= unique.stats_for(4).num_enumerated)
+
+    def test_unknown_enumerator(self, tiny_tables):
+        with pytest.raises(ConfigurationError):
+            partition_evaluate(tiny_tables, 8, 2, enumerator="magic")
+
+
+class TestValidation:
+    def test_empty_tables(self):
+        with pytest.raises(ConfigurationError):
+            partition_evaluate([], 8, 2)
+
+    def test_table_too_narrow(self, tiny_soc):
+        tables = build_time_tables(tiny_soc, max_width=4)
+        table_list = [tables[c.name] for c in tiny_soc]
+        with pytest.raises(ConfigurationError):
+            partition_evaluate(table_list, 8, 2)
+
+    def test_bad_width(self, tiny_tables):
+        with pytest.raises(ConfigurationError):
+            partition_evaluate(tiny_tables, 0, 1)
+
+    def test_bad_tam_count(self, tiny_tables):
+        with pytest.raises(ConfigurationError):
+            partition_evaluate(tiny_tables, 8, 0)
+
+    def test_empty_tam_iterable(self, tiny_tables):
+        with pytest.raises(ConfigurationError):
+            partition_evaluate(tiny_tables, 8, [])

@@ -1,0 +1,132 @@
+"""Property-based tests for the assignment layer."""
+
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign.core_assign import core_assign
+from repro.assign.exact import exact_assign
+from repro.assign.lower_bounds import paw_lower_bound
+from repro.schedule.lpt import graham_bound, lpt_schedule
+
+
+@st.composite
+def paw_instances(draw, max_cores=7, max_buses=3):
+    """A random P_AW instance with width-consistent times.
+
+    Times on wider buses are never larger than on narrower buses —
+    the structure real instances always have (TimeTable monotonicity).
+    """
+    num_cores = draw(st.integers(min_value=1, max_value=max_cores))
+    num_buses = draw(st.integers(min_value=1, max_value=max_buses))
+    widths = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=32),
+                min_size=num_buses, max_size=num_buses, unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    times = []
+    for _ in range(num_cores):
+        base = draw(st.integers(min_value=1, max_value=80))
+        # Non-decreasing as width decreases.
+        increments = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=40),
+                min_size=num_buses - 1, max_size=num_buses - 1,
+            )
+        )
+        row = [base]
+        for inc in increments:
+            row.append(row[-1] + inc)
+        times.append(row)
+    return times, widths
+
+
+def brute_force(times, num_buses):
+    best = float("inf")
+    for assign in product(range(num_buses), repeat=len(times)):
+        loads = [0] * num_buses
+        for core, bus in enumerate(assign):
+            loads[bus] += times[core][bus]
+        best = min(best, max(loads))
+    return best
+
+
+class TestCoreAssignProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(instance=paw_instances())
+    def test_heuristic_returns_consistent_result(self, instance):
+        times, widths = instance
+        outcome = core_assign(times, widths)
+        assert outcome.completed
+        result = outcome.result
+        loads = [0] * len(widths)
+        for core, bus in enumerate(result.assignment):
+            loads[bus] += times[core][bus]
+        assert tuple(loads) == result.bus_times
+        assert outcome.testing_time == max(loads)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance=paw_instances(max_cores=6, max_buses=2))
+    def test_heuristic_never_beats_optimum(self, instance):
+        times, widths = instance
+        outcome = core_assign(times, widths)
+        assert outcome.testing_time >= brute_force(times, len(widths))
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance=paw_instances())
+    def test_abort_consistent_with_completion(self, instance):
+        times, widths = instance
+        full = core_assign(times, widths)
+        # With the completed value as incumbent, the rerun must abort
+        # (>= semantics) and echo it back.
+        rerun = core_assign(times, widths, best_known=full.testing_time)
+        assert not rerun.completed
+        assert rerun.testing_time == full.testing_time
+        # With a looser incumbent it completes with the same answer.
+        loose = core_assign(times, widths,
+                            best_known=full.testing_time + 1)
+        assert loose.completed
+        assert loose.testing_time == full.testing_time
+
+
+class TestExactProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(instance=paw_instances(max_cores=6, max_buses=2))
+    def test_exact_matches_brute_force(self, instance):
+        times, widths = instance
+        exact = exact_assign(times, widths)
+        assert exact.optimal
+        assert exact.result.testing_time == brute_force(times, len(widths))
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance=paw_instances())
+    def test_exact_within_heuristic_and_above_bound(self, instance):
+        times, widths = instance
+        heuristic = core_assign(times, widths)
+        exact = exact_assign(times, widths)
+        assert exact.result.testing_time <= heuristic.testing_time
+        assert exact.result.testing_time >= paw_lower_bound(times)
+
+
+class TestLptProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        durations=st.lists(st.integers(min_value=0, max_value=50),
+                           min_size=1, max_size=8),
+        machines=st.integers(min_value=1, max_value=3),
+    )
+    def test_lpt_within_graham_bound(self, durations, machines):
+        result = lpt_schedule(durations, machines)
+        optimal = min(
+            max(
+                sum(d for d, m in zip(durations, assign) if m == machine)
+                for machine in range(machines)
+            )
+            for assign in product(range(machines), repeat=len(durations))
+        )
+        assert result.makespan <= graham_bound(machines) * optimal + 1e-9

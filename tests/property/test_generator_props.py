@@ -1,0 +1,94 @@
+"""Property-based tests for the SOC generator's range contract."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.generator import CoreRanges, SocSpec, generate_soc
+
+
+@st.composite
+def range_pair(draw, lo_min, lo_max, span_max):
+    lo = draw(st.integers(min_value=lo_min, max_value=lo_max))
+    hi = lo + draw(st.integers(min_value=0, max_value=span_max))
+    return (lo, hi)
+
+
+@st.composite
+def specs(draw):
+    logic = CoreRanges(
+        patterns=draw(range_pair(1, 50, 400)),
+        functional_ios=draw(range_pair(2, 30, 200)),
+        scan_chains=draw(range_pair(1, 4, 12)),
+        scan_lengths=draw(range_pair(1, 20, 300)),
+    )
+    memory = CoreRanges(
+        patterns=draw(range_pair(1, 100, 2000)),
+        functional_ios=draw(range_pair(1, 20, 100)),
+    )
+    return SocSpec(
+        name="prop",
+        num_logic_cores=draw(st.integers(min_value=1, max_value=8)),
+        num_memory_cores=draw(st.integers(min_value=0, max_value=5)),
+        logic=logic,
+        memory=memory,
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+class TestRangeContract:
+    @settings(max_examples=40, deadline=None)
+    @given(spec=specs())
+    def test_all_values_within_ranges(self, spec):
+        soc = generate_soc(spec)
+        for core in soc.logic_cores:
+            assert (spec.logic.patterns[0] <= core.num_patterns
+                    <= spec.logic.patterns[1])
+            assert (spec.logic.functional_ios[0] <= core.total_terminals
+                    <= spec.logic.functional_ios[1])
+            assert (spec.logic.scan_chains[0] <= core.num_scan_chains
+                    <= spec.logic.scan_chains[1])
+            for length in core.scan_chain_lengths:
+                assert (spec.logic.scan_lengths[0] <= length
+                        <= spec.logic.scan_lengths[1])
+        for core in soc.memory_cores:
+            assert (spec.memory.patterns[0] <= core.num_patterns
+                    <= spec.memory.patterns[1])
+            assert not core.is_scan_testable
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec=specs())
+    def test_deterministic(self, spec):
+        assert generate_soc(spec) == generate_soc(spec)
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=specs())
+    def test_extremes_attained_with_enough_cores(self, spec):
+        # With >= 6 logic cores every published extreme has a carrier.
+        if spec.num_logic_cores < 6:
+            return
+        soc = generate_soc(spec)
+        summary = soc.logic_range_summary()
+        assert summary.patterns == spec.logic.patterns
+        assert summary.functional_ios == spec.logic.functional_ios
+        assert summary.scan_chains == spec.logic.scan_chains
+        assert summary.scan_lengths == spec.logic.scan_lengths
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs(), target=st.integers(min_value=10, max_value=10_000))
+    def test_calibration_never_breaks_ranges(self, spec, target):
+        calibrated = SocSpec(
+            name=spec.name,
+            num_logic_cores=spec.num_logic_cores,
+            num_memory_cores=spec.num_memory_cores,
+            logic=spec.logic,
+            memory=spec.memory,
+            complexity_target=float(target),
+            seed=spec.seed,
+        )
+        soc = generate_soc(calibrated)
+        for core in soc.logic_cores:
+            assert (spec.logic.patterns[0] <= core.num_patterns
+                    <= spec.logic.patterns[1])
+            for length in core.scan_chain_lengths:
+                assert (spec.logic.scan_lengths[0] <= length
+                        <= spec.logic.scan_lengths[1])

@@ -1,0 +1,55 @@
+"""Property-based round-trip tests for the .soc format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.core import Core
+from repro.soc.itc02 import format_soc, parse_soc
+from repro.soc.soc import Soc
+
+core_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="_-"),
+    min_size=1, max_size=12,
+)
+
+@st.composite
+def cores_strategy(draw):
+    """Valid cores only: at least one terminal or scan chain."""
+    chains = tuple(draw(st.lists(
+        st.integers(min_value=1, max_value=1000), max_size=20
+    )))
+    min_inputs = 0 if chains else 1
+    return Core(
+        name=draw(core_names),
+        num_patterns=draw(st.integers(min_value=1, max_value=10_000)),
+        num_inputs=draw(st.integers(min_value=min_inputs, max_value=500)),
+        num_outputs=draw(st.integers(min_value=0, max_value=500)),
+        num_bidirs=draw(st.integers(min_value=0, max_value=50)),
+        scan_chain_lengths=chains,
+    )
+
+
+cores = cores_strategy()
+
+
+@st.composite
+def socs(draw):
+    name = draw(core_names)
+    core_list = draw(st.lists(cores, min_size=1, max_size=8,
+                              unique_by=lambda c: c.name))
+    return Soc(name=name, cores=tuple(core_list))
+
+
+@settings(max_examples=60, deadline=None)
+@given(soc=socs())
+def test_format_parse_roundtrip(soc):
+    assert parse_soc(format_soc(soc)) == soc
+
+
+@settings(max_examples=30, deadline=None)
+@given(soc=socs())
+def test_format_is_stable(soc):
+    # format(parse(format(x))) == format(x)
+    once = format_soc(soc)
+    assert format_soc(parse_soc(once)) == once

@@ -1,0 +1,90 @@
+"""Property-based tests for partition counting and enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.count import (
+    count_partitions,
+    count_partitions_up_to,
+    partitions_three,
+    partitions_two,
+)
+from repro.partition.enumerate import (
+    increment_partitions,
+    unique_partitions,
+)
+
+wb = st.tuples(
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=1, max_value=6),
+).filter(lambda pair: pair[1] <= pair[0])
+
+
+class TestEnumerationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(pair=wb)
+    def test_unique_matches_count(self, pair):
+        total, parts = pair
+        emitted = list(unique_partitions(total, parts))
+        assert len(emitted) == count_partitions(total, parts)
+        assert len({tuple(sorted(p)) for p in emitted}) == len(emitted)
+
+    @settings(max_examples=80, deadline=None)
+    @given(pair=wb)
+    def test_every_partition_sums_and_sorted(self, pair):
+        total, parts = pair
+        for widths in unique_partitions(total, parts):
+            assert sum(widths) == total
+            assert len(widths) == parts
+            assert all(w >= 1 for w in widths)
+            assert list(widths) == sorted(widths)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=wb)
+    def test_increment_covers_unique(self, pair):
+        total, parts = pair
+        unique = {tuple(sorted(p)) for p in unique_partitions(total, parts)}
+        odometer = {
+            tuple(sorted(p)) for p in increment_partitions(total, parts)
+        }
+        assert odometer == unique
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=wb)
+    def test_increment_never_fewer_than_unique(self, pair):
+        total, parts = pair
+        n_odometer = sum(1 for _ in increment_partitions(total, parts))
+        assert n_odometer >= count_partitions(total, parts)
+
+
+class TestCountProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(total=st.integers(min_value=2, max_value=200))
+    def test_two_part_closed_form(self, total):
+        assert partitions_two(total) == count_partitions(total, 2)
+
+    @settings(max_examples=80, deadline=None)
+    @given(total=st.integers(min_value=3, max_value=200))
+    def test_three_part_closed_form(self, total):
+        assert partitions_three(total) == count_partitions(total, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(total=st.integers(min_value=1, max_value=60))
+    def test_up_to_is_cumulative(self, total):
+        for max_parts in (1, 2, 3):
+            if max_parts <= total:
+                assert count_partitions_up_to(total, max_parts) == sum(
+                    count_partitions(total, b)
+                    for b in range(1, max_parts + 1)
+                )
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=wb)
+    def test_classical_recurrence(self, pair):
+        # p(n, k) = p(n-1, k-1) + p(n-k, k);  p(m, k) = 0 for m < k.
+        total, parts = pair
+        if total > parts > 1:
+            assert count_partitions(total, parts) == (
+                count_partitions(total - 1, parts - 1)
+                + count_partitions(total - parts, parts)
+            )

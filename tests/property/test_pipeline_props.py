@@ -1,0 +1,92 @@
+"""Property-based end-to-end invariants on random SOCs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.certificates import certify
+from repro.analysis.utilization import analyze_utilization
+from repro.optimize.co_optimize import co_optimize
+from repro.schedule.power import (
+    PowerProfile,
+    schedule_with_power,
+    verify_power_feasible,
+)
+from repro.soc.generator import random_soc
+from repro.wrapper.pareto import build_time_tables
+
+soc_params = st.tuples(
+    st.integers(min_value=1, max_value=6),    # cores
+    st.integers(min_value=0, max_value=9999), # seed
+    st.integers(min_value=2, max_value=10),   # width
+)
+
+
+def _build(params):
+    num_cores, seed, width = params
+    soc = random_soc(
+        f"prop{seed}", num_cores=num_cores, seed=seed,
+        max_patterns=120, max_ios=40, max_chains=4, max_chain_length=24,
+    )
+    return soc, width
+
+
+class TestCoOptimizeInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(params=soc_params)
+    def test_result_well_formed(self, params):
+        soc, width = _build(params)
+        result = co_optimize(soc, width, num_tams=range(1, 4))
+        assert sum(result.partition) == width
+        assert all(w >= 1 for w in result.partition)
+        assert len(result.final.assignment) == len(soc)
+        assert result.testing_time <= result.search.testing_time
+
+    @settings(max_examples=20, deadline=None)
+    @given(params=soc_params)
+    def test_certificate_and_utilization_coherent(self, params):
+        soc, width = _build(params)
+        result = co_optimize(soc, width, num_tams=range(1, 4))
+        tables = build_time_tables(soc, width)
+        certificate = certify(soc, result.final, tables)
+        assert certificate.gap >= 0.0
+        utilization = analyze_utilization(soc, result.final, tables)
+        assert 0.0 < utilization.utilization <= 1.0
+        assert utilization.idle_wire_cycles >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(params=soc_params)
+    def test_per_b_polish_never_worse(self, params):
+        soc, width = _build(params)
+        base = co_optimize(soc, width, num_tams=range(1, 4))
+        per_b = co_optimize(soc, width, num_tams=range(1, 4),
+                            polish_per_tam_count=True)
+        assert per_b.testing_time <= base.testing_time
+
+
+class TestPowerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        params=soc_params,
+        budget_scale=st.integers(min_value=1, max_value=4),
+    )
+    def test_power_schedule_always_feasible(self, params, budget_scale):
+        soc, width = _build(params)
+        result = co_optimize(soc, width, num_tams=range(1, 3))
+        tables = build_time_tables(soc, width)
+        times = [
+            [tables[c.name].time(w) for w in result.partition]
+            for c in soc
+        ]
+        powers = tuple(1 + c.total_scan_cells // 10 for c in soc)
+        budget = max(powers) * budget_scale
+        profile = PowerProfile(powers, power_budget=budget)
+        scheduled = schedule_with_power(
+            result.final, times, [c.name for c in soc], profile
+        )
+        assert verify_power_feasible(scheduled, profile)
+        assert scheduled.makespan >= result.testing_time
+        serial = sum(
+            times[core][bus]
+            for core, bus in enumerate(result.final.assignment)
+        )
+        assert scheduled.makespan <= serial

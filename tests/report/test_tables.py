@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.report.tables import TextTable
+
+
+def test_alignment_and_separator():
+    table = TextTable(["a", "bb"])
+    table.add_row([1, 22])
+    table.add_row([333, 4])
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert set(lines[1]) <= {"-", "+"}
+    assert len(lines) == 4
+
+
+def test_title():
+    table = TextTable(["x"], title="Table 1. Something.")
+    table.add_row([5])
+    assert table.render().splitlines()[0] == "Table 1. Something."
+
+
+def test_floats_formatted_two_dp():
+    table = TextTable(["v"])
+    table.add_row([1.23456])
+    assert "1.23" in table.render()
+
+
+def test_row_width_mismatch():
+    table = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_str_is_render():
+    table = TextTable(["a"])
+    table.add_row(["x"])
+    assert str(table) == table.render()
+
+
+def test_wide_cells_stretch_columns():
+    table = TextTable(["col"])
+    table.add_row(["a-very-wide-cell"])
+    lines = table.render().splitlines()
+    assert all(len(line) >= len("a-very-wide-cell") for line in lines[1:])

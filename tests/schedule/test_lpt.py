@@ -1,0 +1,73 @@
+"""Unit tests for LPT scheduling."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.schedule.lpt import graham_bound, lpt_schedule
+
+
+class TestLpt:
+    def test_classic_example(self):
+        result = lpt_schedule([7, 5, 3, 2], 2)
+        assert result.makespan == 9
+        assert sorted(result.machine_loads) == [8, 9]
+
+    def test_single_machine(self):
+        result = lpt_schedule([3, 1, 4], 1)
+        assert result.makespan == 8
+        assert result.assignment == (0, 0, 0)
+
+    def test_more_machines_than_jobs(self):
+        result = lpt_schedule([5, 2], 4)
+        assert result.makespan == 5
+        assert sorted(result.machine_loads) == [0, 0, 2, 5]
+
+    def test_empty_jobs(self):
+        result = lpt_schedule([], 3)
+        assert result.makespan == 0
+
+    def test_loads_consistent_with_assignment(self):
+        durations = [9, 4, 6, 2, 8, 5]
+        result = lpt_schedule(durations, 3)
+        loads = [0, 0, 0]
+        for job, machine in enumerate(result.assignment):
+            loads[machine] += durations[job]
+        assert tuple(loads) == result.machine_loads
+        assert result.makespan == max(loads)
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(ConfigurationError):
+            lpt_schedule([1], 0)
+
+    def test_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            lpt_schedule([1, -1], 2)
+
+
+class TestGrahamBound:
+    def test_values(self):
+        assert graham_bound(1) == pytest.approx(1.0)
+        assert graham_bound(2) == pytest.approx(7 / 6)
+        assert graham_bound(3) == pytest.approx(4 / 3 - 1 / 9)
+
+    def test_monotone_in_machines(self):
+        assert graham_bound(2) < graham_bound(4) < 4 / 3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            graham_bound(0)
+
+    def test_lpt_within_bound_brute_force(self):
+        # LPT on small instances never exceeds Graham's ratio.
+        from itertools import product
+        durations = [4, 3, 3, 2, 2]
+        machines = 2
+        optimal = min(
+            max(
+                sum(d for d, m in zip(durations, assign) if m == machine)
+                for machine in range(machines)
+            )
+            for assign in product(range(machines), repeat=len(durations))
+        )
+        lpt = lpt_schedule(durations, machines).makespan
+        assert lpt <= graham_bound(machines) * optimal + 1e-9

@@ -1,0 +1,58 @@
+"""Unit tests for makespan lower bounds."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.schedule.makespan import (
+    identical_lower_bound,
+    saturation_lower_bound,
+    unrelated_lower_bound,
+)
+
+
+class TestIdentical:
+    def test_area_bound_dominates(self):
+        assert identical_lower_bound([3, 3, 3, 3], 2) == 6
+
+    def test_longest_job_dominates(self):
+        assert identical_lower_bound([10, 1, 1], 3) == 10
+
+    def test_empty(self):
+        assert identical_lower_bound([], 2) == 0
+
+    def test_invalid_machines(self):
+        with pytest.raises(ConfigurationError):
+            identical_lower_bound([1], 0)
+
+
+class TestUnrelated:
+    def test_uses_per_job_minima(self):
+        times = [[10, 2], [10, 2], [10, 2], [10, 2]]
+        # all jobs prefer machine 1 at cost 2: area = ceil(8/2) = 4
+        assert unrelated_lower_bound(times) == 4
+
+    def test_big_job_dominates(self):
+        times = [[100, 120], [1, 2]]
+        assert unrelated_lower_bound(times) == 100
+
+    def test_empty(self):
+        assert unrelated_lower_bound([]) == 0
+
+    def test_bound_never_exceeds_any_assignment(self):
+        from itertools import product
+        times = [[7, 9], [4, 3], [6, 2], [5, 5]]
+        bound = unrelated_lower_bound(times)
+        for assign in product(range(2), repeat=4):
+            loads = [0, 0]
+            for job, machine in enumerate(assign):
+                loads[machine] += times[job][machine]
+            assert bound <= max(loads)
+
+
+class TestSaturation:
+    def test_value(self):
+        times = [[10, 8], [3, 30]]
+        assert saturation_lower_bound(times) == 8
+
+    def test_empty(self):
+        assert saturation_lower_bound([]) == 0

@@ -1,0 +1,138 @@
+"""Unit tests for power-constrained test scheduling."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.schedule.power import (
+    PowerProfile,
+    schedule_with_power,
+    verify_power_feasible,
+)
+from repro.tam.assignment import evaluate_assignment
+
+TIMES = [
+    [10, 20],
+    [30, 15],
+    [5, 50],
+    [8, 12],
+]
+NAMES = ["a", "b", "c", "d"]
+
+
+def _result():
+    # buses 8+4: cores a,c on bus 0; b,d on bus 1.
+    return evaluate_assignment(TIMES, [8, 4], [0, 1, 0, 1])
+
+
+class TestProfileValidation:
+    def test_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            PowerProfile((1, 1, 1, 1), power_budget=0)
+
+    def test_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            PowerProfile((1, -1, 1, 1), power_budget=5)
+
+    def test_core_exceeding_budget(self):
+        with pytest.raises(ConfigurationError, match="never run"):
+            PowerProfile((1, 9, 1, 1), power_budget=5)
+
+
+class TestScheduling:
+    def test_loose_budget_matches_unconstrained(self):
+        result = _result()
+        profile = PowerProfile((1, 1, 1, 1), power_budget=100)
+        scheduled = schedule_with_power(result, TIMES, NAMES, profile)
+        assert scheduled.makespan == result.testing_time
+        assert verify_power_feasible(scheduled, profile)
+
+    def test_tight_budget_serializes(self):
+        result = _result()
+        # Each core needs 3 units; budget 3 forces full serialization.
+        profile = PowerProfile((3, 3, 3, 3), power_budget=3)
+        scheduled = schedule_with_power(result, TIMES, NAMES, profile)
+        serial_total = sum(
+            TIMES[core][bus]
+            for core, bus in enumerate(result.assignment)
+        )
+        assert scheduled.makespan == serial_total
+        assert scheduled.peak_power == 3
+        assert verify_power_feasible(scheduled, profile)
+
+    def test_intermediate_budget(self):
+        result = _result()
+        profile = PowerProfile((2, 2, 2, 2), power_budget=4)
+        scheduled = schedule_with_power(result, TIMES, NAMES, profile)
+        assert result.testing_time <= scheduled.makespan <= sum(
+            TIMES[core][bus]
+            for core, bus in enumerate(result.assignment)
+        )
+        assert scheduled.peak_power <= 4
+        assert verify_power_feasible(scheduled, profile)
+
+    def test_makespan_monotone_in_budget(self):
+        result = _result()
+        makespans = []
+        for budget in (3, 4, 6, 100):
+            profile = PowerProfile((3, 3, 3, 3), power_budget=budget)
+            scheduled = schedule_with_power(result, TIMES, NAMES, profile)
+            makespans.append(scheduled.makespan)
+        assert all(a >= b for a, b in zip(makespans, makespans[1:]))
+
+    def test_zero_power_cores_always_parallel(self):
+        result = _result()
+        profile = PowerProfile((0, 0, 0, 0), power_budget=1)
+        scheduled = schedule_with_power(result, TIMES, NAMES, profile)
+        assert scheduled.makespan == result.testing_time
+        assert scheduled.peak_power == 0
+
+    def test_every_core_scheduled_once(self):
+        result = _result()
+        profile = PowerProfile((2, 2, 2, 2), power_budget=4)
+        scheduled = schedule_with_power(result, TIMES, NAMES, profile)
+        names = sorted(s.core_name for s in scheduled.schedule.sessions)
+        assert names == sorted(NAMES)
+
+    def test_no_overlap_per_bus(self):
+        # TestSchedule validates this on construction; reaching here
+        # without ValidationError is the assertion.
+        result = _result()
+        profile = PowerProfile((2, 2, 2, 2), power_budget=2)
+        scheduled = schedule_with_power(result, TIMES, NAMES, profile)
+        assert scheduled.schedule.makespan > 0
+
+
+class TestInputValidation:
+    def test_times_size_mismatch(self):
+        profile = PowerProfile((1, 1, 1, 1), power_budget=5)
+        with pytest.raises(ValidationError):
+            schedule_with_power(_result(), TIMES[:2], NAMES, profile)
+
+    def test_profile_size_mismatch(self):
+        profile = PowerProfile((1, 1), power_budget=5)
+        with pytest.raises(ValidationError):
+            schedule_with_power(_result(), TIMES, NAMES, profile)
+
+
+class TestOnPipeline:
+    def test_d695_with_synthetic_powers(self, d695):
+        from repro.optimize.co_optimize import co_optimize
+        from repro.wrapper.pareto import build_time_tables
+
+        result = co_optimize(d695, 24, num_tams=range(1, 4))
+        tables = build_time_tables(d695, 24)
+        times = [
+            [tables[c.name].time(w) for w in result.partition]
+            for c in d695
+        ]
+        # Power proportional to scan size (a common proxy).
+        powers = tuple(
+            1 + core.total_scan_cells // 200 for core in d695
+        )
+        budget = max(powers) + sum(powers) // 3
+        profile = PowerProfile(powers, power_budget=budget)
+        scheduled = schedule_with_power(
+            result.final, times, [c.name for c in d695], profile
+        )
+        assert scheduled.makespan >= result.testing_time
+        assert verify_power_feasible(scheduled, profile)

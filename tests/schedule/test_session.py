@@ -1,0 +1,80 @@
+"""Unit tests for test-session timelines."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.schedule.session import ScheduledTest, TestSchedule, build_schedule
+from repro.tam.assignment import evaluate_assignment
+
+TIMES = [
+    [10, 20],
+    [30, 15],
+    [5, 50],
+]
+NAMES = ["a", "b", "c"]
+
+
+def _result():
+    return evaluate_assignment(TIMES, [8, 4], [0, 1, 0])
+
+
+class TestBuildSchedule:
+    def test_serial_per_bus(self):
+        schedule = build_schedule(_result(), TIMES, NAMES)
+        bus0 = schedule.bus_sessions(0)
+        assert [s.core_name for s in bus0] == ["a", "c"]
+        assert bus0[0].start == 0 and bus0[0].end == 10
+        assert bus0[1].start == 10 and bus0[1].end == 15
+
+    def test_makespan_matches_assignment(self):
+        schedule = build_schedule(_result(), TIMES, NAMES)
+        assert schedule.makespan == 15
+
+    def test_names_length_checked(self):
+        with pytest.raises(ValidationError):
+            build_schedule(_result(), TIMES, ["a", "b"])
+
+    def test_idle_time(self):
+        schedule = build_schedule(_result(), TIMES, NAMES)
+        assert schedule.idle_time(0) == 0
+        assert schedule.idle_time(1) == 0
+        assert schedule.total_idle_time() == 0
+
+    def test_idle_time_uneven(self):
+        result = evaluate_assignment(TIMES, [8, 4], [0, 0, 0])
+        schedule = build_schedule(result, TIMES, NAMES)
+        assert schedule.idle_time(1) == schedule.makespan
+
+    def test_gantt_renders(self):
+        schedule = build_schedule(_result(), TIMES, NAMES)
+        chart = schedule.gantt(width=40)
+        assert "bus 1" in chart and "bus 2" in chart
+        assert "makespan: 15" in chart
+
+
+class TestValidation:
+    def test_overlap_rejected(self):
+        sessions = (
+            ScheduledTest(0, "a", 0, 0, 10),
+            ScheduledTest(1, "b", 0, 5, 12),
+        )
+        with pytest.raises(ValidationError, match="overlap"):
+            TestSchedule(widths=(8,), sessions=sessions)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            TestSchedule(
+                widths=(8,),
+                sessions=(ScheduledTest(0, "a", 0, 5, 3),),
+            )
+
+    def test_bad_bus_rejected(self):
+        with pytest.raises(ValidationError):
+            TestSchedule(
+                widths=(8,),
+                sessions=(ScheduledTest(0, "a", 1, 0, 3),),
+            )
+
+    def test_empty_schedule(self):
+        schedule = TestSchedule(widths=(4,), sessions=())
+        assert schedule.makespan == 0

@@ -1,0 +1,35 @@
+"""Unit tests for the test-complexity proxy."""
+
+from repro.soc.complexity import BITS_PER_COMPLEXITY_UNIT
+from repro.soc.complexity import test_complexity as complexity_of
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+def test_single_core_value():
+    core = Core("c", num_patterns=10, num_inputs=3, num_outputs=2,
+                scan_chain_lengths=(5,))
+    soc = Soc("s", cores=(core,))
+    expected = 10 * (5 + 3 + 2) / BITS_PER_COMPLEXITY_UNIT
+    assert complexity_of(soc) == expected
+
+
+def test_additive_over_cores():
+    a = Core("a", num_patterns=10, num_inputs=1, num_outputs=1)
+    b = Core("b", num_patterns=20, num_inputs=2, num_outputs=2)
+    combined = Soc("s", cores=(a, b))
+    only_a = Soc("sa", cores=(a,))
+    only_b = Soc("sb", cores=(b,))
+    assert complexity_of(combined) == (
+        complexity_of(only_a) + complexity_of(only_b)
+    )
+
+
+def test_d695_lands_near_its_name(d695):
+    # The reason this proxy was adopted (see module docstring).
+    assert 600 < complexity_of(d695) < 800
+
+
+def test_philips_standins_land_near_their_names(p21241, p31108, p93791):
+    for soc, target in ((p21241, 21241), (p31108, 31108), (p93791, 93791)):
+        assert abs(complexity_of(soc) - target) / target < 0.10

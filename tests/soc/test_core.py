@@ -1,0 +1,99 @@
+"""Unit tests for repro.soc.core."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.soc.core import Core
+
+
+class TestConstruction:
+    def test_minimal_memory_core(self):
+        core = Core("mem", num_patterns=5, num_inputs=3, num_outputs=2)
+        assert core.num_scan_chains == 0
+        assert not core.is_scan_testable
+
+    def test_scan_core(self):
+        core = Core("logic", num_patterns=5, num_inputs=1, num_outputs=1,
+                    scan_chain_lengths=(4, 2))
+        assert core.is_scan_testable
+        assert core.num_scan_chains == 2
+
+    def test_scan_lengths_normalized_to_tuple(self):
+        core = Core("c", num_patterns=1, num_inputs=1, num_outputs=0,
+                    scan_chain_lengths=[3, 1])
+        assert core.scan_chain_lengths == (3, 1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Core("", num_patterns=1, num_inputs=1, num_outputs=1)
+
+    def test_zero_patterns_rejected(self):
+        with pytest.raises(ValidationError):
+            Core("c", num_patterns=0, num_inputs=1, num_outputs=1)
+
+    def test_negative_terminals_rejected(self):
+        with pytest.raises(ValidationError):
+            Core("c", num_patterns=1, num_inputs=-1, num_outputs=1)
+        with pytest.raises(ValidationError):
+            Core("c", num_patterns=1, num_inputs=1, num_outputs=-2)
+        with pytest.raises(ValidationError):
+            Core("c", num_patterns=1, num_inputs=1, num_outputs=1,
+                 num_bidirs=-1)
+
+    def test_zero_length_scan_chain_rejected(self):
+        with pytest.raises(ValidationError):
+            Core("c", num_patterns=1, num_inputs=1, num_outputs=1,
+                 scan_chain_lengths=(4, 0))
+
+    def test_untestable_core_rejected(self):
+        with pytest.raises(ValidationError):
+            Core("c", num_patterns=1, num_inputs=0, num_outputs=0)
+
+    def test_scan_only_core_allowed(self):
+        core = Core("c", num_patterns=1, num_inputs=0, num_outputs=0,
+                    scan_chain_lengths=(5,))
+        assert core.total_terminals == 0
+
+    def test_frozen(self):
+        core = Core("c", num_patterns=1, num_inputs=1, num_outputs=1)
+        with pytest.raises(AttributeError):
+            core.num_patterns = 2
+
+
+class TestDerivedQuantities:
+    def test_totals(self, scan_core):
+        assert scan_core.total_scan_cells == 32
+        assert scan_core.longest_scan_chain == 12
+        assert scan_core.total_terminals == 12
+
+    def test_bidirs_count_on_both_sides(self, scan_core):
+        assert scan_core.num_input_cells == 8    # 6 in + 2 bidir
+        assert scan_core.num_output_cells == 6   # 4 out + 2 bidir
+
+    def test_test_data_bits(self):
+        core = Core("c", num_patterns=10, num_inputs=3, num_outputs=2,
+                    scan_chain_lengths=(5,))
+        # 10 * (5 scan + 3 in + 2 out)
+        assert core.test_data_bits == 100
+
+    def test_longest_chain_zero_without_scan(self, memory_core):
+        assert memory_core.longest_scan_chain == 0
+        assert memory_core.total_scan_cells == 0
+
+    def test_describe_mentions_name_and_patterns(self, scan_core):
+        text = scan_core.describe()
+        assert "scan_core" in text
+        assert "10 patterns" in text
+
+    def test_describe_no_scan(self, memory_core):
+        assert "no scan" in memory_core.describe()
+
+    def test_hashable(self, scan_core):
+        assert {scan_core: 1}[scan_core] == 1
+
+    def test_equality_by_value(self):
+        a = Core("c", num_patterns=1, num_inputs=1, num_outputs=1,
+                 scan_chain_lengths=(2,))
+        b = Core("c", num_patterns=1, num_inputs=1, num_outputs=1,
+                 scan_chain_lengths=(2,))
+        assert a == b

@@ -1,0 +1,33 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.soc.data import benchmark_names, get_benchmark
+
+
+def test_registry_lists_all_four():
+    assert benchmark_names() == ["d695", "p21241", "p31108", "p93791"]
+
+
+@pytest.mark.parametrize("name", ["d695", "p21241", "p31108", "p93791"])
+def test_every_benchmark_builds(name):
+    soc = get_benchmark(name)
+    assert soc.name == name
+    assert len(soc) > 0
+
+
+def test_unknown_name_reports_options():
+    with pytest.raises(KeyError, match="d695"):
+        get_benchmark("nope")
+
+
+def test_builds_are_deterministic():
+    assert get_benchmark("p93791") == get_benchmark("p93791")
+
+
+def test_d695_core_order_matches_paper(d695):
+    # Assignment vectors in Tables 2/3 index cores in this order.
+    assert [core.name for core in d695] == [
+        "c6288", "c7552", "s838", "s9234", "s38584",
+        "s13207", "s15850", "s5378", "s35932", "s38417",
+    ]

@@ -1,0 +1,141 @@
+"""Unit tests for the ITC'02-style .soc parser/writer."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.soc.core import Core
+from repro.soc.itc02 import format_soc, load_soc, parse_soc, write_soc
+from repro.soc.soc import Soc
+
+SAMPLE = """
+# demo SOC
+soc demo
+core alpha
+    patterns   12
+    inputs     3
+    outputs    2
+    bidirs     1
+    scanchains 2 : 8 4
+end
+core beta
+    patterns 5
+    inputs 10
+    outputs 10
+    scanchains 0
+end
+"""
+
+
+class TestParse:
+    def test_roundtrip_fields(self):
+        soc = parse_soc(SAMPLE)
+        assert soc.name == "demo"
+        alpha = soc.core_by_name("alpha")
+        assert alpha.num_patterns == 12
+        assert alpha.num_bidirs == 1
+        assert alpha.scan_chain_lengths == (8, 4)
+        beta = soc.core_by_name("beta")
+        assert not beta.is_scan_testable
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "soc s\n\n# comment\ncore c # trailing\npatterns 1\ninputs 1\noutputs 0\nend\n"
+        soc = parse_soc(text)
+        assert soc.core_by_name("c").num_patterns == 1
+
+    def test_keywords_case_insensitive(self):
+        text = "SOC s\nCORE c\nPATTERNS 2\nINPUTS 1\nOUTPUTS 1\nEND\n"
+        assert parse_soc(text).name == "s"
+
+    def test_missing_soc_decl(self):
+        with pytest.raises(ParseError, match="before 'soc'"):
+            parse_soc("core c\npatterns 1\ninputs 1\noutputs 1\nend\n")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError, match="no 'soc'"):
+            parse_soc("")
+
+    def test_soc_without_cores(self):
+        with pytest.raises(ParseError, match="no cores"):
+            parse_soc("soc lonely\n")
+
+    def test_duplicate_soc(self):
+        with pytest.raises(ParseError, match="duplicate 'soc'"):
+            parse_soc("soc a\nsoc b\n")
+
+    def test_nested_core(self):
+        with pytest.raises(ParseError, match="nested 'core'"):
+            parse_soc("soc s\ncore a\ncore b\n")
+
+    def test_unclosed_core(self):
+        with pytest.raises(ParseError, match="not closed"):
+            parse_soc("soc s\ncore a\npatterns 1\ninputs 1\noutputs 1\n")
+
+    def test_end_outside_block(self):
+        with pytest.raises(ParseError, match="outside a core block"):
+            parse_soc("soc s\nend\n")
+
+    def test_missing_patterns(self):
+        with pytest.raises(ParseError, match="missing 'patterns'"):
+            parse_soc("soc s\ncore c\ninputs 1\noutputs 1\nend\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ParseError, match="unknown keyword"):
+            parse_soc("soc s\nfrobnicate 3\n")
+
+    def test_non_integer_value(self):
+        with pytest.raises(ParseError, match="expected integer"):
+            parse_soc("soc s\ncore c\npatterns many\nend\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_soc("soc s\ncore c\npatterns zero\nend\n")
+        assert excinfo.value.line_number == 3
+        assert "line 3" in str(excinfo.value)
+
+    def test_scanchain_count_mismatch(self):
+        with pytest.raises(ParseError, match="listed"):
+            parse_soc(
+                "soc s\ncore c\npatterns 1\ninputs 1\noutputs 1\n"
+                "scanchains 3 : 1 2\nend\n"
+            )
+
+    def test_scanchains_missing_colon(self):
+        with pytest.raises(ParseError, match="':"):
+            parse_soc(
+                "soc s\ncore c\npatterns 1\ninputs 1\noutputs 1\n"
+                "scanchains 2 1 2\nend\n"
+            )
+
+    def test_scanchains_zero_with_lengths(self):
+        with pytest.raises(ParseError, match="takes no lengths"):
+            parse_soc(
+                "soc s\ncore c\npatterns 1\ninputs 1\noutputs 1\n"
+                "scanchains 0 : 1\nend\n"
+            )
+
+    def test_attribute_outside_core(self):
+        with pytest.raises(ParseError, match="outside a core block"):
+            parse_soc("soc s\npatterns 4\n")
+
+
+class TestWrite:
+    def _demo_soc(self):
+        return Soc("demo", cores=(
+            Core("a", num_patterns=3, num_inputs=2, num_outputs=1,
+                 num_bidirs=1, scan_chain_lengths=(7, 3)),
+            Core("b", num_patterns=9, num_inputs=5, num_outputs=5),
+        ))
+
+    def test_format_then_parse_roundtrip(self):
+        soc = self._demo_soc()
+        assert parse_soc(format_soc(soc)) == soc
+
+    def test_file_roundtrip(self, tmp_path):
+        soc = self._demo_soc()
+        path = tmp_path / "demo.soc"
+        write_soc(soc, path)
+        assert load_soc(path) == soc
+
+    def test_benchmarks_roundtrip(self, d695, p31108):
+        for soc in (d695, p31108):
+            assert parse_soc(format_soc(soc)) == soc

@@ -1,0 +1,166 @@
+"""Unit tests for the original ITC'02 benchmark format."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.soc.itc02_full import (
+    format_itc02_soc,
+    load_itc02_soc,
+    parse_itc02_soc,
+    write_itc02_soc,
+)
+
+SAMPLE = """
+SocName demo
+TotalModules 3
+
+Module 0
+    Level 0
+    Inputs 10
+    Outputs 20
+    Bidirs 0
+    TotalTests 0
+
+Module 1
+    Level 1
+    Inputs 36
+    Outputs 39
+    Bidirs 2
+    ScanChains 4 : 54 53 52 52
+    TotalTests 1
+    Test 1
+        TotalPatterns 105
+        ScanUse 1
+        TamUse 1
+
+Module 2
+    Level 1
+    Inputs 8
+    Outputs 8
+    Bidirs 0
+    ScanChains 0
+    TotalTests 2
+    Test 1
+        TotalPatterns 40
+        ScanUse 0
+        TamUse 1
+    Test 2
+        TotalPatterns 999
+        ScanUse 0
+        TamUse 0
+"""
+
+
+class TestParse:
+    def test_top_module_excluded(self):
+        soc = parse_itc02_soc(SAMPLE)
+        assert soc.name == "demo"
+        assert len(soc) == 2  # module 0 is the SOC itself
+
+    def test_module_fields(self):
+        soc = parse_itc02_soc(SAMPLE)
+        module1 = soc.core_by_name("Module1")
+        assert module1.num_patterns == 105
+        assert module1.num_bidirs == 2
+        assert module1.scan_chain_lengths == (54, 53, 52, 52)
+
+    def test_non_tam_tests_skipped(self):
+        soc = parse_itc02_soc(SAMPLE)
+        module2 = soc.core_by_name("Module2")
+        # Test 2 has TamUse 0 -> only the 40 TAM patterns count.
+        assert module2.num_patterns == 40
+
+    def test_multiple_tam_tests_summed(self):
+        text = SAMPLE.replace("TamUse 0", "TamUse 1")
+        soc = parse_itc02_soc(text)
+        assert soc.core_by_name("Module2").num_patterns == 40 + 999
+
+    def test_comments_tolerated(self):
+        text = SAMPLE.replace(
+            "SocName demo", "# header\nSocName demo  // trailing"
+        )
+        assert parse_itc02_soc(text).name == "demo"
+
+    def test_unknown_keywords_ignored(self):
+        text = SAMPLE.replace(
+            "TotalTests 1", "PowerBudget 450\nTotalTests 1"
+        )
+        assert len(parse_itc02_soc(text)) == 2
+
+    def test_missing_socname(self):
+        with pytest.raises(ParseError, match="SocName"):
+            parse_itc02_soc("Module 0\nLevel 0\n")
+
+    def test_duplicate_socname(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_itc02_soc("SocName a\nSocName b\n")
+
+    def test_totalmodules_mismatch(self):
+        text = SAMPLE.replace("TotalModules 3", "TotalModules 7")
+        with pytest.raises(ParseError, match="TotalModules"):
+            parse_itc02_soc(text)
+
+    def test_scanchains_length_mismatch(self):
+        text = SAMPLE.replace(
+            "ScanChains 4 : 54 53 52 52", "ScanChains 4 : 54 53"
+        )
+        with pytest.raises(ParseError, match="lists"):
+            parse_itc02_soc(text)
+
+    def test_scanchains_missing_colon(self):
+        text = SAMPLE.replace(
+            "ScanChains 4 : 54 53 52 52", "ScanChains 4 54 53 52 52"
+        )
+        with pytest.raises(ParseError, match="':"):
+            parse_itc02_soc(text)
+
+    def test_test_outside_module(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_itc02_soc("SocName s\nTest 1\n")
+
+    def test_patterns_outside_test(self):
+        with pytest.raises(ParseError, match="outside a Test"):
+            parse_itc02_soc(
+                "SocName s\nModule 1\nLevel 1\nInputs 1\nOutputs 1\n"
+                "TotalPatterns 5\n"
+            )
+
+    def test_no_testable_modules(self):
+        with pytest.raises(ParseError, match="no TAM-testable"):
+            parse_itc02_soc("SocName s\nModule 0\nLevel 0\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_itc02_soc("SocName s\nModule x\n")
+        assert excinfo.value.line_number == 2
+
+
+class TestWrite:
+    def test_roundtrip_structure(self, d695):
+        reparsed = parse_itc02_soc(format_itc02_soc(d695))
+        assert reparsed.name == d695.name
+        assert len(reparsed) == len(d695)
+        # Names become ModuleK; everything else survives.
+        for original, parsed in zip(d695.cores, reparsed.cores):
+            assert parsed.num_patterns == original.num_patterns
+            assert parsed.num_inputs == original.num_inputs
+            assert parsed.num_outputs == original.num_outputs
+            assert parsed.num_bidirs == original.num_bidirs
+            assert parsed.scan_chain_lengths == \
+                original.scan_chain_lengths
+
+    def test_file_roundtrip(self, tmp_path, tiny_soc):
+        path = tmp_path / "tiny_itc02.soc"
+        write_itc02_soc(tiny_soc, path)
+        reparsed = load_itc02_soc(path)
+        assert len(reparsed) == len(tiny_soc)
+
+    def test_equivalent_optimization_results(self, d695):
+        # The round trip preserves everything the optimizer reads, so
+        # results must be identical.
+        from repro.optimize.co_optimize import co_optimize
+        reparsed = parse_itc02_soc(format_itc02_soc(d695))
+        original = co_optimize(d695, 16, num_tams=2)
+        roundtrip = co_optimize(reparsed, 16, num_tams=2)
+        assert original.testing_time == roundtrip.testing_time
+        assert original.partition == roundtrip.partition

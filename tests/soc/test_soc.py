@@ -1,0 +1,143 @@
+"""Unit tests for repro.soc.soc."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+
+def _core(name, scan=(), patterns=10):
+    return Core(name, num_patterns=patterns, num_inputs=2, num_outputs=2,
+                scan_chain_lengths=scan)
+
+
+class TestConstruction:
+    def test_basic(self):
+        soc = Soc("s", cores=(_core("a"), _core("b")))
+        assert len(soc) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Soc("s", cores=())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Soc("", cores=(_core("a"),))
+
+    def test_duplicate_core_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Soc("s", cores=(_core("a"), _core("a")))
+
+    def test_cores_normalized_to_tuple(self):
+        soc = Soc("s", cores=[_core("a")])
+        assert isinstance(soc.cores, tuple)
+
+
+class TestAccess:
+    def test_iteration_preserves_order(self):
+        soc = Soc("s", cores=(_core("a"), _core("b"), _core("c")))
+        assert [core.name for core in soc] == ["a", "b", "c"]
+
+    def test_getitem(self):
+        soc = Soc("s", cores=(_core("a"), _core("b")))
+        assert soc[1].name == "b"
+
+    def test_core_by_name(self):
+        soc = Soc("s", cores=(_core("a"), _core("b")))
+        assert soc.core_by_name("b").name == "b"
+
+    def test_core_by_name_missing(self):
+        soc = Soc("s", cores=(_core("a"),))
+        with pytest.raises(KeyError):
+            soc.core_by_name("zz")
+
+    def test_index_of(self):
+        soc = Soc("s", cores=(_core("a"), _core("b")))
+        assert soc.index_of("b") == 1
+        with pytest.raises(KeyError):
+            soc.index_of("zz")
+
+
+class TestSelectors:
+    def test_logic_memory_split(self):
+        soc = Soc("s", cores=(_core("logic", scan=(4,)), _core("mem")))
+        assert [c.name for c in soc.logic_cores] == ["logic"]
+        assert [c.name for c in soc.memory_cores] == ["mem"]
+
+    def test_total_test_data_bits(self):
+        soc = Soc("s", cores=(_core("a"), _core("b")))
+        assert soc.total_test_data_bits == sum(
+            core.test_data_bits for core in soc
+        )
+
+
+class TestRangeSummary:
+    def test_logic_summary(self):
+        soc = Soc("s", cores=(
+            _core("a", scan=(4, 8), patterns=10),
+            _core("b", scan=(2,), patterns=50),
+        ))
+        summary = soc.logic_range_summary()
+        assert summary.num_cores == 2
+        assert summary.patterns == (10, 50)
+        assert summary.scan_chains == (1, 2)
+        assert summary.scan_lengths == (2, 8)
+
+    def test_memory_summary_no_lengths(self):
+        soc = Soc("s", cores=(_core("m1"), _core("m2")))
+        summary = soc.memory_range_summary()
+        assert summary.scan_lengths is None
+        assert summary.as_row()["lengths"] == "-"
+
+    def test_summary_none_when_empty(self):
+        soc = Soc("s", cores=(_core("m1"),))
+        assert soc.logic_range_summary() is None
+
+    def test_as_row_format(self):
+        soc = Soc("s", cores=(_core("a", scan=(4,), patterns=7),))
+        row = soc.logic_range_summary().as_row()
+        assert row["patterns"] == "7-7"
+        assert row["cores"] == "1"
+
+    def test_describe_lists_every_core(self):
+        soc = Soc("s", cores=(_core("a"), _core("b")))
+        text = soc.describe()
+        assert "a:" in text and "b:" in text
+        assert "2 cores" in text
+
+
+class TestBenchmarkFixtures:
+    def test_d695_composition(self, d695):
+        assert len(d695) == 10
+        assert len(d695.logic_cores) == 8   # the two ISCAS'85 are comb.
+        assert d695.core_by_name("s38417").total_scan_cells == 1636
+
+    def test_p21241_matches_table4(self, p21241):
+        logic = p21241.logic_range_summary()
+        memory = p21241.memory_range_summary()
+        assert logic.num_cores == 22 and memory.num_cores == 6
+        assert logic.patterns == (1, 785)
+        assert logic.functional_ios == (37, 1197)
+        assert logic.scan_chains == (1, 31)
+        assert logic.scan_lengths == (1, 400)
+        assert memory.patterns == (222, 12324)
+        assert memory.functional_ios == (52, 148)
+
+    def test_p31108_matches_table8(self, p31108):
+        logic = p31108.logic_range_summary()
+        memory = p31108.memory_range_summary()
+        assert logic.num_cores == 4 and memory.num_cores == 15
+        assert logic.patterns == (210, 745)
+        assert logic.scan_lengths == (8, 806)
+        assert memory.patterns == (128, 12236)
+        assert memory.functional_ios == (11, 87)
+
+    def test_p93791_matches_table14(self, p93791):
+        logic = p93791.logic_range_summary()
+        memory = p93791.memory_range_summary()
+        assert logic.num_cores == 14 and memory.num_cores == 18
+        assert logic.patterns == (11, 6127)
+        assert logic.scan_chains == (11, 46)
+        assert memory.patterns == (42, 3085)
+        assert memory.functional_ios == (21, 396)

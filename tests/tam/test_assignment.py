@@ -1,0 +1,82 @@
+"""Unit tests for AssignmentResult / evaluate_assignment."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.tam.assignment import AssignmentResult, evaluate_assignment
+
+TIMES = [
+    [10, 20],
+    [30, 15],
+    [5, 50],
+]
+
+
+class TestEvaluateAssignment:
+    def test_bus_times(self):
+        result = evaluate_assignment(TIMES, [8, 4], [0, 1, 0])
+        assert result.bus_times == (15, 15)
+        assert result.testing_time == 15
+
+    def test_all_on_one_bus(self):
+        result = evaluate_assignment(TIMES, [8, 4], [0, 0, 0])
+        assert result.bus_times == (45, 0)
+        assert result.testing_time == 45
+
+    def test_out_of_range_bus(self):
+        with pytest.raises(ValidationError):
+            evaluate_assignment(TIMES, [8, 4], [0, 2, 0])
+
+    def test_wrong_length(self):
+        with pytest.raises(ValidationError):
+            evaluate_assignment(TIMES, [8, 4], [0, 1])
+
+    def test_optimal_flag_passthrough(self):
+        result = evaluate_assignment(TIMES, [8, 4], [0, 1, 0], optimal=True)
+        assert result.optimal
+
+
+class TestAssignmentResult:
+    def _result(self):
+        return evaluate_assignment(TIMES, [8, 4], [1, 0, 1])
+
+    def test_vector_notation_one_based(self):
+        assert self._result().vector_notation() == "(2,1,2)"
+
+    def test_cores_on_bus(self):
+        result = self._result()
+        assert result.cores_on_bus(0) == (1,)
+        assert result.cores_on_bus(1) == (0, 2)
+
+    def test_architecture(self):
+        assert self._result().architecture.notation() == "8+4"
+
+    def test_num_tams(self):
+        assert self._result().num_tams == 2
+
+    def test_inconsistent_testing_time_rejected(self):
+        with pytest.raises(ValidationError):
+            AssignmentResult(
+                widths=(8, 4),
+                assignment=(0, 1, 0),
+                bus_times=(15, 15),
+                testing_time=99,
+            )
+
+    def test_inconsistent_bus_count_rejected(self):
+        with pytest.raises(ValidationError):
+            AssignmentResult(
+                widths=(8, 4),
+                assignment=(0,),
+                bus_times=(15,),
+                testing_time=15,
+            )
+
+    def test_assignment_bus_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            AssignmentResult(
+                widths=(8,),
+                assignment=(1,),
+                bus_times=(10,),
+                testing_time=10,
+            )

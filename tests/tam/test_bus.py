@@ -1,0 +1,47 @@
+"""Unit tests for TamArchitecture."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.tam.bus import TamArchitecture
+
+
+def test_basic():
+    arch = TamArchitecture((8, 16, 8))
+    assert arch.num_tams == 3
+    assert arch.total_width == 32
+
+
+def test_iteration_and_indexing():
+    arch = TamArchitecture((4, 2))
+    assert list(arch) == [4, 2]
+    assert arch[1] == 2
+    assert len(arch) == 2
+
+
+def test_empty_rejected():
+    with pytest.raises(ValidationError):
+        TamArchitecture(())
+
+
+def test_zero_width_rejected():
+    with pytest.raises(ValidationError):
+        TamArchitecture((4, 0))
+
+
+def test_canonical_sorts():
+    assert TamArchitecture((5, 3, 8)).canonical() == TamArchitecture((3, 5, 8))
+
+
+def test_canonical_equivalence():
+    assert (TamArchitecture((8, 16)).canonical()
+            == TamArchitecture((16, 8)).canonical())
+
+
+def test_notation():
+    assert TamArchitecture((5, 3, 8)).notation() == "5+3+8"
+
+
+def test_widths_normalized_to_tuple():
+    arch = TamArchitecture([1, 2])
+    assert isinstance(arch.widths, tuple)

@@ -1,0 +1,44 @@
+"""Run the executable examples embedded in module docstrings.
+
+Keeps every ``>>>`` snippet in the public API honest — a doc example
+that drifts from the code fails the suite.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.partition.count
+import repro.partition.enumerate
+import repro.report.tables
+import repro.schedule.lpt
+import repro.soc.complexity
+import repro.wrapper.design
+import repro.wrapper.timing
+
+MODULES = [
+    repro,
+    repro.partition.count,
+    repro.partition.enumerate,
+    repro.report.tables,
+    repro.schedule.lpt,
+    repro.soc.complexity,
+    repro.wrapper.design,
+    repro.wrapper.timing,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda module: module.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert results.attempted > 0, (
+        f"{module.__name__} has no doctests — drop it from MODULES"
+    )
+    assert results.failed == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the BFD bin-packing primitives."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wrapper.bfd import balance_units, pack_decreasing
+
+
+class TestPackDecreasing:
+    def test_empty(self):
+        assert pack_decreasing([], max_bins=4) == []
+
+    def test_single_item(self):
+        assert pack_decreasing([5], max_bins=4) == [[0]]
+
+    def test_items_fit_within_longest(self):
+        # capacity defaults to max weight = 8: 5+3 fit together.
+        bins = pack_decreasing([8, 5, 3], max_bins=3)
+        loads = sorted(sum([8, 5, 3][i] for i in b) for b in bins)
+        assert loads == [8, 8]
+
+    def test_respects_max_bins(self):
+        bins = pack_decreasing([9, 9, 9, 9], max_bins=2)
+        assert len(bins) == 2
+
+    def test_overflow_goes_to_least_loaded(self):
+        bins = pack_decreasing([10, 10, 4], max_bins=2)
+        loads = sorted(sum([10, 10, 4][i] for i in b) for b in bins)
+        assert loads == [10, 14]
+
+    def test_reluctance_single_bin_when_possible(self):
+        # Everything fits in one bin of capacity 10.
+        bins = pack_decreasing([4, 3, 3], max_bins=8, capacity=10)
+        assert len(bins) == 1
+
+    def test_every_item_placed_once(self):
+        weights = [7, 2, 9, 4, 4, 1, 6]
+        bins = pack_decreasing(weights, max_bins=3)
+        placed = sorted(i for b in bins for i in b)
+        assert placed == list(range(len(weights)))
+
+    def test_explicit_capacity(self):
+        bins = pack_decreasing([4, 4, 4], max_bins=3, capacity=8)
+        assert len(bins) == 2
+
+    def test_deterministic(self):
+        weights = [5, 3, 5, 2, 7]
+        assert pack_decreasing(weights, 3) == pack_decreasing(weights, 3)
+
+    def test_invalid_max_bins(self):
+        with pytest.raises(ConfigurationError):
+            pack_decreasing([1], max_bins=0)
+
+    def test_negative_weight(self):
+        with pytest.raises(ConfigurationError):
+            pack_decreasing([1, -2], max_bins=2)
+
+
+class TestBalanceUnits:
+    def test_zero_units(self):
+        placements, max_load = balance_units([3, 1], 0)
+        assert placements == [0, 0]
+        assert max_load == 3
+
+    def test_balances_onto_light_bin(self):
+        placements, max_load = balance_units([5, 0], 5)
+        assert placements == [0, 5]
+        assert max_load == 5
+
+    def test_even_spread(self):
+        placements, max_load = balance_units([0, 0, 0], 7)
+        assert sorted(placements) == [2, 2, 3]
+        assert max_load == 3
+
+    def test_optimal_max_load(self):
+        # greedy on unit items is optimal: check against brute force.
+        initial = [4, 2, 1]
+        units = 6
+        placements, max_load = balance_units(initial, units)
+        assert sum(placements) == units
+        best = min(
+            max(initial[0] + a, initial[1] + b, initial[2] + units - a - b)
+            for a in range(units + 1)
+            for b in range(units + 1 - a)
+        )
+        assert max_load == best
+
+    def test_prefers_used_bins_on_ties(self):
+        # bins loads equal; bin 0 used, bin 1 unused: single unit
+        # should land on the used bin.
+        placements, _ = balance_units([0, 0], 1, used=[True, False])
+        assert placements == [1, 0]
+
+    def test_no_bins_with_units(self):
+        with pytest.raises(ConfigurationError):
+            balance_units([], 3)
+
+    def test_no_bins_no_units(self):
+        assert balance_units([], 0) == ([], 0)
+
+    def test_negative_units(self):
+        with pytest.raises(ConfigurationError):
+            balance_units([1], -1)

@@ -1,0 +1,97 @@
+"""Unit tests for WrapperChain / WrapperDesign."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.soc.core import Core
+from repro.wrapper.chain import WrapperChain, WrapperDesign
+
+
+class TestWrapperChain:
+    def test_lengths(self):
+        chain = WrapperChain(scan_chain_lengths=(4, 2),
+                             num_input_cells=3, num_output_cells=1)
+        assert chain.scan_cells == 6
+        assert chain.scan_in_length == 9
+        assert chain.scan_out_length == 7
+
+    def test_empty_flag(self):
+        assert WrapperChain().is_empty
+        assert not WrapperChain(num_input_cells=1).is_empty
+        assert not WrapperChain(scan_chain_lengths=(1,)).is_empty
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValidationError):
+            WrapperChain(num_input_cells=-1)
+
+
+class TestWrapperDesign:
+    def _core(self):
+        return Core("c", num_patterns=10, num_inputs=3, num_outputs=2,
+                    scan_chain_lengths=(6, 4))
+
+    def _design(self):
+        chains = (
+            WrapperChain(scan_chain_lengths=(6,), num_input_cells=1,
+                         num_output_cells=1),
+            WrapperChain(scan_chain_lengths=(4,), num_input_cells=2,
+                         num_output_cells=1),
+        )
+        return WrapperDesign(core=self._core(), width_available=3,
+                             chains=chains)
+
+    def test_si_so(self):
+        design = self._design()
+        assert design.scan_in_length == 7   # max(6+1, 4+2)
+        assert design.scan_out_length == 7  # max(6+1, 4+1)
+
+    def test_used_width_ignores_empty_chains(self):
+        design = self._design()
+        assert design.used_width == 2
+
+    def test_testing_time_matches_formula(self):
+        design = self._design()
+        assert design.testing_time == (1 + 7) * 10 + 7
+
+    def test_conservation_scan_chains(self):
+        chains = (WrapperChain(scan_chain_lengths=(6, 6)),)
+        with pytest.raises(ValidationError, match="scan chains"):
+            WrapperDesign(core=self._core(), width_available=2,
+                          chains=chains)
+
+    def test_conservation_input_cells(self):
+        chains = (
+            WrapperChain(scan_chain_lengths=(6, 4), num_input_cells=99,
+                         num_output_cells=2),
+        )
+        with pytest.raises(ValidationError, match="input cells"):
+            WrapperDesign(core=self._core(), width_available=2,
+                          chains=chains)
+
+    def test_conservation_output_cells(self):
+        chains = (
+            WrapperChain(scan_chain_lengths=(6, 4), num_input_cells=3,
+                         num_output_cells=99),
+        )
+        with pytest.raises(ValidationError, match="output cells"):
+            WrapperDesign(core=self._core(), width_available=2,
+                          chains=chains)
+
+    def test_too_many_chains_rejected(self):
+        chains = (
+            WrapperChain(scan_chain_lengths=(6,), num_input_cells=3,
+                         num_output_cells=2),
+            WrapperChain(scan_chain_lengths=(4,)),
+        )
+        with pytest.raises(ValidationError, match="exceed available"):
+            WrapperDesign(core=self._core(), width_available=1,
+                          chains=chains)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValidationError):
+            WrapperDesign(core=self._core(), width_available=0, chains=())
+
+    def test_describe(self):
+        text = self._design().describe()
+        assert "si=7" in text and "so=7" in text
+        assert "chain 0" in text

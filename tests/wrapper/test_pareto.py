@@ -1,0 +1,77 @@
+"""Unit tests for the per-core width→time tables."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.wrapper.design import design_wrapper
+from repro.wrapper.pareto import TimeTable, build_time_tables, times_matrix
+
+
+class TestTimeTable:
+    def test_monotone_non_increasing(self, scan_core):
+        table = TimeTable(scan_core, max_width=24)
+        times = [table.time(w) for w in range(1, 25)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_never_worse_than_raw_design(self, scan_core):
+        table = TimeTable(scan_core, max_width=16)
+        for width in range(1, 17):
+            assert table.time(width) <= design_wrapper(
+                scan_core, width
+            ).testing_time
+
+    def test_design_achieves_reported_time(self, scan_core):
+        table = TimeTable(scan_core, max_width=16)
+        for width in (1, 3, 7, 16):
+            assert table.design(width).testing_time == table.time(width)
+
+    def test_design_width_within_budget(self, scan_core):
+        table = TimeTable(scan_core, max_width=16)
+        for width in range(1, 17):
+            assert table.design(width).used_width <= width
+
+    def test_min_time_and_saturation(self, memory_core):
+        table = TimeTable(memory_core, max_width=64)
+        sat = table.saturation_width
+        assert table.time(sat) == table.min_time
+        if sat > 1:
+            assert table.time(sat - 1) > table.min_time
+
+    def test_pareto_points_strictly_decreasing(self, scan_core):
+        table = TimeTable(scan_core, max_width=32)
+        points = table.pareto_points()
+        widths = [w for w, _ in points]
+        times = [t for _, t in points]
+        assert widths[0] == 1
+        assert widths == sorted(widths)
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_pareto_first_point_is_w1(self, combinational_core):
+        table = TimeTable(combinational_core, max_width=8)
+        assert table.pareto_points()[0] == (1, table.time(1))
+
+    def test_out_of_range_queries(self, scan_core):
+        table = TimeTable(scan_core, max_width=8)
+        with pytest.raises(ConfigurationError):
+            table.time(0)
+        with pytest.raises(ConfigurationError):
+            table.time(9)
+
+    def test_invalid_max_width(self, scan_core):
+        with pytest.raises(ConfigurationError):
+            TimeTable(scan_core, max_width=0)
+
+
+class TestBuildTables:
+    def test_one_table_per_core(self, tiny_soc):
+        tables = build_time_tables(tiny_soc, max_width=12)
+        assert set(tables) == {core.name for core in tiny_soc}
+
+    def test_times_matrix_shape(self, tiny_soc):
+        tables = build_time_tables(tiny_soc, max_width=12)
+        table_list = [tables[c.name] for c in tiny_soc]
+        matrix = times_matrix(table_list, widths=[4, 8])
+        assert len(matrix) == 3
+        assert all(len(row) == 2 for row in matrix)
+        for row, table in zip(matrix, table_list):
+            assert row == [table.time(4), table.time(8)]

@@ -1,0 +1,47 @@
+"""Unit tests for the testing-time formula."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.wrapper.timing import testing_time as compute_time
+
+
+def test_formula():
+    assert compute_time(10, 4, 6) == (1 + 6) * 10 + 4
+
+
+def test_symmetric_in_si_so():
+    assert compute_time(7, 3, 9) == compute_time(7, 9, 3)
+
+
+def test_zero_scan_pure_capture():
+    assert compute_time(5, 0, 0) == 5
+
+
+def test_one_sided():
+    # outputs only: (1 + so) * p + 0
+    assert compute_time(4, 0, 10) == 44
+
+
+def test_single_pattern():
+    assert compute_time(1, 8, 8) == 9 + 8
+
+
+def test_monotone_in_patterns():
+    assert compute_time(11, 5, 5) > compute_time(10, 5, 5)
+
+
+def test_monotone_in_scan_lengths():
+    assert compute_time(10, 6, 6) > compute_time(10, 5, 6)
+
+
+def test_invalid_patterns():
+    with pytest.raises(ValidationError):
+        compute_time(0, 1, 1)
+
+
+def test_negative_scan():
+    with pytest.raises(ValidationError):
+        compute_time(1, -1, 0)
+    with pytest.raises(ValidationError):
+        compute_time(1, 0, -1)
