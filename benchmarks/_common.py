@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.engine import BatchRunner, grid_rows
+from repro.engine.batch import BATCH_COLUMNS
 from repro.report.experiments import (
     PAPER_WIDTHS,
     run_npaw,
@@ -22,6 +24,22 @@ COMPARISON_COLUMNS = [
     "new_partition", "T_new", "t_new_s", "delta_pct", "cpu_ratio",
 ]
 NPAW_COLUMNS = ["W", "B", "partition", "T_new", "t_new_s"]
+
+
+def run_batch_sweep(
+    socs: Sequence,
+    widths: Sequence[int],
+    max_workers: "int | None" = None,
+    options: "Dict[str, object] | None" = None,
+) -> List[Dict[str, object]]:
+    """Sweep ``socs`` x ``widths`` through the parallel batch engine.
+
+    ``options`` are forwarded to every job's ``co_optimize`` call.
+    Returns one row per grid point in job order, ready for
+    :func:`rows_to_table` with ``BATCH_COLUMNS``.
+    """
+    runner = BatchRunner(max_workers=max_workers)
+    return grid_rows(runner.run_grid(socs, widths, options=options))
 
 
 def run_comparison_bench(

@@ -23,7 +23,11 @@ Layered API (bottom-up, matching the paper's problem progression):
   :func:`repro.assign.solve_paw_ilp` (the literal ILP of [8]);
 * **P_PAW / P_NPAW** — :func:`repro.partition.partition_evaluate`
   (Fig. 3), :func:`repro.optimize.co_optimize` (the full method),
-  :func:`repro.optimize.exhaustive_optimize` (the [8] baseline).
+  :func:`repro.optimize.exhaustive_optimize` (the [8] baseline);
+* **sweeps at scale** — :class:`repro.engine.WrapperTableCache`
+  (build each core's time table once, share it everywhere) and
+  :class:`repro.engine.BatchRunner` (parallel (SOC, W, B) grids over
+  a process pool).
 """
 
 from repro.soc.core import Core
@@ -38,6 +42,7 @@ from repro.optimize.co_optimize import co_optimize
 from repro.optimize.exhaustive import exhaustive_optimize
 from repro.analysis.certificates import certify
 from repro.analysis.utilization import analyze_utilization
+from repro.engine import BatchJob, BatchRunner, WrapperTableCache
 from repro.tam.bus import TamArchitecture
 from repro.tam.assignment import AssignmentResult
 
@@ -57,6 +62,9 @@ __all__ = [
     "exhaustive_optimize",
     "certify",
     "analyze_utilization",
+    "WrapperTableCache",
+    "BatchJob",
+    "BatchRunner",
     "TamArchitecture",
     "AssignmentResult",
     "__version__",

@@ -21,7 +21,12 @@ from repro.analysis.utilization import (
     analyze_utilization,
 )
 from repro.analysis.certificates import Certificate, certify
-from repro.analysis.sweep import SweepPoint, sweep_widths, sweep_tam_counts
+from repro.analysis.sweep import (
+    SweepPoint,
+    evaluate_point,
+    sweep_widths,
+    sweep_tam_counts,
+)
 
 __all__ = [
     "ArchitectureUtilization",
@@ -30,6 +35,7 @@ __all__ = [
     "Certificate",
     "certify",
     "SweepPoint",
+    "evaluate_point",
     "sweep_widths",
     "sweep_tam_counts",
 ]

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.exceptions import ValidationError
 from repro.schedule.makespan import unrelated_lower_bound
 from repro.soc.soc import Soc
 from repro.tam.assignment import AssignmentResult
-from repro.wrapper.pareto import TimeTable
+from repro.wrapper.pareto import TimeTable, build_time_tables
 
 
 @dataclass(frozen=True)
@@ -88,9 +88,18 @@ def global_lower_bound(
 def certify(
     soc: Soc,
     result: AssignmentResult,
-    tables: Dict[str, TimeTable],
+    tables: Optional[Dict[str, TimeTable]] = None,
 ) -> Certificate:
-    """Build a :class:`Certificate` for ``result`` on ``soc``."""
+    """Build a :class:`Certificate` for ``result`` on ``soc``.
+
+    ``tables`` are the wrapper time tables to read T(i, w) from —
+    pass the ones the optimization already built (e.g.
+    ``CoOptimizationResult.tables`` or a
+    :class:`repro.engine.WrapperTableCache`).  When ``None`` they are
+    built here, which re-runs ``Design_wrapper`` per (core, width).
+    """
+    if tables is None:
+        tables = build_time_tables(soc, sum(result.widths))
     times = [
         [tables[core.name].time(width) for width in result.widths]
         for core in soc.cores

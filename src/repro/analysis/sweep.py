@@ -9,21 +9,35 @@ two questions every SOC test architect asks first:
 Each sweep point carries the optimality certificate and wire-cycle
 utilization from the sibling modules, so the answers come with their
 *why*.
+
+Both sweeps execute through :class:`repro.engine.BatchRunner`: by
+default inline (sequential, deterministic), or in parallel across a
+process pool when a runner with workers is passed in.  Either way the
+wrapper time tables are built once per core via
+:class:`repro.engine.WrapperTableCache` and shared by the optimizer,
+the certificate, and the utilization accounting — a width sweep over
+``1..W`` performs exactly one ``design_wrapper`` call per
+(core, width) pair instead of the O(W²) a rebuild-per-point strategy
+would pay.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.certificates import Certificate, certify
 from repro.analysis.utilization import (
     ArchitectureUtilization,
     analyze_utilization,
 )
+from repro.exceptions import ConfigurationError
 from repro.optimize.co_optimize import co_optimize
 from repro.soc.soc import Soc
-from repro.wrapper.pareto import build_time_tables
+from repro.wrapper.pareto import TimeTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.batch import BatchRunner
 
 
 @dataclass(frozen=True)
@@ -43,13 +57,27 @@ class SweepPoint:
         return self.utilization.utilization
 
 
-def _evaluate(
+def evaluate_point(
     soc: Soc,
     total_width: int,
-    num_tams: Union[int, Iterable[int], None],
+    num_tams: Union[int, Iterable[int], None] = None,
+    tables: Optional[Dict[str, TimeTable]] = None,
+    **co_optimize_options,
 ) -> SweepPoint:
-    result = co_optimize(soc, total_width, num_tams=num_tams)
-    tables = build_time_tables(soc, total_width)
+    """Optimize one (W, B) design point and annotate it.
+
+    The certificate and utilization are computed from the *same*
+    tables the optimizer used (``result.tables``), so the point costs
+    zero extra ``design_wrapper`` calls beyond the optimization
+    itself.  Pass ``tables`` (e.g. from a
+    :class:`repro.engine.WrapperTableCache`) to also share them
+    across points.  Remaining keyword arguments go to
+    :func:`~repro.optimize.co_optimize.co_optimize` verbatim
+    (``polish``, ``exact_time_limit``, ...).
+    """
+    result = co_optimize(soc, total_width, num_tams=num_tams, tables=tables,
+                         **co_optimize_options)
+    tables = result.tables
     return SweepPoint(
         total_width=total_width,
         num_tams=result.num_tams,
@@ -60,23 +88,66 @@ def _evaluate(
     )
 
 
+def _run(
+    soc: Soc,
+    points: Sequence[Tuple[int, Union[int, Iterable[int], None]]],
+    runner: "Optional[BatchRunner]",
+) -> List[SweepPoint]:
+    """Run (W, B) points through a batch runner (inline by default)."""
+    # Imported here: repro.engine.batch builds on this module.
+    from repro.engine.batch import BatchJob, BatchRunner
+
+    if runner is None:
+        runner = BatchRunner(max_workers=1)
+    return runner.run([
+        BatchJob(soc=soc, total_width=width, num_tams=num_tams)
+        for width, num_tams in points
+    ])
+
+
 def sweep_widths(
     soc: Soc,
     widths: Sequence[int],
     num_tams: Union[int, Iterable[int], None] = None,
+    runner: "Optional[BatchRunner]" = None,
 ) -> List[SweepPoint]:
-    """Testing time (and why) across TAM budgets."""
-    return [_evaluate(soc, width, num_tams) for width in widths]
+    """Testing time (and why) across TAM budgets.
+
+    ``runner`` selects the execution engine: ``None`` runs inline
+    (sequential) with table reuse across widths; a
+    :class:`repro.engine.BatchRunner` with workers fans the widths
+    out over a process pool.
+    """
+    num_tams = _freeze_counts(num_tams)
+    return _run(soc, [(width, num_tams) for width in widths], runner)
 
 
 def sweep_tam_counts(
     soc: Soc,
     total_width: int,
     tam_counts: Sequence[int],
+    runner: "Optional[BatchRunner]" = None,
 ) -> List[SweepPoint]:
-    """Testing time (and why) across TAM counts at a fixed budget."""
-    return [
-        _evaluate(soc, total_width, count)
-        for count in tam_counts
-        if count <= total_width
-    ]
+    """Testing time (and why) across TAM counts at a fixed budget.
+
+    Every requested count must be feasible: a count larger than
+    ``total_width`` cannot give each bus a wire, and raises
+    :class:`~repro.exceptions.ConfigurationError` (matching the
+    partition enumerator) instead of silently dropping the point.
+    """
+    for count in tam_counts:
+        if count > total_width:
+            raise ConfigurationError(
+                f"cannot split width {total_width} into {count} "
+                f"buses of width >= 1"
+            )
+    return _run(soc, [(total_width, count) for count in tam_counts], runner)
+
+
+def _freeze_counts(
+    num_tams: Union[int, Iterable[int], None]
+) -> Union[int, Tuple[int, ...], None]:
+    """Make a (possibly one-shot) counts iterable reusable per point."""
+    if num_tams is None or isinstance(num_tams, int):
+        return num_tams
+    return tuple(num_tams)

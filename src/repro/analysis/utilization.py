@@ -16,12 +16,12 @@ Both reduce to *wire-cycles*: the architecture offers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ValidationError
 from repro.soc.soc import Soc
 from repro.tam.assignment import AssignmentResult
-from repro.wrapper.pareto import TimeTable
+from repro.wrapper.pareto import TimeTable, build_time_tables
 
 
 @dataclass(frozen=True)
@@ -119,13 +119,18 @@ class ArchitectureUtilization:
 def analyze_utilization(
     soc: Soc,
     result: AssignmentResult,
-    tables: Dict[str, TimeTable],
+    tables: Optional[Dict[str, TimeTable]] = None,
 ) -> ArchitectureUtilization:
     """Account every wire-cycle of ``result`` on ``soc``.
 
     ``tables`` must cover widths up to the architecture's widest bus
-    (as produced by :func:`repro.wrapper.pareto.build_time_tables`).
+    (as produced by :func:`repro.wrapper.pareto.build_time_tables` or
+    shared from ``CoOptimizationResult.tables`` / a
+    :class:`repro.engine.WrapperTableCache`); when ``None`` they are
+    built here at the widest bus width.
     """
+    if tables is None:
+        tables = build_time_tables(soc, max(result.widths))
     if len(result.assignment) != len(soc.cores):
         raise ValidationError(
             f"assignment covers {len(result.assignment)} cores, "

@@ -1,14 +1,29 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     repro-tam cooptimize <file.soc | benchmark> -W 32 [--bmax 10]
     repro-tam exhaustive <file.soc | benchmark> -W 32 -B 2
+    repro-tam analyze    <file.soc | benchmark> -W 32
+    repro-tam batch      <sources...> -W 16 24 32 [--jobs N]
     repro-tam describe   <file.soc | benchmark>
 
-The positional argument is either a path to a ``.soc`` file in the
-dialect of :mod:`repro.soc.itc02`, or the name of an embedded
+Each positional SOC argument is either a path to a ``.soc`` file in
+the dialect of :mod:`repro.soc.itc02`, or the name of an embedded
 benchmark (``d695``, ``p21241``, ``p31108``, ``p93791``).
+
+Batch sweeps
+------------
+``repro-tam batch`` evaluates the full SOCs × widths grid through
+:class:`repro.engine.BatchRunner`: jobs fan out over a process pool
+(``--jobs``, default one per CPU; ``--jobs 1`` forces inline
+sequential execution) and each worker reuses its wrapper time tables
+across the jobs it receives.  Every grid point is reported with its
+testing time, optimality-certificate gap, and wire-cycle utilization;
+``--json`` emits the same records as a JSON array.  Results are
+identical to running ``cooptimize`` per point — only faster::
+
+    repro-tam batch d695 p21241 p31108 p93791 -W 16 24 32 --jobs 4
 """
 
 from __future__ import annotations
@@ -18,6 +33,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.engine import BatchRunner, grid_rows
+from repro.engine.batch import BATCH_COLUMNS
 from repro.exceptions import ReproError
 from repro.optimize.co_optimize import co_optimize
 from repro.optimize.exhaustive import exhaustive_optimize
@@ -27,7 +44,6 @@ from repro.soc.complexity import test_complexity
 from repro.soc.data import benchmark_names, get_benchmark
 from repro.soc.itc02 import load_soc
 from repro.soc.soc import Soc
-from repro.wrapper.pareto import build_time_tables
 
 
 def _load(source: str) -> Soc:
@@ -69,7 +85,7 @@ def _cmd_cooptimize(args: argparse.Namespace) -> int:
     print(result.summary())
     print(f"assignment: {result.final.vector_notation()}")
     if args.gantt:
-        tables = build_time_tables(soc, args.width)
+        tables = result.tables
         times = [
             [tables[c.name].time(w) for w in result.partition]
             for c in soc
@@ -118,11 +134,39 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         else range(1, min(args.bmax, args.width) + 1)
     )
     result = co_optimize(soc, total_width=args.width, num_tams=num_tams)
-    tables = build_time_tables(soc, args.width)
 
     print(result.summary())
-    print(certify(soc, result.final, tables).describe())
-    print(analyze_utilization(soc, result.final, tables).describe())
+    print(certify(soc, result.final, result.tables).describe())
+    print(analyze_utilization(soc, result.final, result.tables).describe())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    socs = [_load(source) for source in args.socs]
+    # Counts above a point's width are skipped by the partition sweep,
+    # so a flat 1..bmax tuple matches co_optimize's per-width default.
+    num_tams = (
+        args.num_tams if args.num_tams is not None
+        else tuple(range(1, args.bmax + 1))
+    )
+    runner = BatchRunner(max_workers=args.jobs)
+    grid = runner.run_grid(socs, args.widths, num_tams=num_tams)
+
+    if args.json:
+        from repro.report.serialize import sweep_point_to_dict, to_json
+        records = [
+            dict(sweep_point_to_dict(point), soc=job.soc.name)
+            for job, point in grid
+        ]
+        print(to_json({"schema": 1, "kind": "batch", "points": records}))
+        return 0
+
+    table = TextTable(
+        list(BATCH_COLUMNS), title="batch sweep"
+    )
+    for row in grid_rows(grid):
+        table.add_row([row[column] for column in BATCH_COLUMNS])
+    print(table.render())
     return 0
 
 
@@ -181,6 +225,25 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("-B", "--num-tams", type=int, default=None)
     analyze.add_argument("--bmax", type=int, default=10)
     analyze.set_defaults(func=_cmd_analyze)
+
+    batch = sub.add_parser(
+        "batch",
+        help="sweep SOCs x widths in parallel via the batch engine",
+    )
+    batch.add_argument("socs", nargs="+",
+                       help=".soc files and/or benchmark names")
+    batch.add_argument("-W", "--widths", type=int, nargs="+",
+                       required=True, help="TAM widths to sweep")
+    batch.add_argument("-B", "--num-tams", type=int, default=None,
+                       help="fix the number of TAMs (P_PAW)")
+    batch.add_argument("--bmax", type=int, default=10,
+                       help="max TAMs for the P_NPAW sweep (default 10)")
+    batch.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per CPU; "
+                            "1 = inline sequential)")
+    batch.add_argument("--json", action="store_true",
+                       help="emit the grid as a JSON record")
+    batch.set_defaults(func=_cmd_batch)
 
     return parser
 

@@ -1,0 +1,252 @@
+"""Parallel batch execution of (SOC, W, B) optimization jobs.
+
+A design-space sweep is embarrassingly parallel across its points,
+but a naive pool would re-run ``Design_wrapper`` per point.  The
+:class:`BatchRunner` keeps the sharing and adds the parallelism:
+
+* **inline mode** (``max_workers=1``, the default for the sequential
+  sweeps in :mod:`repro.analysis.sweep`): jobs run in the calling
+  process against runner-owned :class:`~repro.engine.cache.
+  WrapperTableCache` s, one per SOC, so a width sweep pays one
+  wrapper design per (core, width) pair in total;
+* **pool mode** (``max_workers > 1`` or ``None`` = one per CPU):
+  jobs fan out over a ``concurrent.futures`` process pool.  Each
+  worker process keeps its own module-level cache per SOC, so every
+  job a worker receives after its first reuses (and at most extends)
+  tables already built in that worker.
+
+Results come back as :class:`~repro.analysis.sweep.SweepPoint`
+records in job order, and are identical to a sequential run — the
+optimizer is deterministic and the tables a cache hands out match a
+fresh build exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.sweep import SweepPoint, evaluate_point
+from repro.engine.cache import WrapperTableCache
+from repro.exceptions import ConfigurationError
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One optimization job: a SOC, a TAM budget, and TAM count(s).
+
+    ``num_tams`` follows :func:`repro.optimize.co_optimize.co_optimize`:
+    a single count (P_PAW), a tuple of counts, or ``None`` for the
+    paper's P_NPAW default.  Iterables are frozen to tuples so jobs
+    are immutable and picklable for the process pool.
+
+    ``options`` holds extra keyword arguments forwarded to
+    ``co_optimize`` (e.g. ``polish``, ``polish_top_k``,
+    ``exact_time_limit``); a mapping is frozen to sorted items.  Note
+    that ``exact_time_limit`` is a *wall-clock* budget: a solve that
+    hits it under CPU contention returns its incumbent, so strictly
+    load-independent results require budgets generous enough that
+    solves finish by node exhaustion or optimality proof.
+    """
+
+    soc: Soc
+    total_width: int
+    num_tams: Union[int, Tuple[int, ...], None] = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.total_width < 1:
+            raise ConfigurationError(
+                f"total_width must be >= 1, got {self.total_width}"
+            )
+        if self.num_tams is not None and not isinstance(self.num_tams, int):
+            object.__setattr__(self, "num_tams", tuple(self.num_tams))
+        if isinstance(self.options, Mapping):
+            object.__setattr__(
+                self, "options", tuple(sorted(self.options.items()))
+            )
+        else:
+            object.__setattr__(self, "options", tuple(self.options))
+
+    def options_dict(self) -> Dict[str, Any]:
+        """The frozen ``options`` pairs as keyword arguments."""
+        return dict(self.options)
+
+    def describe(self) -> str:
+        """Short ``soc W=.. B=..`` label for logs and progress lines."""
+        if self.num_tams is None:
+            counts = "B=auto"
+        elif isinstance(self.num_tams, int):
+            counts = f"B={self.num_tams}"
+        else:
+            counts = f"B in {list(self.num_tams)}"
+        return f"{self.soc.name} W={self.total_width} {counts}"
+
+
+#: Per-worker-process table caches, keyed by SOC name.  Populated only
+#: inside pool workers; each worker builds tables for a SOC at most
+#: once (extending in place when a wider job arrives).
+_WORKER_CACHES: Dict[str, WrapperTableCache] = {}
+
+
+def _cache_for(
+    caches: Dict[str, WrapperTableCache], soc: Soc
+) -> WrapperTableCache:
+    """The cache for ``soc`` in ``caches``, created or replaced as needed."""
+    cache = caches.get(soc.name)
+    if cache is None or cache.soc != soc:
+        cache = WrapperTableCache(soc)
+        caches[soc.name] = cache
+    return cache
+
+
+def _run_job_cached(
+    caches: Dict[str, WrapperTableCache], job: BatchJob
+) -> SweepPoint:
+    """Evaluate one job against the shared caches."""
+    cache = _cache_for(caches, job.soc)
+    return evaluate_point(
+        job.soc,
+        job.total_width,
+        num_tams=job.num_tams,
+        tables=cache.tables(job.total_width),
+        **job.options_dict(),
+    )
+
+
+def _pool_worker(job: BatchJob) -> SweepPoint:
+    """Pool entry point: evaluate ``job`` with this worker's caches."""
+    return _run_job_cached(_WORKER_CACHES, job)
+
+
+class BatchRunner:
+    """Run batches of :class:`BatchJob` s with shared-table reuse.
+
+    Parameters
+    ----------
+    max_workers:
+        ``1`` runs jobs inline in the calling process (sequential,
+        no pool, runner-owned caches reused across ``run`` calls);
+        ``None`` uses one worker per CPU; any other value sizes the
+        process pool explicitly.  The pool never exceeds the number
+        of jobs.
+    chunksize:
+        Jobs handed to a pool worker per dispatch.  Values above 1
+        keep consecutive jobs (typically same SOC, ascending widths)
+        on one worker, improving its cache reuse at some cost in
+        load balance.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = 1,
+        chunksize: int = 1,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1 or None, got {max_workers}"
+            )
+        if chunksize < 1:
+            raise ConfigurationError(
+                f"chunksize must be >= 1, got {chunksize}"
+            )
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+        self._caches: Dict[str, WrapperTableCache] = {}
+
+    def cache_for(self, soc: Soc) -> WrapperTableCache:
+        """This runner's (inline-mode) table cache for ``soc``."""
+        return _cache_for(self._caches, soc)
+
+    def run(self, jobs: Sequence[BatchJob]) -> List[SweepPoint]:
+        """Evaluate ``jobs``, returning one point per job, in order.
+
+        Results are independent of worker count and scheduling: the
+        pipeline is deterministic given (SOC, W, B), and cached
+        tables answer exactly like freshly built ones.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        workers = self.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(jobs))
+        if workers == 1:
+            return [_run_job_cached(self._caches, job) for job in jobs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(_pool_worker, jobs, chunksize=self.chunksize)
+            )
+
+    def run_grid(
+        self,
+        socs: Iterable[Soc],
+        widths: Iterable[int],
+        num_tams: Union[int, Tuple[int, ...], None] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> List[Tuple[BatchJob, SweepPoint]]:
+        """Evaluate the full ``socs`` × ``widths`` grid.
+
+        Convenience for the CLI and benchmarks: builds one job per
+        (SOC, width) pair — widths varying fastest, every job sharing
+        ``num_tams`` and ``options`` — runs them, and pairs each job
+        with its result.
+        """
+        soc_list = list(socs)
+        width_list = list(widths)  # survives one-shot iterables
+        jobs = [
+            BatchJob(
+                soc=soc,
+                total_width=width,
+                num_tams=num_tams,
+                options=options or (),
+            )
+            for soc in soc_list
+            for width in width_list
+        ]
+        return list(zip(jobs, self.run(jobs)))
+
+
+#: Column order of :func:`grid_rows` records, shared by the
+#: ``repro-tam batch`` subcommand and the batch benchmarks.
+BATCH_COLUMNS: Tuple[str, ...] = (
+    "soc", "W", "B", "partition", "T", "gap", "utilization",
+)
+
+
+def grid_rows(
+    grid: Sequence[Tuple[BatchJob, SweepPoint]]
+) -> List[Dict[str, object]]:
+    """Render a :meth:`BatchRunner.run_grid` result as table rows.
+
+    One dict per grid point, with the shared column schema used by
+    the ``repro-tam batch`` subcommand and the batch benchmarks:
+    ``soc``, ``W``, ``B``, ``partition``, ``T``, ``gap``,
+    ``utilization``.
+    """
+    return [
+        {
+            "soc": job.soc.name,
+            "W": point.total_width,
+            "B": point.num_tams,
+            "partition": "+".join(map(str, point.partition)),
+            "T": point.testing_time,
+            "gap": f"{point.certificate.gap:.2%}",
+            "utilization": f"{point.wire_efficiency:.1%}",
+        }
+        for job, point in grid
+    ]

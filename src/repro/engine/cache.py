@@ -1,0 +1,90 @@
+"""A per-SOC cache of wrapper :class:`~repro.wrapper.pareto.TimeTable` s.
+
+``Design_wrapper`` is the pipeline's only expensive primitive; a
+:class:`~repro.wrapper.pareto.TimeTable` built at width ``W`` answers
+every width ``<= W`` by O(1) lookup.  :class:`WrapperTableCache`
+therefore keeps exactly one table per core, built lazily at the
+largest width any consumer has requested and *extended in place*
+(:meth:`~repro.wrapper.pareto.TimeTable.extend_to`) when a larger
+width arrives.  Every consumer receives the same table objects, so a
+width sweep over ``1..W`` costs one ``design_wrapper`` call per
+(core, width) pair — O(W) designs per core instead of the O(W²) a
+rebuild-per-width strategy pays.
+
+The cache is deliberately not thread-safe: within a process it is
+meant to be owned by one pipeline (or one pool worker — see
+:mod:`repro.engine.batch`); cross-process sharing happens by giving
+each worker its own cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.soc.soc import Soc
+from repro.wrapper.pareto import TimeTable
+
+
+class WrapperTableCache:
+    """Build-once, extend-in-place time tables for one SOC.
+
+    Parameters
+    ----------
+    soc:
+        The SOC whose cores to tabulate.  Tables are built lazily on
+        the first :meth:`tables` / :meth:`table_list` call.
+    """
+
+    def __init__(self, soc: Soc):
+        self.soc = soc
+        self._tables: Dict[str, TimeTable] = {}
+
+    @property
+    def max_width(self) -> int:
+        """Largest width the cached tables currently cover (0 = empty)."""
+        if not self._tables:
+            return 0
+        return next(iter(self._tables.values())).max_width
+
+    def ensure(self, max_width: int) -> None:
+        """Make every core's table cover widths up to ``max_width``."""
+        if max_width < 1:
+            raise ConfigurationError(
+                f"max_width must be >= 1, got {max_width}"
+            )
+        if not self._tables:
+            self._tables = {
+                core.name: TimeTable(core, max_width)
+                for core in self.soc.cores
+            }
+            return
+        if max_width > self.max_width:
+            for table in self._tables.values():
+                table.extend_to(max_width)
+
+    def tables(self, max_width: int) -> Dict[str, TimeTable]:
+        """Core-name → table dict covering widths up to ``max_width``.
+
+        The returned dict is the cache's own mapping and the tables in
+        it are shared: a later call with a larger width extends these
+        same objects rather than replacing them.  Drop-in compatible
+        with :func:`repro.wrapper.pareto.build_time_tables` output
+        (tables may cover *more* than the requested width, never
+        less).
+        """
+        self.ensure(max_width)
+        return self._tables
+
+    def table_list(self, max_width: int) -> List[TimeTable]:
+        """Tables in SOC core order, covering up to ``max_width``."""
+        tables = self.tables(max_width)
+        return [tables[core.name] for core in self.soc.cores]
+
+    def table(self, core_name: str, max_width: int) -> TimeTable:
+        """The named core's table, covering up to ``max_width``."""
+        return self.tables(max_width)[core_name]
+
+    def design_calls(self) -> int:
+        """Total ``design_wrapper`` invocations this cache has paid for."""
+        return sum(table.max_width for table in self._tables.values())

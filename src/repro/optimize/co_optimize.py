@@ -21,14 +21,14 @@ anomaly is reproduced — and tested — rather than papered over.
 from __future__ import annotations
 
 import time as _time
-from typing import Iterable, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.assign.exact import exact_assign
 from repro.exceptions import ConfigurationError
 from repro.optimize.result import CoOptimizationResult
 from repro.partition.evaluate import partition_evaluate
 from repro.soc.soc import Soc
-from repro.wrapper.pareto import build_time_tables
+from repro.wrapper.pareto import TimeTable, build_time_tables
 
 #: The paper found architectures beyond ten TAMs "less useful for
 #: testing time minimization"; its P_NPAW experiments use this cap.
@@ -45,6 +45,7 @@ def co_optimize(
     polish_per_tam_count: bool = False,
     exact_node_limit: int = 2_000_000,
     exact_time_limit: float = 30.0,
+    tables: Optional[Dict[str, TimeTable]] = None,
 ) -> CoOptimizationResult:
     """Co-optimize the wrapper/TAM architecture of ``soc``.
 
@@ -79,6 +80,13 @@ def co_optimize(
         sweep.  Composable with ``polish_top_k`` (top-k per B).
     exact_node_limit / exact_time_limit:
         Budgets for each exact solve.
+    tables:
+        Pre-built wrapper time tables (core name → table covering
+        widths up to at least ``total_width``), e.g. from a
+        :class:`repro.engine.WrapperTableCache`.  When ``None`` the
+        tables are built here.  Either way the tables actually used
+        are exposed on the result, so downstream consumers
+        (certificates, utilization, sweeps) never rebuild them.
 
     Returns
     -------
@@ -96,7 +104,8 @@ def co_optimize(
         num_tams = range(1, min(DEFAULT_MAX_TAMS, total_width) + 1)
 
     start = _time.monotonic()
-    tables = build_time_tables(soc, total_width)
+    if tables is None:
+        tables = build_time_tables(soc, total_width)
     table_list = [tables[core.name] for core in soc.cores]
 
     search = partition_evaluate(
@@ -144,4 +153,5 @@ def co_optimize(
         final=final,
         final_optimal=final_optimal,
         elapsed_seconds=_time.monotonic() - start,
+        tables=tables,
     )

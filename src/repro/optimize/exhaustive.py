@@ -13,7 +13,7 @@ gracefully: on expiry the best-so-far is returned with
 from __future__ import annotations
 
 import time as _time
-from typing import Iterable, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.assign.exact import exact_assign
 from repro.exceptions import ConfigurationError
@@ -22,7 +22,7 @@ from repro.partition.count import count_partitions
 from repro.partition.enumerate import unique_partitions
 from repro.soc.soc import Soc
 from repro.tam.assignment import AssignmentResult
-from repro.wrapper.pareto import build_time_tables
+from repro.wrapper.pareto import TimeTable, build_time_tables
 
 
 def exhaustive_optimize(
@@ -32,6 +32,7 @@ def exhaustive_optimize(
     node_limit_per_partition: int = 2_000_000,
     time_limit_per_partition: float = 10.0,
     total_time_limit: float = 600.0,
+    tables: Optional[Dict[str, TimeTable]] = None,
 ) -> ExhaustiveResult:
     """Run the [8]-style exhaustive enumeration.
 
@@ -47,6 +48,11 @@ def exhaustive_optimize(
     total_time_limit:
         Wall-clock budget for the whole enumeration (the "two days"
         guard).  On expiry the sweep stops with ``complete=False``.
+    tables:
+        Pre-built wrapper time tables covering widths up to
+        ``total_width`` (e.g. from a
+        :class:`repro.engine.WrapperTableCache`); built here when
+        ``None``.
     """
     if total_width < 1:
         raise ConfigurationError(
@@ -61,7 +67,8 @@ def exhaustive_optimize(
     start = _time.monotonic()
     deadline = start + total_time_limit
 
-    tables = build_time_tables(soc, total_width)
+    if tables is None:
+        tables = build_time_tables(soc, total_width)
     table_list = [tables[core.name] for core in soc.cores]
 
     partitions_total = sum(

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro.partition.evaluate import PartitionSearchResult
 from repro.tam.assignment import AssignmentResult
+from repro.wrapper.pareto import TimeTable
 
 
 def percent_delta(new_time: float, old_time: float) -> float:
@@ -24,6 +25,13 @@ class CoOptimizationResult:
     ``final`` is the assignment after the exact polish on the winning
     partition.  ``final.testing_time <= search.testing_time`` always —
     the polish can only improve the core assignment.
+
+    ``tables`` holds the wrapper time tables the run used (core name
+    → :class:`~repro.wrapper.pareto.TimeTable`), so downstream
+    analysis (certificates, utilization, sweeps) reuses them instead
+    of re-running ``Design_wrapper``.  It is excluded from equality
+    and ``repr`` — two runs are the same result regardless of which
+    cache served their tables.
     """
 
     soc_name: str
@@ -32,6 +40,9 @@ class CoOptimizationResult:
     final: AssignmentResult
     final_optimal: bool
     elapsed_seconds: float
+    tables: Optional[Dict[str, TimeTable]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def testing_time(self) -> int:

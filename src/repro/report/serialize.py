@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+from repro.analysis.sweep import SweepPoint
 from repro.exceptions import ValidationError
 from repro.optimize.result import CoOptimizationResult, ExhaustiveResult
 from repro.tam.assignment import AssignmentResult
@@ -79,6 +80,23 @@ def co_optimization_to_dict(
             }
             for stats in result.search.stats
         ],
+    }
+
+
+def sweep_point_to_dict(point: SweepPoint) -> Dict[str, Any]:
+    """Plain-data form of one design-space sweep point."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "sweep_point",
+        "total_width": point.total_width,
+        "num_tams": point.num_tams,
+        "partition": list(point.partition),
+        "testing_time": point.testing_time,
+        "bound": point.certificate.bound,
+        "gap": point.certificate.gap,
+        "provably_optimal": point.certificate.is_provably_optimal,
+        "utilization": point.utilization.utilization,
+        "idle_wire_cycles": point.utilization.idle_wire_cycles,
     }
 
 

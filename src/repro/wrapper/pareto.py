@@ -43,20 +43,35 @@ class TimeTable:
                 f"max_width must be >= 1, got {max_width}"
             )
         self.core = core
-        self.max_width = max_width
+        self.max_width = 0
         self._times: List[int] = []
         self._designs: List[WrapperDesign] = []
+        self.extend_to(max_width)
 
-        best_time: int | None = None
-        best_design: WrapperDesign | None = None
-        for width in range(1, max_width + 1):
-            design = design_wrapper(core, width)
+    def extend_to(self, max_width: int) -> None:
+        """Grow the table in place to cover widths up to ``max_width``.
+
+        Runs ``Design_wrapper`` only for the widths not yet tabulated,
+        so a table extended from ``w1`` to ``w2`` costs exactly
+        ``w2 - w1`` wrapper designs and is identical to a table built
+        fresh at ``w2``.  A no-op when the table already covers
+        ``max_width``.
+        """
+        if max_width <= self.max_width:
+            return
+        # The stored staircase is the running minimum, so the last
+        # entry carries the monotonization state to resume from.
+        best_time = self._times[-1] if self._times else None
+        best_design = self._designs[-1] if self._designs else None
+        for width in range(self.max_width + 1, max_width + 1):
+            design = design_wrapper(self.core, width)
             time = design.testing_time
             if best_time is None or time < best_time:
                 best_time = time
                 best_design = design
             self._times.append(best_time)
             self._designs.append(best_design)  # type: ignore[arg-type]
+        self.max_width = max_width
 
     def time(self, width: int) -> int:
         """Best testing time of the core on a bus of ``width`` wires."""

@@ -1,6 +1,13 @@
 """Unit tests for design-space sweeps."""
 
-from repro.analysis.sweep import sweep_tam_counts, sweep_widths
+import pytest
+
+from repro.analysis.certificates import certify
+from repro.analysis.sweep import evaluate_point, sweep_tam_counts, sweep_widths
+from repro.analysis.utilization import analyze_utilization
+from repro.exceptions import ConfigurationError
+from repro.optimize.co_optimize import co_optimize
+from repro.wrapper.pareto import build_time_tables
 
 
 class TestSweepWidths:
@@ -31,10 +38,48 @@ class TestSweepTamCounts:
         points = sweep_tam_counts(tiny_soc, 8, tam_counts=(1, 2, 3))
         assert [p.num_tams for p in points] == [1, 2, 3]
 
-    def test_oversized_counts_skipped(self, tiny_soc):
-        points = sweep_tam_counts(tiny_soc, 2, tam_counts=(1, 2, 3, 4))
-        assert [p.num_tams for p in points] == [1, 2]
+    def test_oversized_counts_rejected(self, tiny_soc):
+        # A count wider than the budget is a configuration error, not
+        # a silently dropped point (matches the partition enumerator).
+        with pytest.raises(ConfigurationError, match="cannot split"):
+            sweep_tam_counts(tiny_soc, 2, tam_counts=(1, 2, 3, 4))
 
     def test_each_point_respects_count(self, tiny_soc):
         for point in sweep_tam_counts(tiny_soc, 8, tam_counts=(2,)):
             assert point.num_tams == 2
+
+
+class TestTableReuse:
+    """The sweep reuses the optimizer's tables — and loses nothing."""
+
+    def test_annotations_identical_to_fresh_rebuild(self, tiny_soc):
+        # The seed rebuilt tables for certificates/utilization; the
+        # shared-table path must be byte-identical to that.
+        point = evaluate_point(tiny_soc, 8, num_tams=2)
+        result = co_optimize(tiny_soc, 8, num_tams=2)
+        fresh = build_time_tables(tiny_soc, 8)
+        rebuilt_certificate = certify(tiny_soc, result.final, fresh)
+        rebuilt_utilization = analyze_utilization(
+            tiny_soc, result.final, fresh
+        )
+        assert point.certificate == rebuilt_certificate
+        assert repr(point.certificate) == repr(rebuilt_certificate)
+        assert point.utilization == rebuilt_utilization
+        assert repr(point.utilization) == repr(rebuilt_utilization)
+
+    def test_evaluate_point_uses_optimizer_tables(
+        self, tiny_soc, monkeypatch
+    ):
+        import repro.analysis.sweep as sweep_module
+
+        seen = {}
+        real_certify = sweep_module.certify
+
+        def spying_certify(soc, result, tables=None):
+            seen["tables"] = tables
+            return real_certify(soc, result, tables)
+
+        monkeypatch.setattr(sweep_module, "certify", spying_certify)
+        shared = build_time_tables(tiny_soc, 8)
+        evaluate_point(tiny_soc, 8, num_tams=2, tables=shared)
+        assert seen["tables"] is shared

@@ -82,6 +82,47 @@ class TestAnalyze:
         assert "architecture" in capsys.readouterr().out
 
 
+class TestBatch:
+    def test_grid_over_two_socs(self, capsys):
+        assert main([
+            "batch", "d695", "p21241", "-W", "8", "12", "--jobs", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch sweep" in out
+        assert "d695" in out and "p21241" in out
+        # One row per (SOC, width) grid point.
+        assert out.count("d695") == 2 and out.count("p21241") == 2
+
+    def test_matches_cooptimize_point(self, capsys):
+        assert main(["cooptimize", "d695", "-W", "12", "-B", "2"]) == 0
+        single = capsys.readouterr().out
+        time = single.split("T=")[1].split(" ")[0]
+        assert main([
+            "batch", "d695", "-W", "12", "-B", "2", "--jobs", "1",
+        ]) == 0
+        assert time in capsys.readouterr().out
+
+    def test_parallel_workers(self, capsys):
+        assert main([
+            "batch", "d695", "-W", "8", "10", "--jobs", "2", "-B", "2",
+        ]) == 0
+        assert "batch sweep" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main([
+            "batch", "d695", "-W", "8", "-B", "2", "--jobs", "1",
+            "--json",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "batch"
+        point = record["points"][0]
+        assert point["soc"] == "d695"
+        assert point["total_width"] == 8
+        assert point["testing_time"] > 0
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

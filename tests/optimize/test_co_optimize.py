@@ -50,6 +50,29 @@ class TestPipeline:
         with pytest.raises(ConfigurationError):
             co_optimize(tiny_soc, total_width=0)
 
+    def test_result_exposes_tables(self, tiny_soc):
+        result = co_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert set(result.tables) == {c.name for c in tiny_soc.cores}
+        assert all(t.max_width >= 8 for t in result.tables.values())
+
+    def test_accepts_prebuilt_tables(self, tiny_soc):
+        from repro.wrapper.pareto import build_time_tables
+
+        shared = build_time_tables(tiny_soc, 8)
+        result = co_optimize(
+            tiny_soc, total_width=8, num_tams=2, tables=shared
+        )
+        baseline = co_optimize(tiny_soc, total_width=8, num_tams=2)
+        assert result.tables is shared
+        assert result.final == baseline.final
+
+    def test_undersized_tables_rejected(self, tiny_soc):
+        from repro.wrapper.pareto import build_time_tables
+
+        small = build_time_tables(tiny_soc, 4)
+        with pytest.raises(ConfigurationError):
+            co_optimize(tiny_soc, total_width=8, num_tams=2, tables=small)
+
 
 class TestMonotonicity:
     def test_testing_time_non_increasing_in_width(self, tiny_soc):
