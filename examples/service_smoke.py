@@ -1,0 +1,108 @@
+"""Service smoke — serve, submit, verify, shut down.
+
+Starts `repro-tam serve` as a real subprocess, submits a small d695
+grid through :class:`repro.service.ServiceClient`, checks the answers
+against the in-process :class:`repro.engine.BatchRunner`, re-submits
+the identical grid (served from memo, no re-execution), and shuts the
+server down cleanly.  Exits non-zero on any mismatch — this is the
+script the CI service-smoke job runs.
+
+Run:  PYTHONPATH=src python examples/service_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine.batch import BatchJob, BatchRunner
+from repro.service.client import ServiceClient
+from repro.soc.data import get_benchmark
+
+WIDTHS = [8, 12, 16]
+NUM_TAMS = 2
+
+
+def start_server(port_file: Path, cache_dir: Path) -> subprocess.Popen:
+    """Spawn `repro-tam serve` and wait for its port file."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--jobs", "1",
+            "--port-file", str(port_file),
+            "--cache-dir", str(cache_dir),
+        ],
+        env=dict(os.environ),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while not port_file.exists():
+        if proc.poll() is not None:
+            sys.exit(f"serve exited early:\n{proc.stdout.read()}")
+        if time.monotonic() > deadline:
+            proc.terminate()
+            sys.exit("serve never published its port")
+        time.sleep(0.05)
+    return proc
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        port_file = tmp_path / "port"
+        proc = start_server(port_file, tmp_path / "tables")
+        try:
+            port = int(port_file.read_text().strip())
+            with ServiceClient(port=port, timeout=300) as client:
+                job = client.submit(
+                    ["d695"], WIDTHS, num_tams=NUM_TAMS
+                )
+                record = client.wait(job, timeout=300)
+                assert record["status"] == "done", record
+                result = client.result(job)
+                assert not result["failures"], result["failures"]
+
+                soc = get_benchmark("d695")
+                reference = BatchRunner(max_workers=1).run(
+                    [BatchJob(soc, w, NUM_TAMS) for w in WIDTHS]
+                )
+                remote = {
+                    p["total_width"]: p for p in result["points"]
+                }
+                for point in reference:
+                    served = remote[point.total_width]
+                    assert served["testing_time"] == point.testing_time, (
+                        point.total_width,
+                        served["testing_time"],
+                        point.testing_time,
+                    )
+                    assert tuple(served["partition"]) == point.partition
+                print(
+                    f"grid of {len(reference)} points matches the "
+                    f"in-process engine"
+                )
+
+                again = client.submit(
+                    ["d695"], WIDTHS, num_tams=NUM_TAMS
+                )
+                status = client.status(again)
+                assert status["cached"], status
+                assert status["status"] == "done", status
+                print("identical re-submission answered from memo")
+
+                client.shutdown()
+            code = proc.wait(timeout=30)
+            assert code == 0, f"serve exited with {code}"
+            print("service smoke: OK")
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

@@ -105,11 +105,36 @@ def _run(
     ])
 
 
+def pareto_widths(
+    soc: Soc,
+    max_width: int,
+    tables: Optional[Dict[str, TimeTable]] = None,
+) -> List[int]:
+    """Union of every core's Pareto breakpoint widths up to ``max_width``.
+
+    The widths at which at least one core's T*(w) staircase actually
+    drops — the only budgets where a width sweep can observe a
+    per-core time change.  Pass ``tables`` (covering ``max_width``)
+    to reuse already-built staircases; otherwise they are built here.
+    """
+    if tables is None:
+        from repro.wrapper.pareto import build_time_tables
+        tables = build_time_tables(soc, max_width)
+    union = {
+        width
+        for core in soc.cores
+        for width, _ in tables[core.name].pareto_points()
+        if width <= max_width
+    }
+    return sorted(union)
+
+
 def sweep_widths(
     soc: Soc,
     widths: Sequence[int],
     num_tams: Union[int, Iterable[int], None] = None,
     runner: "Optional[BatchRunner]" = None,
+    pareto_only: bool = False,
 ) -> List[SweepPoint]:
     """Testing time (and why) across TAM budgets.
 
@@ -117,8 +142,34 @@ def sweep_widths(
     (sequential) with table reuse across widths; a
     :class:`repro.engine.BatchRunner` with workers fans the widths
     out over a process pool.
+
+    ``pareto_only=True`` replaces ``widths`` by the union of each
+    core's :meth:`~repro.wrapper.pareto.TimeTable.pareto_points`
+    breakpoints within ``[min(widths), max(widths)]``, always keeping
+    the top budget itself.  Per-core times only change at breakpoint
+    widths, so this is where the testing-time curve moves fastest;
+    skipped budgets can still differ slightly at the SOC level (a
+    wider budget fits *combinations* of breakpoints no smaller budget
+    holds), which is the trade: a much smaller grid for a curve
+    sampled where it bends.  Each swept point's result is identical
+    to the dense sweep's at that width.
     """
     num_tams = _freeze_counts(num_tams)
+    widths = list(widths)
+    if pareto_only and widths:
+        # Imported here: repro.engine.batch builds on this module.
+        from repro.engine.batch import BatchRunner
+
+        if runner is None:
+            runner = BatchRunner(max_workers=1)
+        lo, hi = min(widths), max(widths)
+        # The runner's own cache builds (or reuses) the staircases the
+        # breakpoints come from; the jobs below then share them.
+        tables = runner.cache_for(soc).tables(hi)
+        union = pareto_widths(soc, hi, tables=tables)
+        widths = sorted(
+            {width for width in union if lo <= width <= hi} | {hi}
+        )
     return _run(soc, [(width, num_tams) for width in widths], runner)
 
 

@@ -6,6 +6,8 @@ Subcommands::
     repro-tam exhaustive <file.soc | benchmark> -W 32 -B 2
     repro-tam analyze    <file.soc | benchmark> -W 32
     repro-tam batch      <sources...> -W 16 24 32 [--jobs N]
+    repro-tam serve      [--port 7293] [--jobs N] [--cache-dir DIR]
+    repro-tam submit     <sources...> -W 16 24 32 [--port 7293]
     repro-tam describe   <file.soc | benchmark>
 
 Each positional SOC argument is either a path to a ``.soc`` file in
@@ -24,13 +26,29 @@ testing time, optimality-certificate gap, and wire-cycle utilization;
 identical to running ``cooptimize`` per point — only faster::
 
     repro-tam batch d695 p21241 p31108 p93791 -W 16 24 32 --jobs 4
+
+``--cache-dir DIR`` additionally backs every wrapper-table cache with
+the persistent :class:`repro.service.TableStore` on DIR, so a second
+invocation over the same cores skips wrapper design entirely.
+
+The exploration service
+-----------------------
+``repro-tam serve`` starts the resident job server of
+:mod:`repro.service`: a persistent worker pool plus job queue behind
+a line-oriented JSON socket, so interactive design-space exploration
+stops paying pool startup and table construction per request::
+
+    repro-tam serve --port 7293 --cache-dir ~/.cache/repro-tam &
+    repro-tam submit d695 -W 16 24 32 --port 7293
+
+``submit`` sends a batch-identical grid to a running server, waits
+(unless ``--no-wait``), and renders the same table/JSON as ``batch``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 from typing import List, Optional
 
 from repro.engine import BatchRunner, grid_rows
@@ -41,22 +59,7 @@ from repro.optimize.exhaustive import exhaustive_optimize
 from repro.report.tables import TextTable
 from repro.schedule.session import build_schedule
 from repro.soc.complexity import test_complexity
-from repro.soc.data import benchmark_names, get_benchmark
-from repro.soc.itc02 import load_soc
-from repro.soc.soc import Soc
-
-
-def _load(source: str) -> Soc:
-    """Load a SOC from a benchmark name or a .soc file path."""
-    if source in benchmark_names():
-        return get_benchmark(source)
-    path = Path(source)
-    if not path.exists():
-        raise ReproError(
-            f"{source!r} is neither an embedded benchmark "
-            f"({', '.join(benchmark_names())}) nor an existing file"
-        )
-    return load_soc(path)
+from repro.soc.loader import load_source as _load
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -149,7 +152,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         args.num_tams if args.num_tams is not None
         else tuple(range(1, args.bmax + 1))
     )
-    runner = BatchRunner(max_workers=args.jobs)
+    runner = BatchRunner(max_workers=args.jobs, cache_dir=args.cache_dir)
     grid = runner.run_grid(socs, args.widths, num_tams=num_tams)
 
     if args.json:
@@ -168,6 +171,91 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         table.add_row([row[column] for column in BATCH_COLUMNS])
     print(table.render())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import ExplorationServer, IPCServer
+
+    exploration = ExplorationServer(
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+    )
+    server = IPCServer(exploration, host=args.host, port=args.port)
+    host, port = server.address
+    if args.port_file:
+        # Published last thing before serving: a reader that sees the
+        # file can connect.  Used by the CI smoke test.
+        Path(args.port_file).write_text(f"{port}\n")
+    print(f"repro-tam service listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    print("repro-tam service stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, run_grid_remotely
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        num_tams = args.num_tams
+        bmax = args.bmax if num_tams is None else None
+        if args.no_wait:
+            print(client.submit(
+                args.socs, args.widths, num_tams=num_tams, bmax=bmax,
+            ))
+            return 0
+        # The result payload carries the job's status snapshot too
+        # (job id, cached flag), so one call serves the whole render.
+        result = run_grid_remotely(
+            client,
+            args.socs,
+            args.widths,
+            num_tams=num_tams,
+            bmax=bmax,
+            timeout=args.timeout,
+        )
+    job_id = str(result["job"])
+    record = result
+
+    if args.json:
+        from repro.report.serialize import to_json
+        print(to_json({
+            "schema": 1,
+            "kind": "batch",
+            "job": job_id,
+            "cached": record["cached"],
+            "points": result["points"],
+            "failures": result["failures"],
+        }))
+        return 0 if not result["failures"] else 1
+
+    cached = " (cached)" if record["cached"] else ""
+    table = TextTable(
+        list(BATCH_COLUMNS), title=f"service grid {job_id}{cached}"
+    )
+    for point in result["points"]:
+        table.add_row([
+            point["soc"],
+            point["total_width"],
+            point["num_tams"],
+            "+".join(map(str, point["partition"])),
+            point["testing_time"],
+            f"{point['gap']:.2%}",
+            f"{point['utilization']:.1%}",
+        ])
+    print(table.render())
+    for failure in result["failures"]:
+        print(
+            f"FAILED {failure['soc']} W={failure['total_width']}: "
+            f"{failure['error_type']}: {failure['error_message']}",
+            file=sys.stderr,
+        )
+    return 0 if not result["failures"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,7 +331,59 @@ def build_parser() -> argparse.ArgumentParser:
                             "1 = inline sequential)")
     batch.add_argument("--json", action="store_true",
                        help="emit the grid as a JSON record")
+    batch.add_argument("--cache-dir", default=None,
+                       help="persist wrapper time tables in this "
+                            "directory (warm runs skip wrapper design)")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident exploration service (JSON IPC)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7293,
+                       help="TCP port (0 = let the OS pick; "
+                            "default 7293)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per CPU; "
+                            "1 = run grids inline)")
+    serve.add_argument("--retries", type=int, default=0,
+                       help="retry attempts per failed grid point")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist wrapper time tables in this "
+                            "directory across jobs and restarts")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port to this file once "
+                            "listening (for scripts and CI)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a batch grid to a running service",
+    )
+    submit.add_argument("socs", nargs="+",
+                        help=".soc files and/or benchmark names "
+                             "(resolved server-side)")
+    submit.add_argument("-W", "--widths", type=int, nargs="+",
+                        required=True, help="TAM widths to sweep")
+    submit.add_argument("-B", "--num-tams", type=int, default=None,
+                        help="fix the number of TAMs (P_PAW)")
+    submit.add_argument("--bmax", type=int, default=10,
+                        help="max TAMs for the P_NPAW sweep "
+                             "(default 10)")
+    submit.add_argument("--host", default="127.0.0.1",
+                        help="service address (default 127.0.0.1)")
+    submit.add_argument("--port", type=int, default=7293,
+                        help="service port (default 7293)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return instead of "
+                             "waiting for results")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="max seconds to wait for completion")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the grid as a JSON record")
+    submit.set_defaults(func=_cmd_submit)
 
     return parser
 

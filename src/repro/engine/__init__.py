@@ -26,12 +26,21 @@ engine.
 """
 
 from repro.engine.cache import WrapperTableCache
-from repro.engine.batch import BatchJob, BatchRunner, evaluate_point, grid_rows
+from repro.engine.batch import (
+    BatchJob,
+    BatchRunner,
+    FailedPoint,
+    evaluate_point,
+    grid_rows,
+    split_results,
+)
 
 __all__ = [
     "WrapperTableCache",
     "BatchJob",
     "BatchRunner",
+    "FailedPoint",
     "evaluate_point",
     "grid_rows",
+    "split_results",
 ]

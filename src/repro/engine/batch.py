@@ -15,6 +15,20 @@ but a naive pool would re-run ``Design_wrapper`` per point.  The
   job a worker receives after its first reuses (and at most extends)
   tables already built in that worker.
 
+Three orthogonal options extend the engine for service use:
+
+* ``cache_dir`` backs every cache (inline and per-worker) with a
+  persistent :class:`repro.service.store.TableStore`, so table
+  builds are skipped entirely once the store is warm — across
+  processes *and* across runs;
+* ``on_error="record"`` turns a failing grid point into a structured
+  :class:`FailedPoint` in the result list instead of aborting the
+  whole grid, with ``retries`` transient-failure attempts first;
+* ``persistent=True`` keeps the process pool alive across
+  :meth:`BatchRunner.run` calls (close with :meth:`BatchRunner.
+  close` or a ``with`` block) — the resident-worker mode the
+  exploration service (:mod:`repro.service.server`) is built on.
+
 Results come back as :class:`~repro.analysis.sweep.SweepPoint`
 records in job order, and are identical to a sequential run — the
 optimizer is deterministic and the tables a cache hands out match a
@@ -25,8 +39,11 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     Iterable,
@@ -42,6 +59,13 @@ from repro.analysis.sweep import SweepPoint, evaluate_point
 from repro.engine.cache import WrapperTableCache
 from repro.exceptions import ConfigurationError
 from repro.soc.soc import Soc
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.store import TableStore
+
+#: Valid ``on_error`` policies: abort the grid on the first failing
+#: point, or record it as a :class:`FailedPoint` and keep going.
+ON_ERROR_POLICIES: Tuple[str, ...] = ("raise", "record")
 
 
 @dataclass(frozen=True)
@@ -96,28 +120,104 @@ class BatchJob:
         return f"{self.soc.name} W={self.total_width} {counts}"
 
 
+@dataclass(frozen=True)
+class FailedPoint:
+    """A grid point that raised instead of producing a result.
+
+    Returned in place of a :class:`~repro.analysis.sweep.SweepPoint`
+    when the runner's ``on_error`` policy is ``"record"``: the grid
+    completes, and failures stay attributable — which job, which
+    exception, after how many attempts.  Picklable, so pool workers
+    can ship it back like any result.
+    """
+
+    job: BatchJob
+    error_type: str
+    error_message: str
+    attempts: int
+
+    @property
+    def total_width(self) -> int:
+        """The failed job's TAM budget, mirroring ``SweepPoint``."""
+        return self.job.total_width
+
+    def describe(self) -> str:
+        """One-line ``job: error`` summary for logs and reports."""
+        retried = (
+            f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        )
+        return (
+            f"{self.job.describe()}: {self.error_type}: "
+            f"{self.error_message}{retried}"
+        )
+
+
+#: What a batch returns per job: a result or a recorded failure.
+BatchResult = Union[SweepPoint, FailedPoint]
+
+
+def split_results(
+    results: Iterable[BatchResult],
+) -> Tuple[List[SweepPoint], List[FailedPoint]]:
+    """Partition mixed batch results into (points, failures)."""
+    points: List[SweepPoint] = []
+    failures: List[FailedPoint] = []
+    for result in results:
+        if isinstance(result, FailedPoint):
+            failures.append(result)
+        else:
+            points.append(result)
+    return points, failures
+
+
 #: Per-worker-process table caches, keyed by SOC name.  Populated only
 #: inside pool workers; each worker builds tables for a SOC at most
 #: once (extending in place when a wider job arrives).
 _WORKER_CACHES: Dict[str, WrapperTableCache] = {}
 
+#: Per-worker-process runtime policy, set by :func:`_init_worker` at
+#: pool start: (on_error, retries, table store or None).
+_WORKER_POLICY: Tuple[str, int, "Optional[TableStore]"] = ("raise", 0, None)
+
+
+def _make_store(cache_dir: Union[str, Path, None]) -> "Optional[TableStore]":
+    """A :class:`TableStore` on ``cache_dir``, or ``None``."""
+    if cache_dir is None:
+        return None
+    # Imported lazily: repro.service builds on this module.
+    from repro.service.store import TableStore
+
+    return TableStore(cache_dir)
+
+
+def _init_worker(
+    on_error: str, retries: int, cache_dir: Union[str, None]
+) -> None:
+    """Pool initializer: install the runner's policy in this worker."""
+    global _WORKER_POLICY
+    _WORKER_POLICY = (on_error, retries, _make_store(cache_dir))
+
 
 def _cache_for(
-    caches: Dict[str, WrapperTableCache], soc: Soc
+    caches: Dict[str, WrapperTableCache],
+    soc: Soc,
+    store: "Optional[TableStore]" = None,
 ) -> WrapperTableCache:
     """The cache for ``soc`` in ``caches``, created or replaced as needed."""
     cache = caches.get(soc.name)
     if cache is None or cache.soc != soc:
-        cache = WrapperTableCache(soc)
+        cache = WrapperTableCache(soc, store=store)
         caches[soc.name] = cache
     return cache
 
 
 def _run_job_cached(
-    caches: Dict[str, WrapperTableCache], job: BatchJob
+    caches: Dict[str, WrapperTableCache],
+    job: BatchJob,
+    store: "Optional[TableStore]" = None,
 ) -> SweepPoint:
     """Evaluate one job against the shared caches."""
-    cache = _cache_for(caches, job.soc)
+    cache = _cache_for(caches, job.soc, store=store)
     return evaluate_point(
         job.soc,
         job.total_width,
@@ -127,9 +227,38 @@ def _run_job_cached(
     )
 
 
-def _pool_worker(job: BatchJob) -> SweepPoint:
+def _run_job_safe(
+    caches: Dict[str, WrapperTableCache],
+    job: BatchJob,
+    on_error: str,
+    retries: int,
+    store: "Optional[TableStore]" = None,
+) -> BatchResult:
+    """Evaluate one job under the runner's failure policy."""
+    attempts = retries + 1
+    for attempt in range(1, attempts + 1):
+        try:
+            return _run_job_cached(caches, job, store=store)
+        except Exception as error:  # noqa: BLE001 - policy boundary
+            if attempt < attempts:
+                continue
+            if on_error == "record":
+                return FailedPoint(
+                    job=job,
+                    error_type=type(error).__name__,
+                    error_message=str(error),
+                    attempts=attempt,
+                )
+            raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _pool_worker(job: BatchJob) -> BatchResult:
     """Pool entry point: evaluate ``job`` with this worker's caches."""
-    return _run_job_cached(_WORKER_CACHES, job)
+    on_error, retries, store = _WORKER_POLICY
+    return _run_job_safe(
+        _WORKER_CACHES, job, on_error, retries, store=store
+    )
 
 
 class BatchRunner:
@@ -141,19 +270,40 @@ class BatchRunner:
         ``1`` runs jobs inline in the calling process (sequential,
         no pool, runner-owned caches reused across ``run`` calls);
         ``None`` uses one worker per CPU; any other value sizes the
-        process pool explicitly.  The pool never exceeds the number
-        of jobs.
+        process pool explicitly.  An ephemeral pool never exceeds
+        the number of jobs; a persistent one is sized once.
     chunksize:
         Jobs handed to a pool worker per dispatch.  Values above 1
         keep consecutive jobs (typically same SOC, ascending widths)
         on one worker, improving its cache reuse at some cost in
         load balance.
+    on_error:
+        ``"raise"`` (default) aborts the batch on the first failing
+        job; ``"record"`` returns a :class:`FailedPoint` for it and
+        completes the rest of the grid.
+    retries:
+        Extra attempts per job before its failure is raised or
+        recorded.  The pipeline is deterministic, so retries pay off
+        only for environmental failures (a worker killed under
+        memory pressure, a wall-clock-truncated exact solve).
+    cache_dir:
+        When set, every table cache — the runner's own in inline
+        mode, each worker's in pool mode — is backed by a persistent
+        :class:`repro.service.store.TableStore` on this directory.
+    persistent:
+        Keep the process pool alive across :meth:`run` calls instead
+        of starting one per call.  Callers own the shutdown:
+        :meth:`close`, or use the runner as a context manager.
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = 1,
         chunksize: int = 1,
+        on_error: str = "raise",
+        retries: int = 0,
+        cache_dir: Union[str, Path, None] = None,
+        persistent: bool = False,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -163,20 +313,73 @@ class BatchRunner:
             raise ConfigurationError(
                 f"chunksize must be >= 1, got {chunksize}"
             )
+        if on_error not in ON_ERROR_POLICIES:
+            raise ConfigurationError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {on_error!r}"
+            )
+        if retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {retries}"
+            )
         self.max_workers = max_workers
         self.chunksize = chunksize
+        self.on_error = on_error
+        self.retries = retries
+        self.cache_dir = (
+            str(cache_dir) if cache_dir is not None else None
+        )
+        self.persistent = persistent
+        #: Pools started over this runner's lifetime — observable
+        #: evidence that ``persistent=True`` reuses one pool.
+        self.pools_started = 0
+        self._store = _make_store(self.cache_dir)
         self._caches: Dict[str, WrapperTableCache] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
 
     def cache_for(self, soc: Soc) -> WrapperTableCache:
         """This runner's (inline-mode) table cache for ``soc``."""
-        return _cache_for(self._caches, soc)
+        return _cache_for(self._caches, soc, store=self._store)
 
-    def run(self, jobs: Sequence[BatchJob]) -> List[SweepPoint]:
-        """Evaluate ``jobs``, returning one point per job, in order.
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        """Start a pool carrying this runner's policy to its workers."""
+        self.pools_started += 1
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.on_error, self.retries, self.cache_dir),
+        )
+
+    def _resident_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The persistent pool, started on first use."""
+        if self._executor is None:
+            self._executor = self._new_pool(workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one was started."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "BatchRunner":
+        """Context-manager entry: the runner itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: release the persistent pool."""
+        self.close()
+
+    def run(self, jobs: Sequence[BatchJob]) -> List[BatchResult]:
+        """Evaluate ``jobs``, returning one result per job, in order.
 
         Results are independent of worker count and scheduling: the
         pipeline is deterministic given (SOC, W, B), and cached
-        tables answer exactly like freshly built ones.
+        tables answer exactly like freshly built ones.  Under
+        ``on_error="record"`` a failing job yields a
+        :class:`FailedPoint` in its slot (see :func:`split_results`);
+        under the default policy every element is a
+        :class:`~repro.analysis.sweep.SweepPoint`.
         """
         jobs = list(jobs)
         if not jobs:
@@ -184,10 +387,30 @@ class BatchRunner:
         workers = self.max_workers
         if workers is None:
             workers = os.cpu_count() or 1
-        workers = min(workers, len(jobs))
+        if not self.persistent:
+            workers = min(workers, len(jobs))
         if workers == 1:
-            return [_run_job_cached(self._caches, job) for job in jobs]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return [
+                _run_job_safe(
+                    self._caches, job, self.on_error, self.retries,
+                    store=self._store,
+                )
+                for job in jobs
+            ]
+        if self.persistent:
+            pool = self._resident_pool(workers)
+            try:
+                return list(
+                    pool.map(_pool_worker, jobs, chunksize=self.chunksize)
+                )
+            except BrokenProcessPool:
+                # A dead worker (OOM-kill, segfault) breaks the whole
+                # executor; discard it so the *next* run gets a fresh
+                # pool instead of this batch's failure forever.
+                self._executor = None
+                pool.shutdown(wait=False)
+                raise
+        with self._new_pool(workers) as pool:
             return list(
                 pool.map(_pool_worker, jobs, chunksize=self.chunksize)
             )
@@ -198,7 +421,7 @@ class BatchRunner:
         widths: Iterable[int],
         num_tams: Union[int, Tuple[int, ...], None] = None,
         options: Optional[Mapping[str, Any]] = None,
-    ) -> List[Tuple[BatchJob, SweepPoint]]:
+    ) -> List[Tuple[BatchJob, BatchResult]]:
         """Evaluate the full ``socs`` × ``widths`` grid.
 
         Convenience for the CLI and benchmarks: builds one job per
@@ -229,17 +452,30 @@ BATCH_COLUMNS: Tuple[str, ...] = (
 
 
 def grid_rows(
-    grid: Sequence[Tuple[BatchJob, SweepPoint]]
+    grid: Sequence[Tuple[BatchJob, BatchResult]]
 ) -> List[Dict[str, object]]:
     """Render a :meth:`BatchRunner.run_grid` result as table rows.
 
     One dict per grid point, with the shared column schema used by
     the ``repro-tam batch`` subcommand and the batch benchmarks:
     ``soc``, ``W``, ``B``, ``partition``, ``T``, ``gap``,
-    ``utilization``.
+    ``utilization``.  A recorded :class:`FailedPoint` renders as an
+    error row rather than breaking the table.
     """
-    return [
-        {
+    rows: List[Dict[str, object]] = []
+    for job, point in grid:
+        if isinstance(point, FailedPoint):
+            rows.append({
+                "soc": job.soc.name,
+                "W": job.total_width,
+                "B": "-",
+                "partition": f"{point.error_type}: {point.error_message}",
+                "T": "-",
+                "gap": "-",
+                "utilization": "-",
+            })
+            continue
+        rows.append({
             "soc": job.soc.name,
             "W": point.total_width,
             "B": point.num_tams,
@@ -247,6 +483,5 @@ def grid_rows(
             "T": point.testing_time,
             "gap": f"{point.certificate.gap:.2%}",
             "utilization": f"{point.wire_efficiency:.1%}",
-        }
-        for job, point in grid
-    ]
+        })
+    return rows

@@ -11,19 +11,30 @@ width sweep over ``1..W`` costs one ``design_wrapper`` call per
 (core, width) pair — O(W) designs per core instead of the O(W²) a
 rebuild-per-width strategy pays.
 
+With a persistent backing (``store=``, a :class:`repro.service.store.
+TableStore`), the first build of each table is attempted from disk —
+a stored staircase wide enough costs *zero* designs, a narrower one
+pays only the extension — and every build or extension is written
+back, so the savings compound across processes and runs, not just
+within one.
+
 The cache is deliberately not thread-safe: within a process it is
 meant to be owned by one pipeline (or one pool worker — see
 :mod:`repro.engine.batch`); cross-process sharing happens by giving
-each worker its own cache.
+each worker its own cache (optionally over one shared store, whose
+writes are atomic and never narrowing).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import TimeTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.store import TableStore
 
 
 class WrapperTableCache:
@@ -34,18 +45,34 @@ class WrapperTableCache:
     soc:
         The SOC whose cores to tabulate.  Tables are built lazily on
         the first :meth:`tables` / :meth:`table_list` call.
+    store:
+        Optional persistent :class:`repro.service.store.TableStore`.
+        When given, table builds try the store first and every
+        build/extension is persisted back.
     """
 
-    def __init__(self, soc: Soc):
+    def __init__(self, soc: Soc, store: "Optional[TableStore]" = None):
         self.soc = soc
+        self.store = store
         self._tables: Dict[str, TimeTable] = {}
+        #: Widths that came off disk for free, per core name — what
+        #: :meth:`design_calls` subtracts from table coverage.
+        self._prepaid: Dict[str, int] = {}
+        #: Width last persisted per core name, to skip no-op saves.
+        self._saved: Dict[str, int] = {}
 
     @property
     def max_width(self) -> int:
-        """Largest width the cached tables currently cover (0 = empty)."""
+        """Width every cached table is guaranteed to cover (0 = empty).
+
+        The *minimum* over the per-core tables: store-backed loads can
+        leave individual tables wider than ever requested (a previous
+        run persisted more), and the guarantee consumers rely on is
+        the width all of them answer.
+        """
         if not self._tables:
             return 0
-        return next(iter(self._tables.values())).max_width
+        return min(table.max_width for table in self._tables.values())
 
     def ensure(self, max_width: int) -> None:
         """Make every core's table cover widths up to ``max_width``."""
@@ -54,14 +81,32 @@ class WrapperTableCache:
                 f"max_width must be >= 1, got {max_width}"
             )
         if not self._tables:
-            self._tables = {
-                core.name: TimeTable(core, max_width)
-                for core in self.soc.cores
-            }
+            for core in self.soc.cores:
+                table = self.store.load(core) if self.store else None
+                if table is None:
+                    table = TimeTable(core, max_width)
+                else:
+                    self._prepaid[core.name] = table.max_width
+                    self._saved[core.name] = table.max_width
+                    table.extend_to(max_width)
+                self._tables[core.name] = table
+            self._persist()
             return
         if max_width > self.max_width:
+            # Per-table no-op when already covered, so mixed widths
+            # (possible after store loads) each pay only their gap.
             for table in self._tables.values():
                 table.extend_to(max_width)
+            self._persist()
+
+    def _persist(self) -> None:
+        """Write back any table wider than its last-saved width."""
+        if self.store is None:
+            return
+        for name, table in self._tables.items():
+            if table.max_width > self._saved.get(name, 0):
+                self.store.save(table)
+                self._saved[name] = table.max_width
 
     def tables(self, max_width: int) -> Dict[str, TimeTable]:
         """Core-name → table dict covering widths up to ``max_width``.
@@ -86,5 +131,12 @@ class WrapperTableCache:
         return self.tables(max_width)[core_name]
 
     def design_calls(self) -> int:
-        """Total ``design_wrapper`` invocations this cache has paid for."""
-        return sum(table.max_width for table in self._tables.values())
+        """Total ``design_wrapper`` invocations this cache has paid for.
+
+        Widths loaded from a persistent store came for free and are
+        excluded — a fully warm store yields coverage with zero calls.
+        """
+        return sum(
+            table.max_width - self._prepaid.get(name, 0)
+            for name, table in self._tables.items()
+        )

@@ -49,3 +49,12 @@ class SolverLimitError(ReproError):
 
 class ConfigurationError(ReproError):
     """An algorithm was configured with invalid options."""
+
+
+class ServiceError(ReproError):
+    """An exploration-service request failed.
+
+    Raised client-side when the server answers ``ok: false`` (unknown
+    job, malformed request, unloadable SOC source, ...) or when the
+    connection itself breaks mid-request.
+    """

@@ -14,7 +14,11 @@ from typing import Any, Dict
 from repro.analysis.sweep import SweepPoint
 from repro.exceptions import ValidationError
 from repro.optimize.result import CoOptimizationResult, ExhaustiveResult
+from repro.soc.core import Core
+from repro.soc.fingerprint import core_fingerprint
 from repro.tam.assignment import AssignmentResult
+from repro.wrapper.chain import WrapperChain, WrapperDesign
+from repro.wrapper.pareto import TimeTable
 
 SCHEMA_VERSION = 1
 
@@ -114,6 +118,146 @@ def exhaustive_to_dict(result: ExhaustiveResult) -> Dict[str, Any]:
         "complete": result.complete,
         "elapsed_seconds": result.elapsed_seconds,
     }
+
+
+def failed_point_to_dict(failure: "Any") -> Dict[str, Any]:
+    """Plain-data form of a :class:`repro.engine.batch.FailedPoint`.
+
+    Typed loosely to keep this module import-light (the engine builds
+    on the analysis layer, not the reverse); any object with the
+    ``FailedPoint`` fields serializes.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "failed_point",
+        "soc": failure.job.soc.name,
+        "total_width": failure.job.total_width,
+        "error_type": failure.error_type,
+        "error_message": failure.error_message,
+        "attempts": failure.attempts,
+    }
+
+
+def wrapper_design_to_dict(design: WrapperDesign) -> Dict[str, Any]:
+    """Plain-data form of one wrapper design (chains and counts).
+
+    The owning core is *not* serialized — reconstruction
+    (:func:`wrapper_design_from_dict`) takes it as an argument, which
+    is what lets the table store key entries by core content hash and
+    share them across identically-structured cores.
+    """
+    return {
+        "width_available": design.width_available,
+        "chains": [
+            {
+                "scan": list(chain.scan_chain_lengths),
+                "in": chain.num_input_cells,
+                "out": chain.num_output_cells,
+            }
+            for chain in design.chains
+        ],
+    }
+
+
+def wrapper_design_from_dict(
+    data: Dict[str, Any], core: Core
+) -> WrapperDesign:
+    """Rebuild a :class:`WrapperDesign` for ``core``.
+
+    ``WrapperDesign.__post_init__`` re-validates conservation (every
+    scan chain and I/O cell of ``core`` placed exactly once), so a
+    record that does not actually belong to ``core`` raises
+    :class:`~repro.exceptions.ValidationError` instead of silently
+    producing a bogus design.
+    """
+    try:
+        return WrapperDesign(
+            core=core,
+            width_available=int(data["width_available"]),
+            chains=tuple(
+                WrapperChain(
+                    scan_chain_lengths=tuple(chain["scan"]),
+                    num_input_cells=int(chain["in"]),
+                    num_output_cells=int(chain["out"]),
+                )
+                for chain in data["chains"]
+            ),
+        )
+    except KeyError as missing:
+        raise ValidationError(
+            f"wrapper design record missing field {missing}"
+        ) from None
+
+
+def time_table_to_dict(table: TimeTable) -> Dict[str, Any]:
+    """Plain-data, Pareto-compressed form of a core's time table.
+
+    Stores only the staircase breakpoints (width, time, design) plus
+    ``max_width`` — see :meth:`repro.wrapper.pareto.TimeTable.
+    staircase` for why this is lossless — keyed by the core's content
+    fingerprint so loaders can refuse records built for a different
+    core structure.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "time_table",
+        "fingerprint": core_fingerprint(table.core),
+        "max_width": table.max_width,
+        "steps": [
+            {
+                "width": width,
+                "time": time,
+                "design": wrapper_design_to_dict(design),
+            }
+            for width, time, design in table.staircase()
+        ],
+    }
+
+
+def time_table_from_dict(data: Dict[str, Any], core: Core) -> TimeTable:
+    """Rebuild a :class:`TimeTable` for ``core`` from a stored record.
+
+    Validates the schema version, record kind, and — crucially — that
+    the record's fingerprint matches ``core``'s current content hash;
+    a mismatch (the core's scan/IO structure changed since the record
+    was written) raises :class:`~repro.exceptions.ValidationError`,
+    which the table store treats as a cache miss.
+    """
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported schema {data.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    if data.get("kind") != "time_table":
+        raise ValidationError(
+            f"expected kind 'time_table', got {data.get('kind')!r}"
+        )
+    if data.get("fingerprint") != core_fingerprint(core):
+        raise ValidationError(
+            f"time table record fingerprint {data.get('fingerprint')!r} "
+            f"does not match core {core.name!r}"
+        )
+    try:
+        steps = [
+            (
+                int(step["width"]),
+                int(step["time"]),
+                wrapper_design_from_dict(step["design"], core),
+            )
+            for step in data["steps"]
+        ]
+        max_width = int(data["max_width"])
+    except KeyError as missing:
+        raise ValidationError(
+            f"time table record missing field {missing}"
+        ) from None
+    try:
+        return TimeTable.from_staircase(core, max_width, steps)
+    except Exception as error:
+        raise ValidationError(
+            f"time table record for {core.name!r} is not a valid "
+            f"staircase: {error}"
+        ) from error
 
 
 def to_json(record: Dict[str, Any], indent: int = 2) -> str:

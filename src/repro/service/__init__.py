@@ -1,0 +1,35 @@
+"""The service subsystem: persistence and a resident job server.
+
+PR 1's engine removed *intra-run* waste (shared tables, pooled
+sweeps).  This subpackage removes the *cross-run* and *cross-client*
+waste the interactive workload actually pays for:
+
+* :mod:`~repro.service.store` — :class:`TableStore`, an on-disk,
+  content-hash-keyed store of Pareto-compressed wrapper time tables.
+  Backing a :class:`repro.engine.cache.WrapperTableCache` with it
+  makes repeated CLI/benchmark/service invocations skip
+  ``design_wrapper`` entirely once warm;
+* :mod:`~repro.service.server` — :class:`ExplorationServer`, a
+  long-lived job server over a persistent
+  :class:`repro.engine.batch.BatchRunner`: job queue, IDs,
+  status/result polling, cancellation, structured per-point failure
+  records, and whole-grid result memoization;
+* :mod:`~repro.service.ipc` — :class:`IPCServer`, a line-oriented
+  JSON TCP front-end (``repro-tam serve``);
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the Python
+  client behind ``repro-tam submit``.
+"""
+
+from repro.service.client import ServiceClient, run_grid_remotely
+from repro.service.ipc import IPCServer
+from repro.service.server import ExplorationServer, JobRecord
+from repro.service.store import TableStore
+
+__all__ = [
+    "TableStore",
+    "ExplorationServer",
+    "JobRecord",
+    "IPCServer",
+    "ServiceClient",
+    "run_grid_remotely",
+]

@@ -1,0 +1,216 @@
+"""Python client for the exploration service's JSON IPC.
+
+:class:`ServiceClient` wraps one socket connection in typed calls::
+
+    with ServiceClient(port=7293) as client:
+        job = client.submit(["d695"], widths=[16, 24, 32], num_tams=2)
+        record = client.wait(job)
+        for point in client.result(job)["points"]:
+            print(point["total_width"], point["testing_time"])
+
+Every method sends one request line and reads one response line; an
+``ok: false`` answer raises :class:`~repro.exceptions.ServiceError`
+with the server's message.  The connection is persistent (the server
+handles many requests per connection) and the client is *not*
+thread-safe — use one per thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ServiceError
+
+
+class ServiceClient:
+    """One connection to a running exploration service.
+
+    Parameters
+    ----------
+    host / port:
+        Where ``repro-tam serve`` (or an :class:`repro.service.ipc.
+        IPCServer`) is listening.
+    timeout:
+        Socket timeout in seconds for connect and for each response.
+        Blocking ``wait`` calls bump it by their own timeout so the
+        socket never fires first.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as error:
+            raise ServiceError(
+                f"cannot connect to service at {host}:{port}: {error}"
+            ) from error
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the decoded response.
+
+        The raw escape hatch the typed methods build on; raises
+        :class:`~repro.exceptions.ServiceError` on transport failure,
+        undecodable responses, or an ``ok: false`` answer.
+        """
+        payload = json.dumps(request) + "\n"
+        try:
+            self._sock.sendall(payload.encode("utf-8"))
+            line = self._reader.readline()
+        except OSError as error:
+            raise ServiceError(
+                f"service connection failed: {error}"
+            ) from error
+        if not line:
+            raise ServiceError(
+                "service closed the connection mid-request"
+            )
+        try:
+            response = json.loads(line)
+        except ValueError as error:
+            raise ServiceError(
+                f"undecodable service response: {error}"
+            ) from error
+        if not isinstance(response, dict) or not response.get("ok"):
+            message = "request failed"
+            if isinstance(response, dict):
+                message = str(response.get("error", message))
+            raise ServiceError(message)
+        return response
+
+    def close(self) -> None:
+        """Close the connection (the server keeps running)."""
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the connected client."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """Liveness check; returns the server's counters."""
+        return self.call({"op": "ping"})
+
+    def submit(
+        self,
+        socs: Sequence[str],
+        widths: Sequence[int],
+        num_tams: Union[int, Sequence[int], None] = None,
+        bmax: Optional[int] = None,
+        options: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Submit a SOCs × widths grid; returns the job ID.
+
+        ``socs`` are sources the *server* resolves (benchmark names
+        or ``.soc`` paths readable server-side).  ``num_tams``,
+        ``bmax`` and ``options`` follow ``repro-tam batch``.  Whether
+        the answer came from the server's memo is visible via
+        :meth:`status` (``cached``).
+        """
+        request: Dict[str, Any] = {
+            "op": "submit",
+            "socs": list(socs),
+            "widths": [int(width) for width in widths],
+        }
+        if num_tams is not None:
+            request["num_tams"] = (
+                num_tams if isinstance(num_tams, int) else list(num_tams)
+            )
+        if bmax is not None:
+            request["bmax"] = int(bmax)
+        if options:
+            request["options"] = options
+        return str(self.call(request)["job"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Status snapshot of ``job_id``."""
+        return self.call({"op": "status", "job": job_id})
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Block server-side until ``job_id`` is terminal (or timeout).
+
+        Returns the final status snapshot; with a ``timeout`` the job
+        may still be ``running`` — check the ``status`` field.
+        """
+        request: Dict[str, Any] = {"op": "wait", "job": job_id}
+        if timeout is not None:
+            request["timeout"] = float(timeout)
+        previous = self._sock.gettimeout()
+        # The server blocks for up to `timeout`; give the socket
+        # headroom so the transport never expires before the wait.
+        self._sock.settimeout(
+            None if timeout is None else self.timeout + timeout
+        )
+        try:
+            return self.call(request)
+        finally:
+            self._sock.settimeout(previous)
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Finished grid of ``job_id``: ``points`` and ``failures``.
+
+        ``points`` are serialized sweep records (one per successful
+        grid point, each tagged with its ``soc``); ``failures`` are
+        structured error records for points that raised.
+        """
+        return self.call({"op": "result", "job": job_id})
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; True when it was still cancellable."""
+        return bool(self.call({"op": "cancel", "job": job_id})["cancelled"])
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (responds, then exits)."""
+        self.call({"op": "shutdown"})
+
+
+def run_grid_remotely(
+    client: ServiceClient,
+    socs: Sequence[str],
+    widths: Sequence[int],
+    num_tams: Union[int, Sequence[int], None] = None,
+    bmax: Optional[int] = None,
+    options: Optional[Dict[str, Any]] = None,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Submit, wait, and fetch in one call — the 90% client workflow.
+
+    Returns the ``result`` payload.  Raises
+    :class:`~repro.exceptions.ServiceError` when the job ends in any
+    state but ``done`` (including a ``wait`` timeout).
+    """
+    job_id = client.submit(
+        socs, widths, num_tams=num_tams, bmax=bmax, options=options
+    )
+    record = client.wait(job_id, timeout=timeout)
+    if record["status"] != "done":
+        raise ServiceError(
+            f"job {job_id} ended as {record['status']}: "
+            f"{record.get('error', 'no result')}"
+        )
+    return client.result(job_id)

@@ -1,0 +1,281 @@
+"""Line-oriented JSON IPC in front of the exploration server.
+
+One request per line, one JSON object per response line — the whole
+protocol is greppable from a terminal::
+
+    $ printf '{"op":"ping"}\n' | nc 127.0.0.1 7293
+    {"ok": true, "pong": true, ...}
+
+Operations (``op`` field):
+
+``ping``
+    Liveness check; echoes server :meth:`~repro.service.server.
+    ExplorationServer.info` counters.
+``submit``
+    ``{"op":"submit","socs":["d695",...],"widths":[16,24],...}`` —
+    sources are benchmark names or ``.soc`` paths (resolved
+    server-side by :func:`repro.soc.loader.load_source`); optional
+    ``num_tams`` (int or list), ``bmax`` (P_NPAW cap, default 10) and
+    ``options`` (forwarded to ``co_optimize``).  Answers
+    ``{"ok":true,"job":"job-0001","cached":false,...}``.
+``status`` / ``wait``
+    Poll or block (``timeout`` seconds, optional) on a job ID.
+``result``
+    Finished grid as serialized sweep points (``points``) plus
+    structured per-point failures (``failures``).
+``cancel``
+    Cancel a still-queued job.
+``shutdown``
+    Orderly stop: responds, then stops the listener and the
+    exploration server (queued jobs are dropped, the running grid
+    finishes).
+
+Every response carries ``ok``; failures are ``{"ok": false,
+"error": ...}`` and never tear down the connection.  The listener is
+a threading TCP server bound to localhost by default — this is an
+engineer-facing workstation service, not an internet-facing one.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.batch import BatchJob, FailedPoint
+from repro.exceptions import ReproError
+from repro.optimize.co_optimize import DEFAULT_MAX_TAMS
+from repro.report.serialize import (
+    failed_point_to_dict,
+    sweep_point_to_dict,
+)
+from repro.service.server import ExplorationServer
+from repro.soc.loader import load_source
+
+
+def jobs_from_request(request: Dict[str, Any]) -> List[BatchJob]:
+    """Build the grid a ``submit`` request describes.
+
+    Mirrors the ``repro-tam batch`` subcommand exactly — same source
+    resolution, same widths-fastest job order, same ``bmax``-derived
+    P_NPAW default — so a grid submitted over IPC memoizes and
+    reproduces identically to one run locally.
+    """
+    sources = request.get("socs")
+    widths = request.get("widths")
+    if not sources or not isinstance(sources, list):
+        raise ReproError("submit needs a non-empty 'socs' list")
+    if not widths or not isinstance(widths, list):
+        raise ReproError("submit needs a non-empty 'widths' list")
+    num_tams = request.get("num_tams")
+    if num_tams is None:
+        bmax = int(request.get("bmax", DEFAULT_MAX_TAMS))
+        num_tams = tuple(range(1, bmax + 1))
+    elif isinstance(num_tams, list):
+        num_tams = tuple(int(count) for count in num_tams)
+    else:
+        num_tams = int(num_tams)
+    options = request.get("options") or {}
+    if not isinstance(options, dict):
+        raise ReproError("'options' must be an object")
+    socs = [load_source(str(source)) for source in sources]
+    return [
+        BatchJob(
+            soc=soc,
+            total_width=int(width),
+            num_tams=num_tams,
+            options=options,
+        )
+        for soc in socs
+        for width in widths
+    ]
+
+
+def result_payload(
+    jobs: Tuple[BatchJob, ...], results: List[Any]
+) -> Dict[str, Any]:
+    """Serialize a finished grid: per-point records plus failures."""
+    points: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    for job, result in zip(jobs, results):
+        if isinstance(result, FailedPoint):
+            failures.append(failed_point_to_dict(result))
+        else:
+            points.append(
+                dict(sweep_point_to_dict(result), soc=job.soc.name)
+            )
+    return {"points": points, "failures": failures}
+
+
+def handle_request(
+    exploration: ExplorationServer, request: Dict[str, Any]
+) -> Tuple[Dict[str, Any], bool]:
+    """Dispatch one decoded request; returns (response, shutdown?).
+
+    Pure with respect to the transport — the unit the protocol tests
+    drive directly.  Library errors (:class:`~repro.exceptions.
+    ReproError`) become ``ok: false`` responses; programming errors
+    propagate.
+    """
+    op = request.get("op")
+    try:
+        if op == "ping":
+            return {"ok": True, "pong": True, **exploration.info()}, False
+        if op == "submit":
+            record = exploration.submit(jobs_from_request(request))
+            return {
+                "ok": True,
+                "job": record.job_id,
+                "cached": record.cached,
+                "status": record.status,
+                "num_jobs": len(record.jobs),
+            }, False
+        if op == "status":
+            snapshot = exploration.status(str(request.get("job")))
+            return {"ok": True, **snapshot}, False
+        if op == "wait":
+            timeout = request.get("timeout")
+            record = exploration.wait(
+                str(request.get("job")),
+                timeout=None if timeout is None else float(timeout),
+            )
+            return {"ok": True, **record.snapshot()}, False
+        if op == "result":
+            job_id = str(request.get("job"))
+            results = exploration.results(job_id)
+            record = exploration.record(job_id)
+            return {
+                "ok": True,
+                **record.snapshot(),
+                **result_payload(record.jobs, results),
+            }, False
+        if op == "cancel":
+            cancelled = exploration.cancel(str(request.get("job")))
+            return {"ok": True, "cancelled": cancelled}, False
+        if op == "shutdown":
+            return {"ok": True, "bye": True}, True
+        raise ReproError(f"unknown op {op!r}")
+    except ReproError as error:
+        return {"ok": False, "error": str(error)}, False
+    except (ValueError, TypeError, KeyError, OSError) as error:
+        # Malformed field *types* (non-numeric widths/timeout,
+        # unhashable options, an unreadable/directory .soc path, ...)
+        # are the client's fault, not a server bug: answer, don't
+        # tear down the connection.
+        return {
+            "ok": False,
+            "error": f"malformed request: {type(error).__name__}: {error}",
+        }, False
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: newline-delimited JSON requests in, out."""
+
+    def handle(self) -> None:
+        """Serve requests until the peer closes or asks for shutdown."""
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as error:
+                self._reply({"ok": False, "error": f"bad request: {error}"})
+                continue
+            response, stop = handle_request(
+                self.server.exploration,  # type: ignore[attr-defined]
+                request,
+            )
+            self._reply(response)
+            if stop:
+                self.server.initiate_shutdown()  # type: ignore[attr-defined]
+                return
+
+    def _reply(self, response: Dict[str, Any]) -> None:
+        payload = json.dumps(response, sort_keys=True)
+        self.wfile.write(payload.encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    """TCP listener that knows its exploration server."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, address: Tuple[str, int], exploration: ExplorationServer
+    ):
+        super().__init__(address, _Handler)
+        self.exploration = exploration
+
+    def initiate_shutdown(self) -> None:
+        """Stop the listener (from a handler thread) and the service."""
+        # shutdown() blocks until serve_forever exits, so it must run
+        # off the serving thread; handler threads qualify, but detach
+        # anyway so a handler never waits on itself.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+        self.exploration.shutdown(wait=True)
+
+
+class IPCServer:
+    """The socket front-end: an :class:`ExplorationServer` plus listener.
+
+    Parameters
+    ----------
+    exploration:
+        The job server to expose.
+    host / port:
+        Bind address.  Port ``0`` (default) lets the OS pick a free
+        port — read it back from :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        exploration: ExplorationServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.exploration = exploration
+        self._tcp = _ThreadingTCPServer((host, port), exploration)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) actually bound."""
+        return self._tcp.server_address[:2]
+
+    def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` request or :meth:`stop` arrives."""
+        self._tcp.serve_forever(poll_interval=0.1)
+        self._tcp.server_close()
+
+    def start(self) -> "IPCServer":
+        """Serve on a background thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name="repro-service-ipc",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop listener and exploration server from the outside."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.exploration.shutdown(wait=True)
+
+    def __enter__(self) -> "IPCServer":
+        """Context-manager entry: a started server."""
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: full stop."""
+        self.stop()

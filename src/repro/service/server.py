@@ -1,0 +1,335 @@
+"""The long-lived exploration job server.
+
+The paper's workload is interactive: an engineer sweeps TAM budgets
+over an SOC, looks at the result, and immediately submits a variant.
+Paying process-pool startup and wrapper-table construction per
+invocation dominates that loop, so :class:`ExplorationServer` keeps
+both resident:
+
+* one persistent :class:`~repro.engine.batch.BatchRunner` (pool
+  workers stay warm across jobs, their table caches extend rather
+  than rebuild, and an optional ``cache_dir`` makes the tables
+  outlive the server itself);
+* a FIFO job queue drained by a dispatcher thread, with job IDs,
+  status/result polling, cancellation of queued jobs, and per-job
+  structured failure records (the runner runs with
+  ``on_error="record"``, so one bad grid point cannot take down a
+  whole submission);
+* **result memoization**: a grid identical to one already completed
+  — same SOCs by content, same widths, counts and options — is
+  answered instantly from the finished job, without touching the
+  queue or the pool.
+
+The server is transport-agnostic; :mod:`repro.service.ipc` puts a
+line-oriented JSON socket in front of it and
+:mod:`repro.service.client` speaks that protocol.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.batch import (
+    BatchJob,
+    BatchResult,
+    BatchRunner,
+    split_results,
+)
+from repro.exceptions import ServiceError
+
+#: Job lifecycle states, in order of progress.  ``cancelled`` is
+#: reachable only from ``queued`` — a running grid is not interrupted.
+JOB_STATUSES: Tuple[str, ...] = (
+    "queued", "running", "done", "failed", "cancelled",
+)
+
+#: States from which a job record will never change again.
+TERMINAL_STATUSES: Tuple[str, ...] = ("done", "failed", "cancelled")
+
+
+@dataclass
+class JobRecord:
+    """One submitted grid and everything known about it.
+
+    Mutable by design — the dispatcher thread advances ``status`` and
+    fills in ``results``/``error`` under the server's lock.
+    """
+
+    job_id: str
+    jobs: Tuple[BatchJob, ...]
+    status: str = "queued"
+    cached: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    results: Optional[List[BatchResult]] = None
+    error: Optional[str] = None
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the record will never change again."""
+        return self.status in TERMINAL_STATUSES
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data status view (no result payload), lock-free safe."""
+        info: Dict[str, object] = {
+            "job": self.job_id,
+            "status": self.status,
+            "cached": self.cached,
+            "num_jobs": len(self.jobs),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.results is not None:
+            points, failures = split_results(self.results)
+            info["num_points"] = len(points)
+            info["num_failures"] = len(failures)
+        if self.error is not None:
+            info["error"] = self.error
+        return info
+
+
+class ExplorationServer:
+    """A resident worker service over the batch engine.
+
+    Parameters
+    ----------
+    runner:
+        The :class:`~repro.engine.batch.BatchRunner` executing grids.
+        When ``None`` one is built from the remaining parameters,
+        persistent and with ``on_error="record"`` — the policies a
+        long-lived service wants.
+    max_workers:
+        Pool size for the built runner (``None`` = one per CPU,
+        ``1`` = inline execution in the dispatcher thread).
+    cache_dir:
+        Optional persistent table store directory for the built
+        runner (see :class:`repro.service.store.TableStore`).
+    retries:
+        Per-point retry budget for the built runner.
+    """
+
+    def __init__(
+        self,
+        runner: Optional[BatchRunner] = None,
+        max_workers: Optional[int] = None,
+        cache_dir: Union[str, Path, None] = None,
+        retries: int = 0,
+    ):
+        if runner is None:
+            runner = BatchRunner(
+                max_workers=max_workers,
+                on_error="record",
+                retries=retries,
+                cache_dir=cache_dir,
+                persistent=True,
+            )
+        self.runner = runner
+        self._records: Dict[str, JobRecord] = {}
+        self._memo: Dict[Tuple[BatchJob, ...], str] = {}
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._counter = 0
+        self.memo_hits = 0
+        self._dispatcher = threading.Thread(
+            target=self._drain, name="repro-exploration-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Submission and queries
+    # ------------------------------------------------------------------
+    def submit(self, jobs: Sequence[BatchJob]) -> JobRecord:
+        """Enqueue a grid; returns its (possibly pre-answered) record.
+
+        An empty grid is rejected.  A grid whose job tuple matches a
+        previously *completed* submission is answered from memo: the
+        returned record is already ``done``, flagged ``cached``, and
+        shares the finished results — the queue and the pool are
+        never touched.
+        """
+        job_tuple = tuple(jobs)
+        if not job_tuple:
+            raise ServiceError("cannot submit an empty grid")
+        with self._lock:
+            self._counter += 1
+            job_id = f"job-{self._counter:04d}"
+            memo_id = self._memo.get(job_tuple)
+            if memo_id is not None:
+                source = self._records[memo_id]
+                record = JobRecord(
+                    job_id=job_id,
+                    jobs=job_tuple,
+                    status="done",
+                    cached=True,
+                    started_at=source.started_at,
+                    finished_at=source.finished_at,
+                    results=source.results,
+                )
+                self._records[job_id] = record
+                self.memo_hits += 1
+                return record
+            record = JobRecord(job_id=job_id, jobs=job_tuple)
+            self._records[job_id] = record
+        self._queue.put(job_id)
+        return record
+
+    def record(self, job_id: str) -> JobRecord:
+        """The record for ``job_id``; unknown IDs raise."""
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return record
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """Plain-data status snapshot of ``job_id``."""
+        return self.record(job_id).snapshot()
+
+    def results(self, job_id: str) -> List[BatchResult]:
+        """The finished results of ``job_id``.
+
+        Raises :class:`~repro.exceptions.ServiceError` unless the job
+        is ``done`` — poll :meth:`status` or block on :meth:`wait`
+        first.
+        """
+        record = self.record(job_id)
+        if record.status != "done" or record.results is None:
+            raise ServiceError(
+                f"job {job_id} has no results (status: {record.status})"
+            )
+        return record.results
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> JobRecord:
+        """Block until ``job_id`` reaches a terminal state.
+
+        Returns the record either way; check ``status`` afterwards
+        when a ``timeout`` (seconds) is given, since expiry simply
+        returns the still-running record.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._done:
+            while True:
+                record = self._records.get(job_id)
+                if record is None:
+                    raise ServiceError(f"unknown job {job_id!r}")
+                if record.is_terminal:
+                    return record
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return record
+                self._done.wait(timeout=remaining)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel ``job_id`` if still queued; True when it was.
+
+        A running grid is never interrupted (its pool workers hold
+        partial state worth keeping warm); terminal jobs are
+        unaffected.
+        """
+        with self._done:
+            record = self._records.get(job_id)
+            if record is None:
+                raise ServiceError(f"unknown job {job_id!r}")
+            if record.status != "queued":
+                return False
+            record.status = "cancelled"
+            record.finished_at = time.time()
+            self._done.notify_all()
+            return True
+
+    def info(self) -> Dict[str, object]:
+        """Server-wide counters for monitoring and tests."""
+        with self._lock:
+            by_status: Dict[str, int] = {}
+            for record in self._records.values():
+                by_status[record.status] = (
+                    by_status.get(record.status, 0) + 1
+                )
+            return {
+                "jobs": len(self._records),
+                "by_status": by_status,
+                "memo_hits": self.memo_hits,
+                "pools_started": self.runner.pools_started,
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the dispatcher and release the runner's pool.
+
+        Still-queued jobs are transitioned to ``cancelled`` (and
+        their waiters woken) — they will never run; a grid already
+        running finishes first when ``wait`` is True.
+        """
+        self._stop.set()
+        if wait and self._dispatcher.is_alive():
+            self._dispatcher.join()
+        with self._done:
+            for record in self._records.values():
+                if record.status == "queued":
+                    record.status = "cancelled"
+                    record.finished_at = time.time()
+            self._done.notify_all()
+        self.runner.close()
+
+    def __enter__(self) -> "ExplorationServer":
+        """Context-manager entry: the server itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: orderly :meth:`shutdown`."""
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Dispatcher loop: execute queued grids until stopped."""
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            with self._lock:
+                record = self._records[job_id]
+                if record.status != "queued":
+                    continue  # cancelled while waiting
+                record.status = "running"
+                record.started_at = time.time()
+            try:
+                results = self.runner.run(list(record.jobs))
+            except Exception as error:  # noqa: BLE001 - job boundary
+                with self._done:
+                    record.status = "failed"
+                    record.error = f"{type(error).__name__}: {error}"
+                    record.finished_at = time.time()
+                    self._done.notify_all()
+                continue
+            with self._done:
+                record.results = results
+                record.status = "done"
+                record.finished_at = time.time()
+                # Only clean grids are memoized: a recorded failure
+                # may be transient (killed worker, truncated solve),
+                # and serving it from cache forever would make
+                # resubmission useless as a retry path.
+                if not split_results(results)[1]:
+                    self._memo[record.jobs] = job_id
+                self._done.notify_all()

@@ -1,0 +1,254 @@
+"""On-disk persistence of wrapper time tables.
+
+``Design_wrapper`` is the pipeline's only expensive primitive, and
+its outputs depend on nothing but a core's scan/IO structure — the
+perfect memoization target.  :class:`TableStore` persists each core's
+Pareto-compressed :class:`~repro.wrapper.pareto.TimeTable` staircase
+as one JSON file per *content hash* (:func:`repro.soc.fingerprint.
+core_fingerprint`), so repeated CLI invocations, benchmark runs and
+service restarts skip wrapper design entirely once a core has been
+tabulated at a sufficient width.
+
+Layout and semantics:
+
+* ``<directory>/<fingerprint>.json`` — one record per distinct core
+  structure, in the :func:`repro.report.serialize.time_table_to_dict`
+  format.  Identically-structured cores (common in synthesized SOCs)
+  share a single entry; core *names* never appear in the key.
+* **Invalidation is automatic**: editing a core's patterns, terminals
+  or scan chains changes its fingerprint, so the next lookup simply
+  misses (the stale entry is ignored, not served).  Bumping
+  :data:`repro.soc.fingerprint.ALGORITHM_VERSION` invalidates every
+  entry at once.
+* **Extend-in-place**: a stored table covering width ``w`` answers a
+  request for ``w' > w`` by paying only the ``w' - w`` missing
+  designs, mirroring :meth:`repro.engine.cache.WrapperTableCache.
+  ensure`; :meth:`TableStore.save` then widens the record (and never
+  narrows it — concurrent writers can only grow coverage).
+* Unreadable, corrupt or mismatching records are treated as misses,
+  never as errors: the store is a cache, the builder is the truth.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+try:  # POSIX-only; the store degrades to lock-free elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.report.serialize import (
+    SCHEMA_VERSION,
+    time_table_from_dict,
+    time_table_to_dict,
+    to_json,
+)
+from repro.soc.core import Core
+from repro.soc.fingerprint import core_fingerprint
+from repro.soc.soc import Soc
+from repro.wrapper.pareto import TimeTable
+
+
+class TableStore:
+    """A directory of persisted per-core time tables.
+
+    Parameters
+    ----------
+    directory:
+        Where the ``<fingerprint>.json`` records live.  Created on
+        first use (including parents); safe to point several
+        processes at concurrently — writes are atomic renames and
+        never narrow an existing record.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        #: Widths known to be on disk, per fingerprint — a same-process
+        #: fast path so repeated saves don't re-parse existing records.
+        #: Never trusted to *skip* growth checks under the write lock.
+        self._known_widths: Dict[str, int] = {}
+
+    def path_for(self, core: Core) -> Path:
+        """The record path serving ``core`` (existing or not)."""
+        return self.directory / f"{core_fingerprint(core)}.json"
+
+    @contextlib.contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Serialize same-machine writers (no-op where flock is absent).
+
+        Makes :meth:`save`'s check-then-replace atomic across
+        processes sharing this directory, so a narrower writer can
+        never clobber a wider record it raced with.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        handle = os.open(
+            self.directory / ".lock", os.O_CREAT | os.O_RDWR, 0o644
+        )
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(handle)  # closing drops the flock
+
+    def load(self, core: Core) -> Optional[TimeTable]:
+        """The stored table for ``core``'s structure, or ``None``.
+
+        Misses on: absent record, unreadable/corrupt JSON, schema or
+        fingerprint mismatch, or an invalid staircase.  Never raises
+        for bad cache contents — the caller falls back to building.
+        A record that *exists* but fails validation is deleted, so a
+        bad header can never block :meth:`save` from repairing the
+        entry with a freshly built table.
+        """
+        path = self.path_for(core)
+        try:
+            data = json.loads(path.read_text())
+        except OSError:
+            return None
+        except ValueError:
+            self._discard(path, core_fingerprint(core))
+            return None
+        try:
+            table = time_table_from_dict(data, core)
+        except Exception:
+            self._discard(path, core_fingerprint(core))
+            return None
+        fingerprint = core_fingerprint(core)
+        self._known_widths[fingerprint] = max(
+            self._known_widths.get(fingerprint, 0), table.max_width
+        )
+        return table
+
+    def save(self, table: TimeTable) -> bool:
+        """Persist ``table``, widening its record if needed.
+
+        Returns True when a record was written, False when the
+        existing record already covers ``table.max_width`` (saving a
+        narrower table never clobbers a wider one — the growth check
+        and the replace happen under one cross-process write lock,
+        so racing workers can only grow the store).  Directory
+        creation is lazy: a store is free until something is worth
+        keeping.
+        """
+        fingerprint = core_fingerprint(table.core)
+        # Same-process fast path: a width we have already seen on
+        # disk can only have grown since.
+        if self._known_widths.get(fingerprint, -1) >= table.max_width:
+            return False
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(table.core)
+        with self._write_lock():
+            existing = self.stored_width(table.core)
+            if existing >= table.max_width:
+                return False
+            payload = to_json(time_table_to_dict(table))
+            # Atomic publish: concurrent readers see the old record
+            # or the new one, never a torn write.
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w") as tmp:
+                    tmp.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self._known_widths[fingerprint] = table.max_width
+        return True
+
+    def _discard(self, path: Path, fingerprint: str) -> None:
+        """Best-effort removal of a record that failed validation."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self._known_widths.pop(fingerprint, None)
+
+    def stored_width(self, core: Core) -> int:
+        """Width the stored record covers for ``core`` (0 on miss).
+
+        Reads the record header without reconstructing designs, so
+        callers can decide whether a save would widen anything.
+        Header-only by design: a record with a healthy header but a
+        body :meth:`load` rejects is removed *by load*, so this check
+        can never leave the store permanently cold.
+        """
+        path = self.path_for(core)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return 0
+        if (
+            not isinstance(data, dict)
+            or data.get("schema") != SCHEMA_VERSION
+            or data.get("kind") != "time_table"
+            or data.get("fingerprint") != core_fingerprint(core)
+        ):
+            return 0
+        width = data.get("max_width")
+        if not isinstance(width, int) or width < 1:
+            return 0
+        fingerprint = core_fingerprint(core)
+        self._known_widths[fingerprint] = max(
+            self._known_widths.get(fingerprint, 0), width
+        )
+        return width
+
+    def fetch(self, core: Core, max_width: int) -> TimeTable:
+        """Load-or-build ``core``'s table covering ``max_width``.
+
+        The convenience one-shot: a hit wide enough is returned as
+        is; a narrower hit is extended in place (paying only the
+        missing widths) and re-persisted; a miss builds fresh and
+        persists.  Heavy consumers should prefer a store-backed
+        :class:`repro.engine.cache.WrapperTableCache`, which adds the
+        in-memory sharing layer on top of this.
+        """
+        table = self.load(core)
+        if table is None:
+            table = TimeTable(core, max_width)
+            self.save(table)
+        elif table.max_width < max_width:
+            table.extend_to(max_width)
+            self.save(table)
+        return table
+
+    def tables(self, soc: Soc, max_width: int) -> Dict[str, TimeTable]:
+        """Core-name → table dict for ``soc`` via :meth:`fetch`."""
+        return {
+            core.name: self.fetch(core, max_width)
+            for core in soc.cores
+        }
+
+    def entries(self) -> List[Path]:
+        """Paths of every record currently in the store."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._known_widths.clear()
+        return removed

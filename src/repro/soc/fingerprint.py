@@ -1,0 +1,62 @@
+"""Content hashing of cores and SOCs.
+
+The persistent table store (:mod:`repro.service.store`) memoizes each
+core's wrapper time table on disk.  Its cache key must change exactly
+when the table's *inputs* change — the attributes ``Design_wrapper``
+reads — and must not depend on anything else, so that renaming a core
+or re-ordering a SOC keeps its entries warm while editing a scan
+chain invalidates them automatically.
+
+:func:`core_fingerprint` therefore hashes the scan/IO structure of a
+core (pattern count, terminal counts, scan-chain lengths) and nothing
+else — deliberately *not* the core's name.  Two cores with identical
+structure share one table entry.  ``ALGORITHM_VERSION`` is folded
+into the hash so a future change to the wrapper-design algorithm
+invalidates every stored table at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.soc.core import Core
+from repro.soc.soc import Soc
+
+#: Version of the wrapper-design algorithm whose outputs the stored
+#: tables encode.  Bump when ``design_wrapper`` changes behaviour so
+#: stale staircases can never be served.
+ALGORITHM_VERSION = 1
+
+
+def core_fingerprint(core: Core) -> str:
+    """Hex digest of the core attributes wrapper design depends on.
+
+    Stable across processes and Python versions (the payload is
+    canonical JSON, not ``hash()``), independent of the core's name,
+    and sensitive to every field ``Design_wrapper`` reads.
+    """
+    payload = json.dumps(
+        {
+            "algo": ALGORITHM_VERSION,
+            "patterns": core.num_patterns,
+            "inputs": core.num_inputs,
+            "outputs": core.num_outputs,
+            "bidirs": core.num_bidirs,
+            "scan": list(core.scan_chain_lengths),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:24]
+
+
+def soc_fingerprint(soc: Soc) -> str:
+    """Hex digest of a SOC's full core structure, order-sensitive.
+
+    Used by the exploration service to key whole-SOC artifacts (job
+    memoization); core order matters there because assignment vectors
+    are positional.
+    """
+    payload = ",".join(core_fingerprint(core) for core in soc.cores)
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:24]

@@ -1,0 +1,35 @@
+"""Resolve SOC *sources* — benchmark names or ``.soc`` file paths.
+
+The CLI and the exploration service both accept SOCs by a single
+string: either the name of an embedded benchmark (``d695``,
+``p21241``, ``p31108``, ``p93791``) or a path to an ITC'02-dialect
+``.soc`` file.  :func:`load_source` is that shared resolution rule,
+so the two front-ends cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.soc.data import benchmark_names, get_benchmark
+from repro.soc.itc02 import load_soc
+from repro.soc.soc import Soc
+
+
+def load_source(source: str) -> Soc:
+    """Load a SOC from a benchmark name or a ``.soc`` file path.
+
+    Benchmark names win over paths (none of the embedded names is a
+    plausible filename).  A source that is neither raises
+    :class:`~repro.exceptions.ReproError` listing the valid names.
+    """
+    if source in benchmark_names():
+        return get_benchmark(source)
+    path = Path(source)
+    if not path.exists():
+        raise ReproError(
+            f"{source!r} is neither an embedded benchmark "
+            f"({', '.join(benchmark_names())}) nor an existing file"
+        )
+    return load_soc(path)

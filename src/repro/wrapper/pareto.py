@@ -120,6 +120,75 @@ class TimeTable:
                 previous = time
         return points
 
+    def staircase(self) -> List[Tuple[int, int, WrapperDesign]]:
+        """(width, time, design) at each Pareto breakpoint.
+
+        Between breakpoints the stored time *and* design are exactly
+        the previous breakpoint's (the running-minimum construction in
+        :meth:`extend_to` keeps the incumbent design until a strictly
+        better one appears), so this list plus ``max_width`` is a
+        lossless, Pareto-compressed encoding of the whole table —
+        the on-disk format of :class:`repro.service.store.TableStore`.
+        """
+        steps: List[Tuple[int, int, WrapperDesign]] = []
+        previous: int | None = None
+        for width in range(1, self.max_width + 1):
+            time = self._times[width - 1]
+            if previous is None or time < previous:
+                steps.append((width, time, self._designs[width - 1]))
+                previous = time
+        return steps
+
+    @classmethod
+    def from_staircase(
+        cls,
+        core: Core,
+        max_width: int,
+        steps: Sequence[Tuple[int, int, WrapperDesign]],
+    ) -> "TimeTable":
+        """Rebuild a table from its Pareto staircase, design-free.
+
+        The inverse of :meth:`staircase`: expands the breakpoints back
+        into the dense per-width arrays without a single
+        ``design_wrapper`` call, producing a table bit-identical to
+        one built fresh at ``max_width`` (and extendable past it —
+        :meth:`extend_to` resumes from the last entry as usual).
+        Raises :class:`~repro.exceptions.ConfigurationError` when the
+        steps are not a valid staircase for ``max_width``.
+        """
+        if max_width < 1:
+            raise ConfigurationError(
+                f"max_width must be >= 1, got {max_width}"
+            )
+        steps = list(steps)
+        if not steps or steps[0][0] != 1:
+            raise ConfigurationError(
+                "staircase must start at width 1"
+            )
+        widths = [width for width, _, _ in steps]
+        times = [time for _, time, _ in steps]
+        if widths != sorted(set(widths)) or widths[-1] > max_width:
+            raise ConfigurationError(
+                f"staircase widths {widths} not strictly increasing "
+                f"within 1..{max_width}"
+            )
+        if times != sorted(set(times), reverse=True):
+            raise ConfigurationError(
+                f"staircase times {times} not strictly decreasing"
+            )
+        table = cls.__new__(cls)
+        table.core = core
+        table.max_width = max_width
+        table._times = []
+        table._designs = []
+        step = -1
+        for width in range(1, max_width + 1):
+            if step + 1 < len(steps) and steps[step + 1][0] == width:
+                step += 1
+            table._times.append(steps[step][1])
+            table._designs.append(steps[step][2])
+        return table
+
 
 def build_time_tables(
     soc: Soc, max_width: int

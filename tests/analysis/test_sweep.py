@@ -83,3 +83,77 @@ class TestTableReuse:
         shared = build_time_tables(tiny_soc, 8)
         evaluate_point(tiny_soc, 8, num_tams=2, tables=shared)
         assert seen["tables"] is shared
+
+
+class TestParetoOnlySweep:
+    """Adaptive width enumeration: sweep only Pareto breakpoints."""
+
+    def test_swept_widths_are_the_breakpoint_union(self, tiny_soc):
+        from repro.analysis.sweep import pareto_widths
+
+        max_width = 10
+        union = pareto_widths(tiny_soc, max_width)
+        # Widths start at 2: a B=2 point needs a wire per bus.
+        points = sweep_widths(
+            tiny_soc, range(2, max_width + 1), num_tams=2,
+            pareto_only=True,
+        )
+        expected = sorted(
+            {w for w in union if 2 <= w <= max_width} | {max_width}
+        )
+        assert [p.total_width for p in points] == expected
+        # On real cores the union is a strict subset of the dense grid.
+        assert len(expected) < max_width - 1
+
+    def test_results_match_dense_sweep_at_those_widths(self, tiny_soc):
+        dense = {
+            p.total_width: p
+            for p in sweep_widths(tiny_soc, range(2, 11), num_tams=2)
+        }
+        adaptive = sweep_widths(
+            tiny_soc, range(2, 11), num_tams=2, pareto_only=True,
+        )
+        for point in adaptive:
+            assert point == dense[point.total_width]
+
+    def test_top_budget_is_always_swept(self, tiny_soc):
+        points = sweep_widths(
+            tiny_soc, (4, 5, 6, 7), num_tams=2, pareto_only=True,
+        )
+        assert points[-1].total_width == 7
+
+    def test_breakpoints_outside_the_range_are_skipped(self, tiny_soc):
+        from repro.analysis.sweep import pareto_widths
+
+        union = set(pareto_widths(tiny_soc, 9))
+        points = sweep_widths(
+            tiny_soc, (5, 6, 7, 8, 9), num_tams=2, pareto_only=True,
+        )
+        swept = {p.total_width for p in points}
+        assert swept <= (union & set(range(5, 10))) | {9}
+
+    def test_pareto_widths_match_table_breakpoints(self, tiny_soc):
+        from repro.analysis.sweep import pareto_widths
+
+        tables = build_time_tables(tiny_soc, 8)
+        union = {
+            w
+            for table in tables.values()
+            for w, _ in table.pareto_points()
+        }
+        assert pareto_widths(tiny_soc, 8, tables=tables) == sorted(union)
+
+    def test_dense_and_adaptive_agree_with_pool_runner(self, tiny_soc):
+        from repro.engine.batch import BatchRunner
+
+        dense = {
+            p.total_width: p
+            for p in sweep_widths(tiny_soc, range(2, 9), num_tams=2)
+        }
+        runner = BatchRunner(max_workers=2)
+        adaptive = sweep_widths(
+            tiny_soc, range(2, 9), num_tams=2, runner=runner,
+            pareto_only=True,
+        )
+        for point in adaptive:
+            assert point == dense[point.total_width]

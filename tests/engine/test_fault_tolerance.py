@@ -1,0 +1,165 @@
+"""Job-level fault tolerance of the batch engine."""
+
+import pytest
+
+import repro.engine.batch as batch
+from repro.engine.batch import (
+    BatchJob,
+    BatchRunner,
+    FailedPoint,
+    grid_rows,
+    split_results,
+)
+from repro.exceptions import ConfigurationError
+
+
+def bad_job(soc, width=4):
+    """A job that fails inside the pipeline, not at construction."""
+    return BatchJob(soc, width, 2, options={"enumerator": "bogus"})
+
+
+class TestRecordPolicy:
+    def test_default_policy_still_raises(self, tiny_soc):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(max_workers=1).run([bad_job(tiny_soc)])
+
+    def test_failed_point_keeps_the_grid_alive(self, tiny_soc):
+        runner = BatchRunner(max_workers=1, on_error="record")
+        results = runner.run([
+            BatchJob(tiny_soc, 4, 2),
+            bad_job(tiny_soc, width=5),
+            BatchJob(tiny_soc, 6, 2),
+        ])
+        assert len(results) == 3
+        assert not isinstance(results[0], FailedPoint)
+        assert isinstance(results[1], FailedPoint)
+        assert not isinstance(results[2], FailedPoint)
+        failure = results[1]
+        assert failure.error_type == "ConfigurationError"
+        assert "bogus" in failure.error_message
+        assert failure.attempts == 1
+        assert failure.total_width == 5
+        assert "ConfigurationError" in failure.describe()
+
+    def test_split_results_partitions(self, tiny_soc):
+        runner = BatchRunner(max_workers=1, on_error="record")
+        results = runner.run([BatchJob(tiny_soc, 4, 2),
+                              bad_job(tiny_soc)])
+        points, failures = split_results(results)
+        assert len(points) == 1 and len(failures) == 1
+
+    def test_pool_mode_records_failures_too(self, tiny_soc):
+        runner = BatchRunner(max_workers=2, on_error="record")
+        results = runner.run([
+            BatchJob(tiny_soc, 4, 2),
+            bad_job(tiny_soc, width=5),
+            BatchJob(tiny_soc, 6, 2),
+        ])
+        kinds = [isinstance(r, FailedPoint) for r in results]
+        assert kinds == [False, True, False]
+
+    def test_grid_rows_renders_error_rows(self, tiny_soc):
+        runner = BatchRunner(max_workers=1, on_error="record")
+        grid = runner.run_grid([tiny_soc], (4,))
+        # Force a failure row through the same renderer.
+        failure = FailedPoint(
+            job=bad_job(tiny_soc, width=5),
+            error_type="ConfigurationError",
+            error_message="boom",
+            attempts=1,
+        )
+        rows = grid_rows(list(grid) + [(failure.job, failure)])
+        assert rows[-1]["T"] == "-"
+        assert "boom" in rows[-1]["partition"]
+        assert rows[-1]["W"] == 5
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(on_error="ignore")
+        with pytest.raises(ConfigurationError):
+            BatchRunner(retries=-1)
+
+
+class TestRetries:
+    def test_transient_failure_is_retried_inline(
+        self, tiny_soc, monkeypatch
+    ):
+        attempts = {"count": 0}
+        original = batch.evaluate_point
+
+        def flaky(*args, **kwargs):
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise ConfigurationError("transient")
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(batch, "evaluate_point", flaky)
+        runner = BatchRunner(max_workers=1, on_error="record", retries=1)
+        [result] = runner.run([BatchJob(tiny_soc, 4, 2)])
+        assert not isinstance(result, FailedPoint)
+        assert attempts["count"] == 2
+
+    def test_exhausted_retries_record_attempt_count(
+        self, tiny_soc, monkeypatch
+    ):
+        def always_failing(*args, **kwargs):
+            raise ConfigurationError("permanent")
+
+        monkeypatch.setattr(batch, "evaluate_point", always_failing)
+        runner = BatchRunner(max_workers=1, on_error="record", retries=2)
+        [result] = runner.run([BatchJob(tiny_soc, 4, 2)])
+        assert isinstance(result, FailedPoint)
+        assert result.attempts == 3
+
+    def test_exhausted_retries_raise_under_default_policy(
+        self, tiny_soc, monkeypatch
+    ):
+        def always_failing(*args, **kwargs):
+            raise ConfigurationError("permanent")
+
+        monkeypatch.setattr(batch, "evaluate_point", always_failing)
+        runner = BatchRunner(max_workers=1, retries=1)
+        with pytest.raises(ConfigurationError):
+            runner.run([BatchJob(tiny_soc, 4, 2)])
+
+
+class TestPersistentPool:
+    def test_persistent_runner_reuses_one_pool(self, tiny_soc):
+        with BatchRunner(max_workers=2, persistent=True) as runner:
+            runner.run([BatchJob(tiny_soc, w, 2) for w in (4, 5)])
+            runner.run([BatchJob(tiny_soc, w, 2) for w in (6, 7)])
+            assert runner.pools_started == 1
+        assert runner._executor is None  # closed by the context exit
+
+    def test_ephemeral_runner_starts_a_pool_per_run(self, tiny_soc):
+        runner = BatchRunner(max_workers=2)
+        runner.run([BatchJob(tiny_soc, w, 2) for w in (4, 5)])
+        runner.run([BatchJob(tiny_soc, w, 2) for w in (6, 7)])
+        assert runner.pools_started == 2
+
+    def test_persistent_pool_matches_inline_results(self, tiny_soc):
+        jobs = [BatchJob(tiny_soc, w, 2) for w in (4, 6, 8)]
+        inline = BatchRunner(max_workers=1).run(jobs)
+        with BatchRunner(max_workers=2, persistent=True) as runner:
+            assert runner.run(jobs) == inline
+
+
+class TestBrokenPoolRecovery:
+    def test_persistent_runner_survives_a_killed_worker(self, tiny_soc):
+        import os
+        import signal
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        with BatchRunner(max_workers=2, persistent=True) as runner:
+            jobs = [BatchJob(tiny_soc, w, 2) for w in (4, 5)]
+            healthy = runner.run(jobs)
+            # Kill a resident worker out from under the executor.
+            victim = next(iter(runner._executor._processes))
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(BrokenProcessPool):
+                runner.run(jobs)
+            # The broken pool was discarded: the next run rebuilds
+            # and answers as before.
+            assert runner.run(jobs) == healthy
+            assert runner.pools_started == 2

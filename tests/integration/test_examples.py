@@ -20,6 +20,7 @@ ALL_EXAMPLES = [
     "custom_soc_itc02.py",
     "industrial_flow.py",
     "power_aware_scheduling.py",
+    "service_smoke.py",
 ]
 FAST_EXAMPLES = ["quickstart.py", "custom_soc_itc02.py",
                  "power_aware_scheduling.py"]

@@ -84,3 +84,75 @@ class TestPipelineRecords:
     def test_from_json_rejects_non_object(self):
         with pytest.raises(ValidationError):
             from_json("[1, 2, 3]")
+
+
+class TestTimeTableRoundTrip:
+    def test_json_roundtrip_is_bit_identical(self, scan_core):
+        import json
+
+        from repro.report.serialize import (
+            time_table_from_dict,
+            time_table_to_dict,
+        )
+        from repro.wrapper.pareto import TimeTable
+
+        original = TimeTable(scan_core, 9)
+        record = json.loads(to_json(time_table_to_dict(original)))
+        rebuilt = time_table_from_dict(record, scan_core)
+        assert rebuilt._times == original._times
+        assert rebuilt._designs == original._designs
+        assert rebuilt.max_width == original.max_width
+
+    def test_fingerprint_mismatch_rejected(self, scan_core, memory_core):
+        from repro.report.serialize import (
+            time_table_from_dict,
+            time_table_to_dict,
+        )
+        from repro.wrapper.pareto import TimeTable
+
+        record = time_table_to_dict(TimeTable(scan_core, 5))
+        with pytest.raises(ValidationError, match="fingerprint"):
+            time_table_from_dict(record, memory_core)
+
+    def test_wrong_schema_and_kind_rejected(self, scan_core):
+        from repro.report.serialize import (
+            time_table_from_dict,
+            time_table_to_dict,
+        )
+        from repro.wrapper.pareto import TimeTable
+
+        record = time_table_to_dict(TimeTable(scan_core, 5))
+        with pytest.raises(ValidationError):
+            time_table_from_dict(dict(record, schema=99), scan_core)
+        with pytest.raises(ValidationError):
+            time_table_from_dict(dict(record, kind="nope"), scan_core)
+
+    def test_missing_field_rejected(self, scan_core):
+        from repro.report.serialize import (
+            time_table_from_dict,
+            time_table_to_dict,
+        )
+        from repro.wrapper.pareto import TimeTable
+
+        record = time_table_to_dict(TimeTable(scan_core, 5))
+        del record["steps"]
+        with pytest.raises(ValidationError, match="missing"):
+            time_table_from_dict(record, scan_core)
+
+
+class TestFailedPointSerialization:
+    def test_failed_point_record_fields(self, tiny_soc):
+        from repro.engine.batch import BatchJob, FailedPoint
+        from repro.report.serialize import failed_point_to_dict
+
+        failure = FailedPoint(
+            job=BatchJob(tiny_soc, 5, 2),
+            error_type="ConfigurationError",
+            error_message="boom",
+            attempts=2,
+        )
+        record = failed_point_to_dict(failure)
+        assert record["kind"] == "failed_point"
+        assert record["soc"] == "tiny"
+        assert record["total_width"] == 5
+        assert record["attempts"] == 2

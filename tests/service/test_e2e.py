@@ -1,0 +1,77 @@
+"""End-to-end: `repro-tam serve` as a real subprocess, driven by the
+Python client — the same flow the CI service-smoke job runs."""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.batch import BatchJob, BatchRunner
+from repro.service.client import ServiceClient
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def served_port(tmp_path):
+    """A `repro-tam serve` subprocess; yields its bound port."""
+    port_file = tmp_path / "port"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--jobs", "1",
+            "--port-file", str(port_file),
+            "--cache-dir", str(tmp_path / "tables"),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while not port_file.exists():
+            if proc.poll() is not None:
+                pytest.fail(
+                    f"serve exited early:\n{proc.stdout.read()}"
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("serve never published its port")
+            time.sleep(0.05)
+        yield int(port_file.read_text().strip())
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+        proc.wait(timeout=10)
+
+
+def test_serve_submit_shutdown_round_trip(served_port, d695):
+    with ServiceClient(port=served_port, timeout=300) as client:
+        assert client.ping()["pong"]
+
+        job = client.submit(["d695"], widths=[8, 12], num_tams=2)
+        record = client.wait(job, timeout=300)
+        assert record["status"] == "done"
+        result = client.result(job)
+        assert result["failures"] == []
+
+        # The service's answer equals the in-process engine's.
+        reference = BatchRunner(max_workers=1).run([
+            BatchJob(d695, 8, 2), BatchJob(d695, 12, 2),
+        ])
+        by_width = {p["total_width"]: p for p in result["points"]}
+        for point in reference:
+            assert by_width[point.total_width]["testing_time"] \
+                == point.testing_time
+
+        # Identical resubmission: answered from memo, marked cached.
+        again = client.submit(["d695"], widths=[8, 12], num_tams=2)
+        status = client.status(again)
+        assert status["cached"] and status["status"] == "done"
+
+        client.shutdown()

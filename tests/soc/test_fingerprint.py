@@ -1,0 +1,52 @@
+"""Unit tests for core/SOC content hashing."""
+
+from dataclasses import replace
+
+from repro.soc.core import Core
+from repro.soc.fingerprint import core_fingerprint, soc_fingerprint
+from repro.soc.soc import Soc
+
+
+class TestCoreFingerprint:
+    def test_stable_across_calls(self, scan_core):
+        assert core_fingerprint(scan_core) == core_fingerprint(scan_core)
+
+    def test_name_is_not_content(self, scan_core):
+        renamed = replace(scan_core, name="other_name")
+        assert core_fingerprint(renamed) == core_fingerprint(scan_core)
+
+    def test_every_structural_field_matters(self, scan_core):
+        variants = [
+            replace(scan_core, num_patterns=scan_core.num_patterns + 1),
+            replace(scan_core, num_inputs=scan_core.num_inputs + 1),
+            replace(scan_core, num_outputs=scan_core.num_outputs + 1),
+            replace(scan_core, num_bidirs=scan_core.num_bidirs + 1),
+            replace(scan_core, scan_chain_lengths=(12, 8, 8, 5)),
+        ]
+        base = core_fingerprint(scan_core)
+        digests = [core_fingerprint(variant) for variant in variants]
+        assert base not in digests
+        assert len(set(digests)) == len(digests)
+
+    def test_identical_structures_share_a_digest(self):
+        a = Core("a", num_patterns=5, num_inputs=3, num_outputs=2,
+                 scan_chain_lengths=(4, 4))
+        b = Core("b", num_patterns=5, num_inputs=3, num_outputs=2,
+                 scan_chain_lengths=(4, 4))
+        assert core_fingerprint(a) == core_fingerprint(b)
+
+
+class TestSocFingerprint:
+    def test_core_order_matters(self, scan_core, memory_core):
+        ab = Soc(name="x", cores=(scan_core, memory_core))
+        ba = Soc(name="x", cores=(memory_core, scan_core))
+        assert soc_fingerprint(ab) != soc_fingerprint(ba)
+
+    def test_core_mutation_changes_soc_digest(self, tiny_soc):
+        mutated = Soc(
+            name=tiny_soc.name,
+            cores=(
+                replace(tiny_soc.cores[0], scan_chain_lengths=(9, 9)),
+            ) + tiny_soc.cores[1:],
+        )
+        assert soc_fingerprint(mutated) != soc_fingerprint(tiny_soc)
