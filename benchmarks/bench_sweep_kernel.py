@@ -1,0 +1,150 @@
+"""Dense sweep kernel vs the legacy ``Partition_evaluate`` path.
+
+Two claims, quantified on d695 and p93791 and archived as the first
+entries of the ``BENCH_*.json`` perf trajectory:
+
+* **speed** — the kernel (with its outcome-identical lower-bound
+  pruning) runs the p93791 W=32 P_NPAW sweep at least 5× faster than
+  the legacy per-partition path, with the identical best testing
+  time and winning partition;
+* **fidelity** — with ``prune="lb"`` disabled, the kernel's
+  ``PartitionStats`` (``num_completed``, efficiency) match the legacy
+  path exactly on every Table-1 configuration (p21241, W=44..64,
+  B=4,5), so the paper's pruning-efficiency protocol is untouched.
+
+The timing table also lands in ``results/sweep_kernel.txt``; the
+machine-readable record goes to ``BENCH_sweep_kernel.json`` at the
+repository root (written by this bench, refreshed by the CI
+perf-smoke step).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.engine.cache import WrapperTableCache
+from repro.partition.evaluate import partition_evaluate
+from repro.report.experiments import rows_to_table
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / (
+    "BENCH_sweep_kernel.json"
+)
+
+#: The acceptance sweep: the paper's P_NPAW protocol, B = 1..10.
+NPAW_COUNTS = range(1, 11)
+
+#: (soc fixture name, W, required kernel+lb speedup).  Only p93791
+#: W=32 carries a hard floor — d695 is small enough that fixed
+#: per-sweep costs dominate and the margin is left soft.
+SWEEPS = (
+    ("d695", 24, None),
+    ("d695", 32, None),
+    ("p93791", 32, 5.0),
+)
+
+TABLE1_WIDTHS = (44, 48, 52, 56, 60, 64)
+TABLE1_COUNTS = (4, 5)
+
+
+def _best_of(runs, fn):
+    """Best wall-clock of ``runs`` calls; returns (seconds, result)."""
+    best_seconds = None
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, result
+
+
+def run_kernel_speed_rows(socs):
+    """Legacy vs kernel vs kernel+lb timings, one row per sweep."""
+    rows = []
+    for soc, width, floor in socs:
+        tables = WrapperTableCache(soc).table_list(width)
+
+        # Best-of-N damps shared-runner noise: a transient slowdown
+        # must hit every kernel run *and* spare every legacy run to
+        # move the ratio the wrong way.
+        legacy_s, legacy = _best_of(3, lambda: partition_evaluate(
+            tables, width, NPAW_COUNTS, engine="legacy"))
+        kernel_s, kernel = _best_of(5, lambda: partition_evaluate(
+            tables, width, NPAW_COUNTS, engine="kernel"))
+        lb_s, pruned = _best_of(5, lambda: partition_evaluate(
+            tables, width, NPAW_COUNTS, engine="kernel", prune="lb"))
+
+        assert kernel.testing_time == legacy.testing_time
+        assert pruned.testing_time == legacy.testing_time
+        assert kernel.best_partition == legacy.best_partition
+        assert pruned.best_partition == legacy.best_partition
+        assert kernel.best.assignment == legacy.best.assignment
+
+        speedup = legacy_s / lb_s
+        if floor is not None:
+            assert speedup >= floor, (
+                f"{soc.name} W={width}: kernel+lb speedup "
+                f"{speedup:.1f}x below the {floor}x floor "
+                f"(legacy {legacy_s:.3f}s, kernel+lb {lb_s:.3f}s)"
+            )
+        rows.append({
+            "soc": soc.name,
+            "W": width,
+            "T": legacy.testing_time,
+            "partition": "+".join(map(str, legacy.best_partition)),
+            "legacy_s": round(legacy_s, 4),
+            "kernel_s": round(kernel_s, 4),
+            "kernel_lb_s": round(lb_s, 4),
+            "speedup": round(speedup, 2),
+            "lb_pruned": pruned.num_lb_pruned,
+        })
+    return rows
+
+
+def test_sweep_kernel_speed_and_fidelity(
+    benchmark, report, d695, p93791, p21241
+):
+    sweeps = [
+        ({"d695": d695, "p93791": p93791}[name], width, floor)
+        for name, width, floor in SWEEPS
+    ]
+    rows = benchmark.pedantic(
+        run_kernel_speed_rows, args=(sweeps,), rounds=1, iterations=1
+    )
+    report(
+        "sweep_kernel",
+        rows_to_table(
+            rows,
+            ["soc", "W", "T", "partition", "legacy_s", "kernel_s",
+             "kernel_lb_s", "speedup", "lb_pruned"],
+            title="Dense sweep kernel vs legacy Partition_evaluate "
+                  "(P_NPAW, B=1..10).",
+        ),
+    )
+
+    # Fidelity on the Table-1 protocol: with lb pruning off, kernel
+    # statistics are bit-identical to the legacy path on every cell.
+    tables = WrapperTableCache(p21241).table_list(max(TABLE1_WIDTHS))
+    for width in TABLE1_WIDTHS:
+        for count in TABLE1_COUNTS:
+            legacy = partition_evaluate(
+                tables, width, count, engine="legacy"
+            ).stats_for(count)
+            kernel = partition_evaluate(
+                tables, width, count, engine="kernel"
+            ).stats_for(count)
+            assert kernel.num_completed == legacy.num_completed, (
+                width, count,
+            )
+            assert kernel.num_enumerated == legacy.num_enumerated
+            assert kernel.efficiency == legacy.efficiency
+            assert kernel.num_lb_pruned == 0
+
+    BENCH_JSON.write_text(json.dumps({
+        "schema": 1,
+        "kind": "bench_sweep_kernel",
+        "npaw_counts": [NPAW_COUNTS.start, NPAW_COUNTS.stop],
+        "points": rows,
+    }, indent=2) + "\n")
+    print(f"[written to {BENCH_JSON}]")

@@ -38,6 +38,7 @@ from repro.wrapper.pareto import TimeTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.batch import BatchRunner
+    from repro.engine.kernel import DenseTimeMatrix
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,7 @@ def evaluate_point(
     total_width: int,
     num_tams: Union[int, Iterable[int], None] = None,
     tables: Optional[Dict[str, TimeTable]] = None,
+    dense: "Optional[DenseTimeMatrix]" = None,
     **co_optimize_options,
 ) -> SweepPoint:
     """Optimize one (W, B) design point and annotate it.
@@ -71,12 +73,21 @@ def evaluate_point(
     zero extra ``design_wrapper`` calls beyond the optimization
     itself.  Pass ``tables`` (e.g. from a
     :class:`repro.engine.WrapperTableCache`) to also share them
-    across points.  Remaining keyword arguments go to
+    across points, and ``dense`` (e.g. attached from the batch
+    engine's shared-memory transport) to hand the partition sweep a
+    pre-built matrix.  Remaining keyword arguments go to
     :func:`~repro.optimize.co_optimize.co_optimize` verbatim
     (``polish``, ``exact_time_limit``, ...).
+
+    This is the engine/service entry point, so the sweep defaults to
+    ``prune="lb"`` — outcome-identical to the paper's abort-only
+    pruning, just faster; pass ``prune=True`` (or ``False``) in the
+    options to override.
     """
+    if co_optimize_options.get("sweep_engine", "kernel") == "kernel":
+        co_optimize_options.setdefault("prune", "lb")
     result = co_optimize(soc, total_width, num_tams=num_tams, tables=tables,
-                         **co_optimize_options)
+                         dense=dense, **co_optimize_options)
     tables = result.tables
     return SweepPoint(
         total_width=total_width,

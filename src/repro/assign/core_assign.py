@@ -74,25 +74,46 @@ def _pick_bus(loads: List[int], widths: Sequence[int]) -> int:
     return best
 
 
+def reference_buses(widths: Sequence[int]) -> List[int]:
+    """Lines 14-16 tie-break reference per bus: -1 when none exists.
+
+    For each bus, the widest bus *strictly narrower* than it (lowest
+    index on width ties).  Depends only on ``widths``, so it is
+    computed once per ``Core_assign`` call (and once per partition in
+    the dense sweep kernel) instead of once per tie.
+    """
+    references = []
+    for bus, width in enumerate(widths):
+        reference = -1
+        for b, other in enumerate(widths):
+            if other < width and (
+                reference < 0 or other > widths[reference]
+            ):
+                reference = b
+        references.append(reference)
+    return references
+
+
 def _pick_core(
     unassigned: List[int],
     bus: int,
     times: Sequence[Sequence[int]],
-    widths: Sequence[int],
+    reference: int,
 ) -> int:
-    """Max-time core on ``bus``; ties compare on the next-narrower bus."""
+    """Max-time core on ``bus``; ties compare on the next-narrower bus.
+
+    Tie-breaks are by explicit core index (not list position), so the
+    choice is independent of the order of ``unassigned`` — which the
+    caller's swap-pop removal scrambles.
+    """
     max_time = max(times[core][bus] for core in unassigned)
     tied = [core for core in unassigned if times[core][bus] == max_time]
     if len(tied) == 1:
         return tied[0]
-    # Lines 14-16: find the widest bus strictly narrower than the
-    # chosen one; prefer the core that is slowest there.
-    narrower = [
-        b for b in range(len(widths)) if widths[b] < widths[bus]
-    ]
-    if not narrower:
-        return tied[0]
-    reference = max(narrower, key=lambda b: (widths[b], -b))
+    if reference < 0:
+        return min(tied)
+    # Lines 14-16: on the widest bus strictly narrower than the chosen
+    # one, prefer the core that would suffer most (lowest index last).
     return max(tied, key=lambda core: (times[core][reference], -core))
 
 
@@ -127,17 +148,23 @@ def core_assign(
     loads = [0] * len(widths)
     assignment = [0] * num_cores
     unassigned = list(range(num_cores))
+    references = reference_buses(widths)
 
     while unassigned:
         bus = _pick_bus(loads, widths)
-        core = _pick_core(unassigned, bus, times, widths)
+        core = _pick_core(unassigned, bus, times, references[bus])
         assignment[core] = bus
         loads[bus] += times[core][bus]
         if best_known is not None and max(loads) >= best_known:
             return CoreAssignOutcome(
                 completed=False, testing_time=best_known, result=None
             )
-        unassigned.remove(core)
+        # Swap-pop: list.remove's O(N) element shift becomes an O(1)
+        # overwrite (the position scan remains) — safe because
+        # _pick_core's tie-breaks ignore list order.
+        index = unassigned.index(core)
+        unassigned[index] = unassigned[-1]
+        unassigned.pop()
 
     result = evaluate_assignment(times, widths, assignment)
     return CoreAssignOutcome(

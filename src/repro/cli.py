@@ -80,6 +80,7 @@ def _cmd_cooptimize(args: argparse.Namespace) -> int:
         total_width=args.width,
         num_tams=num_tams,
         polish=not args.no_polish,
+        prune={"abort": True, "lb": "lb", "none": False}[args.prune],
     )
     if args.json:
         from repro.report.serialize import co_optimization_to_dict, to_json
@@ -99,7 +100,8 @@ def _cmd_cooptimize(args: argparse.Namespace) -> int:
         print(schedule.gantt())
     if args.stats:
         table = TextTable(
-            ["B", "unique", "enumerated", "completed", "efficiency"],
+            ["B", "unique", "enumerated", "lb_pruned", "completed",
+             "efficiency"],
             title="Partition_evaluate pruning statistics",
         )
         for stats in result.search.stats:
@@ -107,6 +109,7 @@ def _cmd_cooptimize(args: argparse.Namespace) -> int:
                 stats.num_tams,
                 stats.num_unique,
                 stats.num_enumerated,
+                stats.num_lb_pruned,
                 stats.num_completed,
                 f"{stats.efficiency:.4f}",
             ])
@@ -152,7 +155,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         args.num_tams if args.num_tams is not None
         else tuple(range(1, args.bmax + 1))
     )
-    runner = BatchRunner(max_workers=args.jobs, cache_dir=args.cache_dir)
+    runner = BatchRunner(
+        max_workers=args.jobs,
+        cache_dir=args.cache_dir,
+        share_tables=not args.no_share_tables,
+    )
     grid = runner.run_grid(socs, args.widths, num_tams=num_tams)
 
     if args.json:
@@ -182,6 +189,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.jobs,
         cache_dir=args.cache_dir,
         retries=args.retries,
+        share_tables=not args.no_share_tables,
     )
     server = IPCServer(exploration, host=args.host, port=args.port)
     host, port = server.address
@@ -283,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max TAMs for the P_NPAW sweep (default 10)")
     coopt.add_argument("--no-polish", action="store_true",
                        help="skip the exact final optimization step")
+    coopt.add_argument("--prune", choices=("abort", "lb", "none"),
+                       default="abort",
+                       help="partition-sweep pruning: the paper's "
+                            "best-known-time abort (default), the "
+                            "kernel's outcome-identical lower-bound "
+                            "skip on top, or none (ablation)")
     coopt.add_argument("--gantt", action="store_true",
                        help="print the test-session Gantt chart")
     coopt.add_argument("--stats", action="store_true",
@@ -334,6 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--cache-dir", default=None,
                        help="persist wrapper time tables in this "
                             "directory (warm runs skip wrapper design)")
+    batch.add_argument("--no-share-tables", action="store_true",
+                       help="disable the shared-memory dense-matrix "
+                            "transport (workers build private tables)")
     batch.set_defaults(func=_cmd_batch)
 
     serve = sub.add_parser(
@@ -353,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None,
                        help="persist wrapper time tables in this "
                             "directory across jobs and restarts")
+    serve.add_argument("--no-share-tables", action="store_true",
+                       help="disable the shared-memory dense-matrix "
+                            "transport (workers build private tables)")
     serve.add_argument("--port-file", default=None,
                        help="write the bound port to this file once "
                             "listening (for scripts and CI)")

@@ -20,12 +20,33 @@ that removes the waste:
   parallel while each worker still pays for every (core, width)
   wrapper design at most once.
 
+Two further modules make the hot path fast:
+
+* :mod:`~repro.engine.kernel` — the dense time-matrix sweep kernel:
+  the N×W testing-time matrix built once per sweep
+  (:class:`DenseTimeMatrix`), memoized per-width columns and pick
+  orders, an allocation-free bit-identical ``Core_assign``
+  (:func:`kernel_assign`), and the O(1) admissible partition lower
+  bound behind ``partition_evaluate(prune="lb")``;
+* :mod:`~repro.engine.shm` — shared-memory transport of those
+  matrices to pool workers, so a batch's workers read one copy
+  instead of each building their own tables.
+
 The sequential sweeps in :mod:`repro.analysis.sweep` and the
 ``repro-tam batch`` CLI subcommand are both thin wrappers over this
 engine.
 """
 
 from repro.engine.cache import WrapperTableCache
+from repro.engine.kernel import (
+    DenseTimeMatrix,
+    DenseTimeTable,
+    KernelWorkspace,
+    build_dense_matrix,
+    dense_time_tables,
+    kernel_assign,
+    sweep_assign,
+)
 from repro.engine.batch import (
     BatchJob,
     BatchRunner,
@@ -37,6 +58,13 @@ from repro.engine.batch import (
 
 __all__ = [
     "WrapperTableCache",
+    "DenseTimeMatrix",
+    "DenseTimeTable",
+    "KernelWorkspace",
+    "build_dense_matrix",
+    "dense_time_tables",
+    "kernel_assign",
+    "sweep_assign",
     "BatchJob",
     "BatchRunner",
     "FailedPoint",

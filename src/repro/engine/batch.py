@@ -57,7 +57,10 @@ from typing import (
 
 from repro.analysis.sweep import SweepPoint, evaluate_point
 from repro.engine.cache import WrapperTableCache
+from repro.engine.kernel import build_dense_matrix, dense_time_tables
+from repro.engine.shm import DenseDescriptor, SegmentRegistry, attach
 from repro.exceptions import ConfigurationError
+from repro.soc.fingerprint import soc_fingerprint
 from repro.soc.soc import Soc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -211,12 +214,49 @@ def _cache_for(
     return cache
 
 
+def _dense_point(
+    job: BatchJob, descriptor: Optional[DenseDescriptor]
+) -> Optional[SweepPoint]:
+    """Evaluate ``job`` over a transported dense matrix, if possible.
+
+    Returns ``None`` whenever the descriptor cannot serve this job —
+    wrong SOC content, too narrow, segment gone — so the caller falls
+    back to its private table cache.  On the happy path the worker
+    builds *no* wrapper tables at all: the sweep reads the shared
+    matrix, and the handful of designs the final utilization
+    accounting needs are recovered on demand per bus width.
+    """
+    if descriptor is None:
+        return None
+    if (
+        descriptor.total_width < job.total_width
+        or descriptor.num_cores != len(job.soc.cores)
+        or descriptor.fingerprint != soc_fingerprint(job.soc)
+    ):
+        return None
+    matrix = attach(descriptor)
+    if matrix is None:
+        return None
+    return evaluate_point(
+        job.soc,
+        job.total_width,
+        num_tams=job.num_tams,
+        tables=dense_time_tables(job.soc.cores, matrix),
+        dense=matrix,
+        **job.options_dict(),
+    )
+
+
 def _run_job_cached(
     caches: Dict[str, WrapperTableCache],
     job: BatchJob,
     store: "Optional[TableStore]" = None,
+    descriptor: Optional[DenseDescriptor] = None,
 ) -> SweepPoint:
-    """Evaluate one job against the shared caches."""
+    """Evaluate one job against the transported matrix or shared caches."""
+    point = _dense_point(job, descriptor)
+    if point is not None:
+        return point
     cache = _cache_for(caches, job.soc, store=store)
     return evaluate_point(
         job.soc,
@@ -233,12 +273,15 @@ def _run_job_safe(
     on_error: str,
     retries: int,
     store: "Optional[TableStore]" = None,
+    descriptor: Optional[DenseDescriptor] = None,
 ) -> BatchResult:
     """Evaluate one job under the runner's failure policy."""
     attempts = retries + 1
     for attempt in range(1, attempts + 1):
         try:
-            return _run_job_cached(caches, job, store=store)
+            return _run_job_cached(
+                caches, job, store=store, descriptor=descriptor
+            )
         except Exception as error:  # noqa: BLE001 - policy boundary
             if attempt < attempts:
                 continue
@@ -253,11 +296,15 @@ def _run_job_safe(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
-def _pool_worker(job: BatchJob) -> BatchResult:
-    """Pool entry point: evaluate ``job`` with this worker's caches."""
+def _pool_worker(
+    item: Tuple[BatchJob, Optional[DenseDescriptor]]
+) -> BatchResult:
+    """Pool entry point: evaluate one (job, dense descriptor) item."""
+    job, descriptor = item
     on_error, retries, store = _WORKER_POLICY
     return _run_job_safe(
-        _WORKER_CACHES, job, on_error, retries, store=store
+        _WORKER_CACHES, job, on_error, retries, store=store,
+        descriptor=descriptor,
     )
 
 
@@ -294,6 +341,21 @@ class BatchRunner:
         Keep the process pool alive across :meth:`run` calls instead
         of starting one per call.  Callers own the shutdown:
         :meth:`close`, or use the runner as a context manager.
+    share_tables:
+        Pool mode only: build each SOC's dense time matrix once in
+        the parent and ship it to the workers through
+        ``multiprocessing.shared_memory`` (:mod:`repro.engine.shm`)
+        instead of every worker building a private wrapper-table
+        copy.  Results are identical either way; segments are freed
+        when the pool goes away (end of :meth:`run` for an ephemeral
+        pool, :meth:`close` for a persistent one), and the transport
+        degrades gracefully — to pickled matrix bytes when shared
+        memory is unavailable, to per-worker caches when a worker
+        cannot attach.  Trade-off: the parent builds each distinct
+        SOC's tables *serially* before the pool starts, so a cold
+        grid over many large SOCs may prefer ``share_tables=False``
+        (workers build concurrently, one private copy each) or a warm
+        ``cache_dir`` that makes the parent build free.
     """
 
     def __init__(
@@ -304,6 +366,7 @@ class BatchRunner:
         retries: int = 0,
         cache_dir: Union[str, Path, None] = None,
         persistent: bool = False,
+        share_tables: bool = True,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -330,12 +393,14 @@ class BatchRunner:
             str(cache_dir) if cache_dir is not None else None
         )
         self.persistent = persistent
+        self.share_tables = share_tables
         #: Pools started over this runner's lifetime — observable
         #: evidence that ``persistent=True`` reuses one pool.
         self.pools_started = 0
         self._store = _make_store(self.cache_dir)
         self._caches: Dict[str, WrapperTableCache] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._segments = SegmentRegistry()
 
     def cache_for(self, soc: Soc) -> WrapperTableCache:
         """This runner's (inline-mode) table cache for ``soc``."""
@@ -357,10 +422,41 @@ class BatchRunner:
         return self._executor
 
     def close(self) -> None:
-        """Shut down the persistent pool, if one was started."""
+        """Shut down the persistent pool and free its shared segments."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self._segments.close()
+
+    def _dense_descriptors(
+        self, jobs: Sequence[BatchJob]
+    ) -> List[Optional[DenseDescriptor]]:
+        """One (possibly shared) dense descriptor per job, in order.
+
+        Builds each distinct SOC's tables once in the parent — via
+        the runner's own (store-backed) cache — at the largest width
+        any of its jobs needs, and publishes the dense matrix through
+        the segment registry.  A SOC appearing in several jobs ships
+        as one segment.
+        """
+        width_by_soc: Dict[str, int] = {}
+        soc_by_print: Dict[str, Soc] = {}
+        prints: List[str] = []
+        for job in jobs:
+            fingerprint = soc_fingerprint(job.soc)
+            prints.append(fingerprint)
+            soc_by_print.setdefault(fingerprint, job.soc)
+            width_by_soc[fingerprint] = max(
+                width_by_soc.get(fingerprint, 0), job.total_width
+            )
+        descriptors: Dict[str, Optional[DenseDescriptor]] = {}
+        for fingerprint, width in width_by_soc.items():
+            cache = self.cache_for(soc_by_print[fingerprint])
+            matrix = build_dense_matrix(cache.table_list(width), width)
+            descriptors[fingerprint] = self._segments.publish(
+                fingerprint, matrix
+            )
+        return [descriptors[fingerprint] for fingerprint in prints]
 
     def __enter__(self) -> "BatchRunner":
         """Context-manager entry: the runner itself."""
@@ -397,11 +493,15 @@ class BatchRunner:
                 )
                 for job in jobs
             ]
+        if self.share_tables:
+            items = list(zip(jobs, self._dense_descriptors(jobs)))
+        else:
+            items = [(job, None) for job in jobs]
         if self.persistent:
             pool = self._resident_pool(workers)
             try:
                 return list(
-                    pool.map(_pool_worker, jobs, chunksize=self.chunksize)
+                    pool.map(_pool_worker, items, chunksize=self.chunksize)
                 )
             except BrokenProcessPool:
                 # A dead worker (OOM-kill, segfault) breaks the whole
@@ -410,10 +510,15 @@ class BatchRunner:
                 self._executor = None
                 pool.shutdown(wait=False)
                 raise
-        with self._new_pool(workers) as pool:
-            return list(
-                pool.map(_pool_worker, jobs, chunksize=self.chunksize)
-            )
+        try:
+            with self._new_pool(workers) as pool:
+                return list(
+                    pool.map(_pool_worker, items, chunksize=self.chunksize)
+                )
+        finally:
+            # Ephemeral pool: its workers are gone, so the published
+            # segments have no readers left — free them now.
+            self._segments.close()
 
     def run_grid(
         self,

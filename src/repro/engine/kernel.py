@@ -1,0 +1,503 @@
+"""The dense time-matrix sweep kernel — ``Partition_evaluate``'s fast path.
+
+The legacy sweep rebuilds a fresh N×B Python list-of-lists for *every*
+width partition (``_times_for``) and runs ``Core_assign`` as an
+allocation-heavy pure-Python loop.  This module removes both costs
+while staying **bit-identical** to the legacy heuristic (asserted by
+the differential suite in ``tests/engine/test_kernel.py``):
+
+* :class:`DenseTimeMatrix` — every core's monotone time staircase
+  exported once (:meth:`~repro.wrapper.pareto.TimeTable.dense_row`)
+  into one flat width-indexed array.  Partitions share widths, so the
+  per-width *columns* the assignment loop reads are memoized: each is
+  materialized exactly once per sweep, with its max/sum aggregates.
+* :func:`kernel_assign` — the Fig. 1 heuristic rewritten over those
+  columns: single-scan bus and core picks, precomputed per-bus
+  tie-break reference, swap-pop core removal, O(1) abort check, and a
+  reusable :class:`KernelWorkspace` so the per-partition loop
+  allocates nothing but the final result (only built on completion,
+  which pruning makes rare).
+* :meth:`DenseTimeMatrix.lower_bound` — an admissible O(1) partition
+  bound (:func:`repro.assign.lower_bounds.column_lower_bound` on the
+  widest column's cached aggregates).  A partition whose bound
+  already meets the incumbent cannot complete under the Lines 18-20
+  abort, so ``partition_evaluate(prune="lb")`` skips ``Core_assign``
+  entirely without changing any observable outcome.
+* :class:`DenseTimeTable` — a times-only :class:`~repro.wrapper.
+  pareto.TimeTable` stand-in over one matrix row, for pool workers
+  that receive the matrix through shared memory
+  (:mod:`repro.engine.shm`) instead of building their own tables;
+  wrapper *designs* (needed only for final utilization accounting)
+  are recovered on demand at the staircase breakpoint.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.assign.core_assign import CoreAssignOutcome, reference_buses
+from repro.assign.lower_bounds import column_lower_bound
+from repro.exceptions import ConfigurationError
+from repro.soc.core import Core
+from repro.tam.assignment import AssignmentResult
+from repro.wrapper.chain import WrapperDesign
+from repro.wrapper.design import design_wrapper
+from repro.wrapper.pareto import TimeTable
+
+
+class DenseTimeMatrix:
+    """N cores × W widths testing times, flat and column-memoized.
+
+    ``flat[i * total_width + (w - 1)]`` is core ``i``'s best testing
+    time on a width-``w`` bus.  Rows are monotone non-increasing (the
+    :class:`~repro.wrapper.pareto.TimeTable` staircase), which is what
+    makes the widest-column lower bound admissible.
+
+    The backing store is any flat int sequence — an ``array('q')``
+    when built locally, a zero-copy ``memoryview`` when attached to a
+    shared-memory segment.  Hot loops never touch it directly: they
+    read the memoized per-width column tuples.
+    """
+
+    __slots__ = (
+        "num_cores", "total_width", "_flat", "_columns", "_stats",
+        "_orders", "_contexts",
+    )
+
+    def __init__(self, flat, num_cores: int, total_width: int):
+        if num_cores < 1:
+            raise ConfigurationError(
+                f"num_cores must be >= 1, got {num_cores}"
+            )
+        if total_width < 1:
+            raise ConfigurationError(
+                f"total_width must be >= 1, got {total_width}"
+            )
+        if len(flat) != num_cores * total_width:
+            raise ConfigurationError(
+                f"flat matrix has {len(flat)} entries, expected "
+                f"{num_cores} x {total_width}"
+            )
+        self.num_cores = num_cores
+        self.total_width = total_width
+        self._flat = flat
+        #: width → column tuple (one entry per core), built on demand.
+        self._columns: Dict[int, Tuple[int, ...]] = {}
+        #: width → (max, sum) of the column, for the O(1) lower bound.
+        self._stats: Dict[int, Tuple[int, int]] = {}
+        #: (width, reference width) → core pick order, memoized — the
+        #: Line 13-16 selection collapses to "first unassigned core in
+        #: this order", O(1) amortized per step.
+        self._orders: Dict[Tuple[int, Optional[int]], Tuple[int, ...]] = {}
+        #: (width, reference width) → (column, pick order), the fused
+        #: per-bus lookup the sweep loop performs once per bus.
+        self._contexts: Dict[
+            Tuple[int, Optional[int]],
+            Tuple[Tuple[int, ...], Tuple[int, ...]],
+        ] = {}
+
+    def time(self, core: int, width: int) -> int:
+        """Core ``core``'s (0-based) testing time at ``width``."""
+        if not 1 <= width <= self.total_width:
+            raise ConfigurationError(
+                f"width {width} outside matrix range 1..{self.total_width}"
+            )
+        return self._flat[core * self.total_width + width - 1]
+
+    def column(self, width: int) -> Tuple[int, ...]:
+        """All cores' times at ``width``; materialized exactly once."""
+        col = self._columns.get(width)
+        if col is None:
+            if not 1 <= width <= self.total_width:
+                raise ConfigurationError(
+                    f"width {width} outside matrix range "
+                    f"1..{self.total_width}"
+                )
+            stride = self.total_width
+            flat = self._flat
+            col = tuple(
+                flat[core * stride + width - 1]
+                for core in range(self.num_cores)
+            )
+            self._columns[width] = col
+        return col
+
+    def column_stats(self, width: int) -> Tuple[int, int]:
+        """(max, sum) of :meth:`column`, cached alongside it."""
+        stats = self._stats.get(width)
+        if stats is None:
+            col = self.column(width)
+            stats = (max(col), sum(col))
+            self._stats[width] = stats
+        return stats
+
+    def lower_bound(self, widths: Sequence[int]) -> int:
+        """Admissible P_AW bound for one partition, O(B) amortized.
+
+        Every core's best time under ``widths`` is its time on the
+        widest bus (rows are monotone), so the unrelated-machines
+        bound needs only that column's cached aggregates.
+        """
+        max_time, total = self.column_stats(max(widths))
+        return column_lower_bound(max_time, total, len(widths))
+
+    def pick_order(
+        self, width: int, reference_width: Optional[int] = None
+    ) -> Tuple[int, ...]:
+        """Core indices in Line 13-16 preference order for one bus.
+
+        Descending time on the width-``width`` bus, ties by descending
+        time on the reference bus (the widest strictly narrower one),
+        then ascending core index — exactly the legacy ``_pick_core``
+        ordering, so the next core to assign is always the first not-
+        yet-assigned entry.  Memoized per (width, reference) pair;
+        partitions share widths, so the sweep sorts each pair once.
+        """
+        key = (width, reference_width)
+        order = self._orders.get(key)
+        if order is None:
+            col = self.column(width)
+            if reference_width is None:
+                order = sorted(
+                    range(self.num_cores),
+                    key=lambda core: (-col[core], core),
+                )
+            else:
+                ref = self.column(reference_width)
+                order = sorted(
+                    range(self.num_cores),
+                    key=lambda core: (-col[core], -ref[core], core),
+                )
+            order = tuple(order)
+            self._orders[key] = order
+        return order
+
+    def bus_context(
+        self, width: int, reference_width: Optional[int]
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(column, pick order) for one bus, one dict probe when warm."""
+        key = (width, reference_width)
+        context = self._contexts.get(key)
+        if context is None:
+            context = (
+                self.column(width),
+                self.pick_order(width, reference_width),
+            )
+            self._contexts[key] = context
+        return context
+
+    def times_for(self, widths: Sequence[int]) -> List[List[int]]:
+        """Row-major N×B times for ``widths`` (the legacy layout)."""
+        cols = [self.column(width) for width in widths]
+        return [
+            [col[core] for col in cols]
+            for core in range(self.num_cores)
+        ]
+
+    def to_bytes(self) -> bytes:
+        """The flat matrix as native int64 bytes (shared-memory wire form)."""
+        flat = self._flat
+        if isinstance(flat, array) and flat.typecode == "q":
+            return flat.tobytes()
+        return array("q", flat).tobytes()
+
+    @classmethod
+    def from_buffer(
+        cls, buffer, num_cores: int, total_width: int
+    ) -> "DenseTimeMatrix":
+        """Zero-copy view over a native int64 buffer (bytes or shm)."""
+        view = memoryview(buffer).cast("q")
+        return cls(view, num_cores, total_width)
+
+    def release(self) -> None:
+        """Release a buffer-backed view (before closing its segment)."""
+        if isinstance(self._flat, memoryview):
+            self._flat.release()
+        self._columns.clear()
+        self._stats.clear()
+        self._orders.clear()
+        self._contexts.clear()
+
+
+def build_dense_matrix(
+    tables: Sequence[TimeTable], total_width: int
+) -> DenseTimeMatrix:
+    """Assemble the N×W matrix from per-core tables, once per sweep."""
+    if not tables:
+        raise ConfigurationError("need at least one core time table")
+    flat = array("q")
+    for table in tables:
+        if table.max_width < total_width:
+            raise ConfigurationError(
+                f"time table for {table.core.name!r} covers widths up "
+                f"to {table.max_width} < total width {total_width}"
+            )
+        flat.extend(table.dense_row(total_width))
+    return DenseTimeMatrix(flat, len(tables), total_width)
+
+
+class KernelWorkspace:
+    """Reusable scratch arrays for :func:`kernel_assign`.
+
+    One workspace per sweep keeps the inner loop allocation-free: the
+    loads / assignment / cursor lists are grown once and reset in
+    place per partition, and the assigned-core marks are generation-
+    stamped so resetting them costs nothing at all.
+    """
+
+    __slots__ = ("_loads", "_assignment", "_cursors", "_stamps",
+                 "_generation")
+
+    def __init__(self) -> None:
+        self._loads: List[int] = []
+        self._assignment: List[int] = []
+        self._cursors: List[int] = []
+        self._stamps: List[int] = []
+        self._generation = 0
+
+
+def sweep_assign(
+    matrix: DenseTimeMatrix,
+    widths: Sequence[int],
+    best_known: Optional[int] = None,
+    workspace: Optional[KernelWorkspace] = None,
+) -> Optional[AssignmentResult]:
+    """``Core_assign`` over dense columns; ``None`` when aborted.
+
+    The sweep-internal form of :func:`kernel_assign`: identical logic,
+    but an aborted partition returns ``None`` instead of allocating an
+    outcome object — under heavy pruning almost every partition
+    aborts, so the fast path allocates nothing.
+    """
+    num_buses = len(widths)
+    if num_buses == 0:
+        raise ConfigurationError("need at least one bus")
+    num_cores = matrix.num_cores
+    # Per-bus (column, Line 13-16 pick order), fused and memoized on
+    # the matrix across partitions sharing the (width, reference)
+    # pair; the reference widths fall out of the same single pass
+    # that detects sorted input.
+    cols = []
+    orders = []
+    previous_first = -1
+    run_first = 0
+    is_sorted = True
+    for j, width in enumerate(widths):
+        if j and width != widths[j - 1]:
+            if width < widths[j - 1]:
+                is_sorted = False
+                break
+            previous_first = run_first
+            run_first = j
+        column, order = matrix.bus_context(
+            width,
+            widths[previous_first] if previous_first >= 0 else None,
+        )
+        cols.append(column)
+        orders.append(order)
+    if not is_sorted:
+        references = reference_buses(widths)
+        cols = []
+        orders = []
+        for j, width in enumerate(widths):
+            reference = references[j]
+            column, order = matrix.bus_context(
+                width,
+                widths[reference] if reference >= 0 else None,
+            )
+            cols.append(column)
+            orders.append(order)
+
+    if workspace is None:
+        workspace = KernelWorkspace()
+    loads = workspace._loads
+    if len(loads) < num_buses:
+        loads.extend([0] * (num_buses - len(loads)))
+    cursors = workspace._cursors
+    if len(cursors) < num_buses:
+        cursors.extend([0] * (num_buses - len(cursors)))
+    for bus in range(num_buses):
+        loads[bus] = 0
+        cursors[bus] = 0
+    assignment = workspace._assignment
+    stamps = workspace._stamps
+    if len(assignment) < num_cores:
+        grow = num_cores - len(assignment)
+        assignment.extend([0] * grow)
+        stamps.extend([0] * grow)
+    workspace._generation += 1
+    generation = workspace._generation
+
+    # Partial area bound state: ``projected`` is assigned work plus
+    # the floor (widest-column time) of every unassigned core — a
+    # lower bound on the final total work, so the final makespan is
+    # at least ceil(projected / B).  ``projected > area_limit`` is
+    # that test without the division.
+    floors = None
+    projected = 0
+    area_limit = 0
+    if best_known is not None:
+        widest = max(widths)
+        floors = matrix.column(widest)
+        projected = matrix.column_stats(widest)[1]
+        area_limit = (best_known - 1) * num_buses
+
+    remaining = num_cores
+    while remaining:
+        # Lines 10-12: min-load bus, ties to the widest, then lowest
+        # index — a single scan.
+        bus = 0
+        best_load = loads[0]
+        best_width = widths[0]
+        for j in range(1, num_buses):
+            load = loads[j]
+            if load < best_load or (
+                load == best_load and widths[j] > best_width
+            ):
+                bus = j
+                best_load = load
+                best_width = widths[j]
+
+        # Lines 13-16: first unassigned core in this bus's preference
+        # order.  Cursors only ever advance — cores assigned earlier
+        # stay stamped for the whole partition — so the skips
+        # amortize to O(N) per partition, not per step.
+        order = orders[bus]
+        cursor = cursors[bus]
+        core = order[cursor]
+        while stamps[core] == generation:
+            cursor += 1
+            core = order[cursor]
+        cursors[bus] = cursor
+        stamps[core] = generation
+
+        assignment[core] = bus
+        best_time = cols[bus][core]
+        load = loads[bus] + best_time
+        loads[bus] = load
+        if floors is not None:
+            # Lines 18-20 (only this bus's load changed, and every
+            # load was below the incumbent before — O(1)), plus the
+            # partial area bound, which cannot misfire: it bounds the
+            # final time from below, and the legacy abort fires on
+            # every run whose final time reaches the incumbent.
+            projected += best_time - floors[core]
+            if load >= best_known or projected > area_limit:
+                return None
+        remaining -= 1
+
+    bus_times = tuple(loads[:num_buses])
+    return AssignmentResult(
+        widths=tuple(widths),
+        assignment=tuple(assignment[:num_cores]),
+        bus_times=bus_times,
+        testing_time=max(bus_times),
+    )
+
+
+def kernel_assign(
+    matrix: DenseTimeMatrix,
+    widths: Sequence[int],
+    best_known: Optional[int] = None,
+    workspace: Optional[KernelWorkspace] = None,
+) -> CoreAssignOutcome:
+    """``Core_assign`` over dense columns — bit-identical, allocation-lean.
+
+    Produces exactly the outcome of :func:`repro.assign.core_assign.
+    core_assign` on ``matrix.times_for(widths)``: the same result on
+    completion, and an abort exactly when the legacy path would have
+    aborted — a run completes iff its final time beats ``best_known``.
+    The abort itself may fire *earlier* than Lines 18-20: alongside
+    the per-bus load check the loop maintains an admissible partial
+    area bound (assigned work so far plus every remaining core's
+    floor, cf. :func:`repro.assign.lower_bounds.partial_lower_bound`),
+    which dooms most partitions steps before a single bus physically
+    crosses the incumbent.
+    """
+    result = sweep_assign(matrix, widths, best_known, workspace)
+    if result is None:
+        assert best_known is not None
+        return CoreAssignOutcome(
+            completed=False, testing_time=best_known, result=None
+        )
+    return CoreAssignOutcome(
+        completed=True, testing_time=result.testing_time, result=result
+    )
+
+
+class DenseTimeTable:
+    """A times-only :class:`~repro.wrapper.pareto.TimeTable` stand-in.
+
+    Answers :meth:`time` by O(1) matrix lookup and :meth:`design` by
+    recovering the staircase breakpoint (leftmost width with the same
+    time — where the running-minimum construction stored its design)
+    and running ``Design_wrapper`` once there.  Values are identical
+    to the real table's; pool workers use these over a shared-memory
+    matrix so the only wrapper designs they ever run are the handful
+    the final utilization accounting needs.
+    """
+
+    def __init__(self, core: Core, matrix: DenseTimeMatrix, index: int):
+        self.core = core
+        self.max_width = matrix.total_width
+        self._matrix = matrix
+        self._index = index
+        self._designs: Dict[int, WrapperDesign] = {}
+
+    def _check_width(self, width: int) -> None:
+        if not 1 <= width <= self.max_width:
+            raise ConfigurationError(
+                f"width {width} outside table range 1..{self.max_width}"
+            )
+
+    def time(self, width: int) -> int:
+        """Best testing time of the core on a bus of ``width`` wires."""
+        self._check_width(width)
+        return self._matrix.time(self._index, width)
+
+    def design(self, width: int) -> WrapperDesign:
+        """The design achieving :meth:`time` at ``width``, on demand."""
+        self._check_width(width)
+        target = self.time(width)
+        # Leftmost width attaining the same time: rows are monotone
+        # non-increasing, so equality with the target is a monotone
+        # predicate and binary search finds the breakpoint.
+        low, high = 1, width
+        while low < high:
+            mid = (low + high) // 2
+            if self.time(mid) == target:
+                high = mid
+            else:
+                low = mid + 1
+        design = self._designs.get(low)
+        if design is None:
+            design = design_wrapper(self.core, low)
+            self._designs[low] = design
+        return design
+
+    @property
+    def min_time(self) -> int:
+        """Testing time at the full table width (the core's floor)."""
+        return self.time(self.max_width)
+
+    def dense_row(self, max_width: int) -> List[int]:
+        """Flat width-indexed times, mirroring ``TimeTable.dense_row``."""
+        self._check_width(max_width)
+        stride = self._matrix.total_width
+        start = self._index * stride
+        return list(self._matrix._flat[start:start + max_width])
+
+
+def dense_time_tables(
+    cores: Sequence[Core], matrix: DenseTimeMatrix
+) -> Dict[str, "DenseTimeTable"]:
+    """One :class:`DenseTimeTable` per core over ``matrix``'s rows."""
+    if len(cores) != matrix.num_cores:
+        raise ConfigurationError(
+            f"{len(cores)} cores for a {matrix.num_cores}-row matrix"
+        )
+    return {
+        core.name: DenseTimeTable(core, matrix, index)
+        for index, core in enumerate(cores)
+    }

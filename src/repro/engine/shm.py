@@ -1,0 +1,247 @@
+"""Shared-memory transport for dense time matrices.
+
+Closes the ROADMAP item "shared-memory or copy-on-write table
+transport for the process pool": instead of every pool worker holding
+a private copy of each SOC's wrapper time tables, the parent builds
+the dense N×W matrix once (:func:`repro.engine.kernel.
+build_dense_matrix`), publishes its int64 bytes in one
+``multiprocessing.shared_memory`` segment, and ships workers a tiny
+:class:`DenseDescriptor` (segment name, shape, SOC fingerprint).
+Workers attach read-only and wrap the buffer zero-copy; the matrix —
+plus on-demand :class:`~repro.engine.kernel.DenseTimeTable` designs
+for final reporting — replaces their private table builds.
+
+Degradation is graceful at both ends:
+
+* if creating a segment fails (no ``/dev/shm``, permissions, size
+  limits), the descriptor carries the raw matrix bytes instead and
+  rides the normal pickle channel to the workers;
+* if *attaching* fails in a worker, the worker silently falls back to
+  its private :class:`~repro.engine.cache.WrapperTableCache` — the
+  pre-transport behaviour.
+
+Segment lifetime is owned by the parent-side :class:`SegmentRegistry`:
+segments are unlinked on :meth:`SegmentRegistry.close` (wired to pool
+shutdown in :class:`~repro.engine.batch.BatchRunner`).  Attached
+workers keep their mappings alive until process exit — on POSIX an
+unlinked segment survives for exactly as long as someone maps it.
+
+Python ≤ 3.12 registers *attached* segments with the worker's
+``resource_tracker`` too, which would tear a segment down (and warn)
+as soon as any one worker exits; the attach path therefore
+unregisters them — cleanup stays the creator's job.
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.engine.kernel import DenseTimeMatrix
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - no _posixshmem / _winapi
+    _shared_memory = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class DenseDescriptor:
+    """Everything a worker needs to reconstruct a dense matrix.
+
+    Exactly one of ``shm_name`` (shared-memory fast path) and
+    ``payload`` (pickled-bytes fallback) is set.  ``fingerprint`` is
+    the :func:`repro.soc.fingerprint.soc_fingerprint` of the SOC the
+    matrix was built for — workers verify it against each job's SOC
+    before trusting the matrix.
+    """
+
+    fingerprint: str
+    num_cores: int
+    total_width: int
+    shm_name: Optional[str] = None
+    payload: Optional[bytes] = None
+
+
+class SegmentRegistry:
+    """Parent-side owner of published dense-matrix segments.
+
+    Keyed by SOC fingerprint; republishing for a wider width replaces
+    (and unlinks) the narrower segment.  :meth:`close` frees
+    everything — :class:`~repro.engine.batch.BatchRunner` calls it
+    when its pool goes away.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, Tuple[object, DenseDescriptor]] = {}
+
+    def publish(
+        self, fingerprint: str, matrix: DenseTimeMatrix
+    ) -> DenseDescriptor:
+        """A descriptor for ``matrix``, creating/reusing its segment.
+
+        A segment already published for ``fingerprint`` is reused when
+        wide enough; otherwise it is replaced.  When shared memory is
+        unavailable the descriptor falls back to carrying the matrix
+        bytes inline (the pickle channel).
+        """
+        held = self._segments.get(fingerprint)
+        if held is not None:
+            _, descriptor = held
+            if descriptor.total_width >= matrix.total_width:
+                return descriptor
+            self._release(fingerprint)
+        data = matrix.to_bytes()
+        descriptor = None
+        if _shared_memory is not None:
+            try:
+                segment = _shared_memory.SharedMemory(
+                    create=True, size=len(data)
+                )
+                segment.buf[:len(data)] = data
+                descriptor = DenseDescriptor(
+                    fingerprint=fingerprint,
+                    num_cores=matrix.num_cores,
+                    total_width=matrix.total_width,
+                    shm_name=segment.name,
+                )
+                self._segments[fingerprint] = (segment, descriptor)
+            except OSError:
+                descriptor = None
+        if descriptor is None:
+            # Fallback descriptors are registered too (segment-less),
+            # so repeated runs reuse the packed bytes instead of
+            # re-serializing the matrix each time.  The bytes still
+            # ride the pickle channel per job item — the remaining
+            # cost of degraded mode.
+            descriptor = DenseDescriptor(
+                fingerprint=fingerprint,
+                num_cores=matrix.num_cores,
+                total_width=matrix.total_width,
+                payload=data,
+            )
+            self._segments[fingerprint] = (None, descriptor)
+        return descriptor
+
+    def _release(self, fingerprint: str) -> None:
+        segment, _ = self._segments.pop(fingerprint)
+        if segment is None:
+            return
+        try:
+            segment.close()  # type: ignore[attr-defined]
+            segment.unlink()  # type: ignore[attr-defined]
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        for fingerprint in list(self._segments):
+            self._release(fingerprint)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+
+#: Worker-side cache of reconstructed matrices, keyed by SOC
+#: fingerprint — one attach (or payload unpack) per matrix per worker
+#: process, its column/pick-order memos shared by every job that
+#: names it.  The value's first element identifies the exact matrix
+#: (segment name, or shape for payload fallbacks): a descriptor
+#: naming a *different* one for the same fingerprint supersedes the
+#: entry, releasing the stale mapping instead of pinning every
+#: generation of a growing matrix for the worker's lifetime.
+_ATTACHED: Dict[str, Tuple[object, DenseTimeMatrix, Optional[object]]] = {}
+_CLEANUP_REGISTERED = False
+
+
+def _release_entry(fingerprint: str) -> None:
+    _, matrix, segment = _ATTACHED.pop(fingerprint)
+    matrix.release()
+    if segment is not None:
+        try:
+            segment.close()  # type: ignore[attr-defined]
+        except OSError:  # pragma: no cover - already unmapped
+            pass
+
+
+def _close_attachments() -> None:  # pragma: no cover - process exit
+    for fingerprint in list(_ATTACHED):
+        _release_entry(fingerprint)
+
+
+def attach(descriptor: DenseDescriptor) -> Optional[DenseTimeMatrix]:
+    """The descriptor's matrix, or ``None`` when it cannot be had.
+
+    Matrices are reconstructed once per worker process and cached by
+    SOC fingerprint — zero-copy attach for shared segments, a single
+    unpack for bytes-fallback payloads — so repeated jobs share the
+    memoized columns either way.  Any attach failure (segment already
+    unlinked, shared memory unsupported) returns ``None`` so the
+    caller can fall back to private tables.
+    """
+    global _CLEANUP_REGISTERED
+    use_payload = descriptor.payload is not None
+    if not use_payload and (
+        descriptor.shm_name is None or _shared_memory is None
+    ):
+        return None
+    identity: object = (
+        (descriptor.num_cores, descriptor.total_width) if use_payload
+        else descriptor.shm_name
+    )
+    held = _ATTACHED.get(descriptor.fingerprint)
+    if held is not None:
+        if held[0] == identity:
+            return held[1]
+        _release_entry(descriptor.fingerprint)
+    segment = None
+    if use_payload:
+        matrix = DenseTimeMatrix.from_buffer(
+            descriptor.payload,
+            descriptor.num_cores,
+            descriptor.total_width,
+        )
+    else:
+        try:
+            segment = _attach_untracked(descriptor.shm_name)
+        except (OSError, ValueError):
+            return None
+        expected = descriptor.num_cores * descriptor.total_width * 8
+        if segment.size < expected:  # pragma: no cover - size mismatch
+            segment.close()
+            return None
+        matrix = DenseTimeMatrix.from_buffer(
+            segment.buf[:expected],
+            descriptor.num_cores,
+            descriptor.total_width,
+        )
+    if not _CLEANUP_REGISTERED:
+        _CLEANUP_REGISTERED = True
+        atexit.register(_close_attachments)
+    _ATTACHED[descriptor.fingerprint] = (identity, matrix, segment)
+    return matrix
+
+
+def _attach_untracked(name: str):
+    """Attach to ``name`` without telling the resource tracker.
+
+    Python ≤ 3.12 registers *attached* segments with the resource
+    tracker too; with the pool's shared tracker that interleaves
+    registrations and the creator's eventual unregister arbitrarily,
+    producing spurious unlinks and tracker warnings.  Cleanup belongs
+    to the creating process alone, so the registration is suppressed
+    for the duration of the attach (the standard workaround for
+    https://github.com/python/cpython/issues/82300; Python 3.13's
+    ``track=False`` makes it official).
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - exotic build
+        return _shared_memory.SharedMemory(name=name)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

@@ -21,7 +21,7 @@ anomaly is reproduced — and tested — rather than papered over.
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 
 from repro.assign.exact import exact_assign
 from repro.exceptions import ConfigurationError
@@ -29,6 +29,9 @@ from repro.optimize.result import CoOptimizationResult
 from repro.partition.evaluate import partition_evaluate
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import TimeTable, build_time_tables
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.kernel import DenseTimeMatrix
 
 #: The paper found architectures beyond ten TAMs "less useful for
 #: testing time minimization"; its P_NPAW experiments use this cap.
@@ -46,6 +49,9 @@ def co_optimize(
     exact_node_limit: int = 2_000_000,
     exact_time_limit: float = 30.0,
     tables: Optional[Dict[str, TimeTable]] = None,
+    prune: Union[bool, str] = True,
+    sweep_engine: str = "kernel",
+    dense: "Optional[DenseTimeMatrix]" = None,
 ) -> CoOptimizationResult:
     """Co-optimize the wrapper/TAM architecture of ``soc``.
 
@@ -87,6 +93,20 @@ def co_optimize(
         tables are built here.  Either way the tables actually used
         are exposed on the result, so downstream consumers
         (certificates, utilization, sweeps) never rebuild them.
+    prune:
+        Partition-sweep pruning mode, forwarded to
+        :func:`~repro.partition.evaluate.partition_evaluate`:
+        ``True`` (default) is the paper's best-known-time abort;
+        ``"lb"`` adds the dense kernel's outcome-identical lower-bound
+        skip (what the engine/service paths run with); ``False``
+        disables pruning for ablations.
+    sweep_engine:
+        ``"kernel"`` (default) or ``"legacy"`` — the partition
+        sweep's execution engine; outcomes are bit-identical.
+    dense:
+        Optional pre-built :class:`~repro.engine.kernel.
+        DenseTimeMatrix` for the kernel sweep (e.g. attached from the
+        batch engine's shared-memory transport).
 
     Returns
     -------
@@ -113,8 +133,11 @@ def co_optimize(
         total_width,
         num_tams,
         enumerator=enumerator,
+        prune=prune,
         keep_top=polish_top_k if polish else 1,
         stratify_by_tam_count=polish and polish_per_tam_count,
+        engine=sweep_engine,
+        dense=dense,
     )
 
     final = search.best

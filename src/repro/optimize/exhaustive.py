@@ -85,6 +85,12 @@ def exhaustive_optimize(
     for count in tam_counts:
         if count > total_width:
             continue
+        # Re-check the wall clock between TAM counts too: a count
+        # whose enumeration finished exactly on budget must not admit
+        # the next count's sweep.
+        if _time.monotonic() > deadline:
+            complete = False
+            break
         for widths in unique_partitions(total_width, count):
             if _time.monotonic() > deadline:
                 complete = False

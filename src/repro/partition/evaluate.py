@@ -16,13 +16,43 @@ levels, exactly as the paper describes:
 The sweep records, per TAM count, how many partitions were enumerated
 and how many were *evaluated to completion* — the paper's
 ``N_eval`` — so the efficiency study (Table 1) falls out directly.
+
+Two execution engines score the partitions:
+
+* ``engine="kernel"`` (default) — the dense time-matrix kernel of
+  :mod:`repro.engine.kernel`: the N×W matrix is assembled once per
+  sweep, per-width columns are memoized, and the inner loop is
+  allocation-free.  Bit-identical outcomes, several times faster.
+* ``engine="legacy"`` — the original per-partition ``_times_for`` +
+  :func:`~repro.assign.core_assign.core_assign` path, kept as the
+  differential-test oracle.
+
+The kernel additionally supports ``prune="lb"``: an admissible O(1)
+lower bound per partition (widest-column aggregates) that skips
+``Core_assign`` when the bound already meets the incumbent.  Such a
+partition could never run to completion under the Lines 18-20 abort,
+so every observable outcome — best time, partition, assignment,
+``num_completed``, efficiency — is unchanged; only ``num_lb_pruned``
+and the wall clock move.  The engine/service paths enable it; the
+paper-fidelity report drivers keep the plain abort so Table 1's
+protocol is untouched.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.assign.core_assign import core_assign
 from repro.exceptions import ConfigurationError
@@ -31,6 +61,9 @@ from repro.partition.enumerate import increment_partitions, unique_partitions
 from repro.tam.assignment import AssignmentResult
 from repro.wrapper.pareto import TimeTable
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.kernel import DenseTimeMatrix
+
 Enumerator = Callable[[int, int], Iterator[Tuple[int, ...]]]
 
 _ENUMERATORS: Dict[str, Enumerator] = {
@@ -38,15 +71,31 @@ _ENUMERATORS: Dict[str, Enumerator] = {
     "increment": increment_partitions,
 }
 
+#: Valid ``engine`` values: the dense-matrix fast path, and the
+#: original per-partition path kept as the differential-test oracle.
+ENGINES: Tuple[str, ...] = ("kernel", "legacy")
+
+#: What a partition is scored under: ``True`` — the paper's
+#: best-known-time abort; ``"lb"`` — the abort plus the kernel's
+#: admissible lower-bound skip; ``False`` — no pruning (ablation).
+PRUNE_MODES: Tuple[object, ...] = (True, "lb", False)
+
 
 @dataclass(frozen=True)
 class PartitionStats:
-    """Pruning statistics for one TAM count ``B`` (one row of Table 1)."""
+    """Pruning statistics for one TAM count ``B`` (one row of Table 1).
+
+    ``num_lb_pruned`` counts partitions skipped *before* ``Core_assign``
+    by the kernel's lower bound (``prune="lb"``); they are included in
+    ``num_enumerated`` and can never be in ``num_completed`` (the
+    bound is admissible, so a skipped partition would have aborted).
+    """
 
     num_tams: int
     num_unique: int
     num_enumerated: int
     num_completed: int
+    num_lb_pruned: int = 0
 
     @property
     def efficiency(self) -> float:
@@ -83,6 +132,11 @@ class PartitionSearchResult:
     @property
     def best_num_tams(self) -> int:
         return len(self.best.widths)
+
+    @property
+    def num_lb_pruned(self) -> int:
+        """Partitions skipped by the lower bound, over all TAM counts."""
+        return sum(stats.num_lb_pruned for stats in self.stats)
 
     def stats_for(self, num_tams: int) -> PartitionStats:
         """Statistics for one TAM count; raises ``KeyError`` if absent."""
@@ -146,10 +200,12 @@ def partition_evaluate(
     total_width: int,
     num_tams: Union[int, Iterable[int]],
     enumerator: str = "unique",
-    prune: bool = True,
+    prune: Union[bool, str] = True,
     initial_best: Optional[int] = None,
     keep_top: int = 1,
     stratify_by_tam_count: bool = False,
+    engine: str = "kernel",
+    dense: "Optional[DenseTimeMatrix]" = None,
 ) -> PartitionSearchResult:
     """Sweep width partitions, scoring each with ``Core_assign``.
 
@@ -168,8 +224,12 @@ def partition_evaluate(
         ``"unique"`` (default, duplicate-free) or ``"increment"`` (the
         paper's odometer, for ablation).
     prune:
-        When False, ``Core_assign`` always runs to completion —
-        disables pruning level 2 for the ablation study.
+        ``True`` (default) — the paper's best-known-time abort;
+        ``"lb"`` — the abort plus the dense kernel's admissible
+        lower-bound skip (outcome-identical, faster; requires
+        ``engine="kernel"``); ``False`` — ``Core_assign`` always runs
+        to completion (disables pruning level 2 for the ablation
+        study).
     initial_best:
         Optional starting incumbent (cycles).
     keep_top:
@@ -183,6 +243,16 @@ def partition_evaluate(
         the best candidate of every B — the diversity the final exact
         polish needs to escape the paper's wrong-B anomaly, where the
         heuristically best partition has the wrong number of TAMs.
+    engine:
+        ``"kernel"`` (default) — the dense time-matrix fast path of
+        :mod:`repro.engine.kernel`, bit-identical to the legacy path;
+        ``"legacy"`` — the original per-partition implementation,
+        kept as the differential-test oracle.
+    dense:
+        Optional pre-built :class:`~repro.engine.kernel.
+        DenseTimeMatrix` covering ``total_width`` (e.g. attached from
+        the batch engine's shared-memory transport); when ``None``
+        the kernel assembles one from ``tables``.
 
     Returns
     -------
@@ -211,6 +281,18 @@ def partition_evaluate(
             f"unknown enumerator {enumerator!r}; "
             f"choose from {sorted(_ENUMERATORS)}"
         ) from None
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    if prune not in PRUNE_MODES:
+        raise ConfigurationError(
+            f"prune must be one of {PRUNE_MODES}, got {prune!r}"
+        )
+    if prune == "lb" and engine != "kernel":
+        raise ConfigurationError(
+            'prune="lb" needs the dense columns of engine="kernel"'
+        )
 
     tam_counts = (
         [num_tams] if isinstance(num_tams, int) else list(num_tams)
@@ -222,6 +304,34 @@ def partition_evaluate(
             raise ConfigurationError(f"TAM count must be >= 1, got {count}")
 
     start = _time.monotonic()
+
+    matrix = None
+    workspace = None
+    use_lb = prune == "lb"
+    if engine == "kernel":
+        # Imported lazily: repro.engine builds on this module.
+        from repro.engine.kernel import (
+            KernelWorkspace,
+            build_dense_matrix,
+            sweep_assign,
+        )
+
+        if dense is not None:
+            if dense.num_cores != len(tables):
+                raise ConfigurationError(
+                    f"dense matrix has {dense.num_cores} rows for "
+                    f"{len(tables)} tables"
+                )
+            if dense.total_width < total_width:
+                raise ConfigurationError(
+                    f"dense matrix covers widths up to "
+                    f"{dense.total_width} < total width {total_width}"
+                )
+            matrix = dense
+        else:
+            matrix = build_dense_matrix(tables, total_width)
+        workspace = KernelWorkspace()
+
     global_top = _TopK(keep_top, initial_best)
     trackers = []
     all_stats = []
@@ -234,20 +344,43 @@ def partition_evaluate(
         trackers.append(tracker)
         enumerated = 0
         completed = 0
+        lb_pruned = 0
         if count <= total_width:
+            # The abort threshold only moves when a partition
+            # completes and is offered, so it is cached across the
+            # (overwhelmingly aborting) partitions in between.
+            threshold = tracker.threshold() if prune else None
             for widths in enumerate_fn(total_width, count):
                 enumerated += 1
-                times = _times_for(tables, widths)
-                outcome = core_assign(
-                    times,
-                    widths,
-                    best_known=tracker.threshold() if prune else None,
-                )
-                if not outcome.completed:
-                    continue
+                if matrix is not None:
+                    if (
+                        use_lb
+                        and threshold is not None
+                        and matrix.lower_bound(widths) >= threshold
+                    ):
+                        # Admissible bound: this partition could only
+                        # have aborted — skip Core_assign entirely.
+                        lb_pruned += 1
+                        continue
+                    result = sweep_assign(
+                        matrix, widths, best_known=threshold,
+                        workspace=workspace,
+                    )
+                    if result is None:
+                        continue
+                else:
+                    times = _times_for(tables, widths)
+                    outcome = core_assign(
+                        times, widths, best_known=threshold,
+                    )
+                    if not outcome.completed:
+                        continue
+                    assert outcome.result is not None
+                    result = outcome.result
                 completed += 1
-                assert outcome.result is not None
-                tracker.offer(outcome.result)
+                tracker.offer(result)
+                if prune:
+                    threshold = tracker.threshold()
         all_stats.append(
             PartitionStats(
                 num_tams=count,
@@ -257,6 +390,7 @@ def partition_evaluate(
                 ),
                 num_enumerated=enumerated,
                 num_completed=completed,
+                num_lb_pruned=lb_pruned,
             )
         )
 

@@ -76,11 +76,17 @@ def run_table1(
     soc: Soc,
     widths: Sequence[int] = (44, 48, 52, 56, 60, 64),
     tam_counts: Sequence[int] = (4, 5),
+    prune: "bool | str" = True,
 ) -> List[Dict[str, object]]:
     """Pruning-efficiency rows: P(W,B), N_eval and E per (W, B).
 
     Matches the paper's protocol: each (W, B) cell is an independent
-    ``Partition_evaluate`` run over that single B.
+    ``Partition_evaluate`` run over that single B, with the paper's
+    abort-only pruning by default.  Pass ``prune="lb"`` to also
+    engage the dense kernel's lower-bound skip — N_eval and E are
+    unchanged (the bound is admissible), and the per-count
+    ``LBpruned`` columns then show how many partitions never even
+    started ``Core_assign``.
     """
     cache = WrapperTableCache(soc)
     table_list = cache.table_list(max(widths))
@@ -89,11 +95,14 @@ def run_table1(
     for width in widths:
         row: Dict[str, object] = {"W": width}
         for count in tam_counts:
-            result = partition_evaluate(table_list, width, count)
+            result = partition_evaluate(
+                table_list, width, count, prune=prune
+            )
             stats = result.stats_for(count)
             row[f"P(W,{count})"] = count_partitions(width, count)
             row[f"Neval(B={count})"] = stats.num_completed
             row[f"E(B={count})"] = round(stats.efficiency, 4)
+            row[f"LBpruned(B={count})"] = stats.num_lb_pruned
         rows.append(row)
     return rows
 

@@ -81,6 +81,7 @@ def co_optimization_to_dict(
                 "unique": stats.num_unique,
                 "enumerated": stats.num_enumerated,
                 "completed": stats.num_completed,
+                "lb_pruned": stats.num_lb_pruned,
             }
             for stats in result.search.stats
         ],

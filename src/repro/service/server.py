@@ -113,6 +113,11 @@ class ExplorationServer:
         runner (see :class:`repro.service.store.TableStore`).
     retries:
         Per-point retry budget for the built runner.
+    share_tables:
+        Ship each grid's dense time matrices to the pool workers over
+        shared memory (see :class:`~repro.engine.batch.BatchRunner`)
+        instead of letting every worker build a private table copy.
+        On by default; segments live until :meth:`shutdown`.
     """
 
     def __init__(
@@ -121,6 +126,7 @@ class ExplorationServer:
         max_workers: Optional[int] = None,
         cache_dir: Union[str, Path, None] = None,
         retries: int = 0,
+        share_tables: bool = True,
     ):
         if runner is None:
             runner = BatchRunner(
@@ -129,6 +135,7 @@ class ExplorationServer:
                 retries=retries,
                 cache_dir=cache_dir,
                 persistent=True,
+                share_tables=share_tables,
             )
         self.runner = runner
         self._records: Dict[str, JobRecord] = {}

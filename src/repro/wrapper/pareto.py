@@ -78,6 +78,18 @@ class TimeTable:
         self._check_width(width)
         return self._times[width - 1]
 
+    def dense_row(self, max_width: int) -> List[int]:
+        """The monotone time staircase as a flat width-indexed list.
+
+        ``row[w - 1]`` is :meth:`time` at width ``w`` for ``1 <= w <=
+        max_width`` — the per-core row of the dense N×W sweep matrix
+        built by :func:`repro.engine.kernel.build_dense_matrix`.  One
+        bulk slice instead of ``max_width`` bounds-checked lookups,
+        which is what makes the sweep kernel's matrix assembly cheap.
+        """
+        self._check_width(max_width)
+        return self._times[:max_width]
+
     def design(self, width: int) -> WrapperDesign:
         """The wrapper design achieving :meth:`time` at ``width``."""
         self._check_width(width)

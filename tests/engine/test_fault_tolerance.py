@@ -148,15 +148,24 @@ class TestBrokenPoolRecovery:
     def test_persistent_runner_survives_a_killed_worker(self, tiny_soc):
         import os
         import signal
+        import time
 
         from concurrent.futures.process import BrokenProcessPool
 
         with BatchRunner(max_workers=2, persistent=True) as runner:
             jobs = [BatchJob(tiny_soc, w, 2) for w in (4, 5)]
             healthy = runner.run(jobs)
-            # Kill a resident worker out from under the executor.
+            # Kill a resident worker out from under the executor, and
+            # wait for the executor to notice the corpse — its manager
+            # thread flags breakage asynchronously, and until then a
+            # surviving worker could drain a small grid successfully.
             victim = next(iter(runner._executor._processes))
             os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while (not runner._executor._broken
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert runner._executor._broken
             with pytest.raises(BrokenProcessPool):
                 runner.run(jobs)
             # The broken pool was discarded: the next run rebuilds

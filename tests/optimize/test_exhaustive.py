@@ -43,6 +43,38 @@ class TestExhaustive:
         )
         assert cooptimized.testing_time <= 1.25 * exhaustive.testing_time
 
+    def test_deadline_checked_between_tam_counts(self, tiny_soc,
+                                                 monkeypatch):
+        # Expire the budget right after the first count's enumeration
+        # finishes: the outer loop must stop before starting B=2
+        # rather than letting the next count's sweep begin.
+        import repro.optimize.exhaustive as module
+
+        real = module._time.monotonic
+        start = real()
+
+        class Clock:
+            calls = 0
+
+            @staticmethod
+            def monotonic():
+                Clock.calls += 1
+                # Calls 1-3: taking `start`, entering B=1, checking
+                # before its only partition.  From call 4 on (the
+                # outer check before B=2), the budget is over.
+                if Clock.calls <= 3:
+                    return start
+                return start + 100.0
+
+        monkeypatch.setattr(module, "_time", Clock)
+        result = module.exhaustive_optimize(
+            tiny_soc, total_width=6, num_tams=[1, 2],
+            total_time_limit=50.0,
+        )
+        assert not result.complete
+        # B=1 has a single partition; B=2 never started.
+        assert result.partitions_evaluated == 1
+
     def test_zero_time_budget_raises(self, tiny_soc):
         # The deadline is checked before each partition, so a zero
         # budget evaluates nothing and the sweep cannot return a best.

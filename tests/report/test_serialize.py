@@ -71,8 +71,20 @@ class TestPipelineRecords:
         assert record["total_width"] == 8
         assert record["final"]["testing_time"] == result.testing_time
         assert len(record["pruning"]) == 2
+        for entry in record["pruning"]:
+            assert entry["lb_pruned"] == 0  # paper-fidelity default
         # Valid JSON end to end.
         assert from_json(to_json(record))["kind"] == "co_optimization"
+
+    def test_co_optimization_record_reports_lb_pruning(self, p21241):
+        from repro.optimize.co_optimize import co_optimize
+        result = co_optimize(
+            p21241, 24, num_tams=range(1, 7), prune="lb", polish=False
+        )
+        record = co_optimization_to_dict(result)
+        assert sum(e["lb_pruned"] for e in record["pruning"]) > 0
+        assert (sum(e["lb_pruned"] for e in record["pruning"])
+                == result.search.num_lb_pruned)
 
     def test_exhaustive_record(self, tiny_soc):
         from repro.optimize.exhaustive import exhaustive_optimize
