@@ -27,9 +27,14 @@ Layered API (bottom-up, matching the paper's problem progression):
 * **sweeps at scale** — :class:`repro.engine.WrapperTableCache`
   (build each core's time table once, share it everywhere) and
   :class:`repro.engine.BatchRunner` (parallel (SOC, W, B) grids over
-  a process pool).
+  a process pool);
+* **the canonical job spec** — :class:`repro.api.OptimizeSpec` and
+  :class:`repro.api.GridSpec`, the typed, schema-versioned,
+  content-hashable description of a job shared by ``co_optimize``,
+  the batch engine, the exploration service and the CLI.
 """
 
+from repro.api import GridSpec, OptimizeSpec
 from repro.soc.core import Core
 from repro.soc.soc import Soc
 from repro.wrapper.design import design_wrapper
@@ -65,6 +70,8 @@ __all__ = [
     "WrapperTableCache",
     "BatchJob",
     "BatchRunner",
+    "GridSpec",
+    "OptimizeSpec",
     "TamArchitecture",
     "AssignmentResult",
     "__version__",

@@ -1,0 +1,40 @@
+"""``repro.api`` — the one canonical description of a job.
+
+Typed, frozen, schema-versioned specs (:class:`OptimizeSpec`,
+:class:`GridSpec`) shared by the Python API, the batch engine, the
+exploration service and every CLI subcommand, plus the versioned
+wire envelopes (:class:`JobRequest`, :class:`JobEvent`) the IPC
+protocol is built from.  See :mod:`repro.api.specs` for the design
+rationale and DESIGN.md appendix A for the JSON schema and
+compatibility policy.
+"""
+
+from repro.api.envelopes import (
+    EVENT_KINDS,
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    JobEvent,
+    JobRequest,
+)
+from repro.api.specs import (
+    DEFAULT_MAX_TAMS,
+    OPTION_DEFAULTS,
+    SPEC_SCHEMA_VERSION,
+    GridSpec,
+    OptimizeSpec,
+    jobs_canonical_key,
+)
+
+__all__ = [
+    "DEFAULT_MAX_TAMS",
+    "EVENT_KINDS",
+    "OPTION_DEFAULTS",
+    "PROTOCOL_VERSION",
+    "SPEC_SCHEMA_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "GridSpec",
+    "JobEvent",
+    "JobRequest",
+    "OptimizeSpec",
+    "jobs_canonical_key",
+]

@@ -1,0 +1,143 @@
+"""The shared argparse → spec translator for every CLI surface.
+
+``cooptimize``, ``exhaustive``, ``batch`` and ``submit`` all describe
+the same thing — which SOC(s), which TAM budget(s), which counts,
+which knobs — but each historically registered its own flags and
+built its own keyword soup, so the surfaces drifted (different
+``--bmax`` wiring, knobs present on one subcommand and missing on
+another).  This module is the single place those flags are declared
+and the single function that turns a parsed namespace into typed
+:mod:`repro.api` specs:
+
+* :func:`add_spec_arguments` registers the grid flags (``-W``,
+  ``-B``, ``--bmax``, and the optimize knobs) on a subparser;
+* :func:`tam_counts_from_args` / :func:`optimize_options_from_args`
+  are the one resolution rule for counts and knobs;
+* :func:`spec_from_args` / :func:`grid_spec_from_args` produce the
+  :class:`~repro.api.specs.OptimizeSpec` / :class:`~repro.api.specs.
+  GridSpec` every execution path consumes.
+
+Because ``batch`` and ``submit`` build their grids through the same
+translator, a grid run locally and the same grid submitted to a
+server produce byte-identical canonical keys — which is what makes
+the server's persisted memo answer either one.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, Tuple, Union
+
+from repro.api.specs import DEFAULT_MAX_TAMS, GridSpec, OptimizeSpec
+
+#: ``--prune`` choice → ``co_optimize(prune=...)`` value.
+PRUNE_MODES: Dict[str, Union[bool, str]] = {
+    "abort": True,
+    "lb": "lb",
+    "none": False,
+}
+
+
+def add_spec_arguments(
+    parser: argparse.ArgumentParser,
+    multi_width: bool = False,
+    bmax_default: int = DEFAULT_MAX_TAMS,
+    knobs: bool = True,
+) -> None:
+    """Register the shared grid/spec flags on ``parser``.
+
+    ``multi_width`` switches ``-W`` between one budget (``width``,
+    the single-point subcommands) and a sweep list (``widths``).
+    ``knobs`` adds the optimize knobs (``--no-polish``, ``--prune``);
+    subcommands whose backend ignores them (``exhaustive``) leave
+    them off.
+    """
+    if multi_width:
+        parser.add_argument(
+            "-W", "--widths", type=int, nargs="+", required=True,
+            help="TAM widths to sweep",
+        )
+    else:
+        parser.add_argument(
+            "-W", "--width", type=int, required=True,
+            help="total TAM width",
+        )
+    parser.add_argument(
+        "-B", "--num-tams", type=int, default=None,
+        help="fix the number of TAMs (P_PAW)",
+    )
+    parser.add_argument(
+        "--bmax", type=int, default=bmax_default,
+        help=f"max TAMs for the P_NPAW sweep "
+             f"(default {bmax_default})",
+    )
+    if knobs:
+        parser.add_argument(
+            "--no-polish", action="store_true",
+            help="skip the exact final optimization step",
+        )
+        parser.add_argument(
+            "--prune", choices=tuple(PRUNE_MODES), default=None,
+            help="partition-sweep pruning: the paper's "
+                 "best-known-time abort, the kernel's "
+                 "outcome-identical lower-bound skip on top, or "
+                 "none (ablation).  Unset, each surface keeps its "
+                 "default (abort for cooptimize, lb in the "
+                 "engine/service paths)",
+        )
+
+
+def tam_counts_from_args(
+    args: argparse.Namespace,
+) -> Union[int, Tuple[int, ...]]:
+    """The TAM count(s) a namespace asks for — one rule for all CLIs.
+
+    ``-B`` wins; otherwise the P_NPAW default is the flat tuple
+    ``1..bmax``.  Counts above a given point's width are skipped by
+    the partition sweep, so the flat tuple matches ``co_optimize``'s
+    per-width default at every budget.
+    """
+    if args.num_tams is not None:
+        return args.num_tams
+    return tuple(range(1, args.bmax + 1))
+
+
+def optimize_options_from_args(
+    args: argparse.Namespace,
+) -> Dict[str, Any]:
+    """Sparse optimize knobs from a namespace.
+
+    Only knobs the user actually set are included, so each execution
+    path keeps its own default for the rest (in particular, an
+    explicit ``--prune abort`` *forces* abort-only pruning through
+    ``batch``/``submit``, while leaving the flag unset keeps the
+    engine's outcome-identical ``"lb"`` default there).
+    """
+    options: Dict[str, Any] = {}
+    if getattr(args, "no_polish", False):
+        options["polish"] = False
+    prune = getattr(args, "prune", None)
+    if prune is not None:
+        options["prune"] = PRUNE_MODES[prune]
+    return options
+
+
+def spec_from_args(
+    args: argparse.Namespace, width: int,
+) -> OptimizeSpec:
+    """One point's :class:`OptimizeSpec` at ``width``."""
+    return OptimizeSpec.from_options(
+        width,
+        num_tams=tam_counts_from_args(args),
+        options=optimize_options_from_args(args),
+    )
+
+
+def grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
+    """The :class:`GridSpec` a ``batch``/``submit`` namespace asks for."""
+    return GridSpec.from_axes(
+        args.socs,
+        args.widths,
+        num_tams=tam_counts_from_args(args),
+        options=optimize_options_from_args(args),
+    )

@@ -1,0 +1,191 @@
+"""Versioned wire envelopes for the exploration-service protocol.
+
+The IPC layer (:mod:`repro.service.ipc`) is line-oriented JSON; these
+dataclasses are the typed forms of the two structured payloads that
+cross it:
+
+* :class:`JobRequest` — one decoded request line.  Protocol version 2
+  carries a typed :class:`~repro.api.specs.GridSpec` under ``spec``;
+  version 1 (no ``v`` field) keeps its legacy loose fields, which the
+  server still accepts verbatim.  Unknown versions are rejected at
+  the envelope, before any op dispatch.
+* :class:`JobEvent` — one per-grid-point completion record streamed
+  by the v2 ``events`` op, replacing poll/wait loops: the server
+  pushes a line as each point finishes, then a final ``done`` line.
+
+Compatibility policy: a server speaks every version in
+:data:`SUPPORTED_PROTOCOL_VERSIONS`; requests without ``v`` are v1.
+Adding fields to a version is allowed (receivers ignore unknown
+*response* fields); changing the meaning of a field requires a new
+version.  See DESIGN.md, appendix A, for the full policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.specs import GridSpec
+from repro.exceptions import ConfigurationError
+
+#: The newest protocol version this build speaks.
+PROTOCOL_VERSION = 2
+
+#: Every protocol version this build accepts.  Requests without a
+#: ``v`` field are treated as version 1.
+SUPPORTED_PROTOCOL_VERSIONS: Tuple[int, ...] = (1, 2)
+
+#: Event kinds a job stream may carry, one per finished grid point.
+EVENT_KINDS: Tuple[str, ...] = ("point", "failed")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One decoded request line, version-checked.
+
+    ``extra`` preserves fields outside the typed set (v1 submit's
+    ``socs``/``widths``/``num_tams``/``bmax``/``options``, future
+    additions) as sorted pairs, so the envelope is lossless for every
+    accepted version.
+    """
+
+    op: str
+    version: int = PROTOCOL_VERSION
+    spec: Optional[GridSpec] = None
+    job_id: Optional[str] = None
+    timeout: Optional[float] = None
+    start: int = 0
+    extra: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op, str) or not self.op:
+            raise ConfigurationError(
+                f"request op must be a non-empty string, got {self.op!r}"
+            )
+        if self.version not in SUPPORTED_PROTOCOL_VERSIONS:
+            raise ConfigurationError(
+                f"unsupported protocol version {self.version!r}; "
+                f"this server speaks "
+                f"{list(SUPPORTED_PROTOCOL_VERSIONS)}"
+            )
+        object.__setattr__(self, "extra", tuple(self.extra))
+
+    def extra_dict(self) -> Dict[str, Any]:
+        """The preserved loose fields as a dictionary."""
+        return dict(self.extra)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The request as one wire-ready JSON object."""
+        record: Dict[str, Any] = {"v": self.version, "op": self.op}
+        if self.spec is not None:
+            record["spec"] = self.spec.to_dict()
+        if self.job_id is not None:
+            record["job"] = self.job_id
+        if self.timeout is not None:
+            record["timeout"] = self.timeout
+        if self.start:
+            record["from"] = self.start
+        record.update(self.extra_dict())
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobRequest":
+        """Decode one request object; rejects unsupported versions."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"request must be an object, got {type(data).__name__}"
+            )
+        version = data.get("v", 1)
+        if not isinstance(version, int) or isinstance(version, bool) \
+                or version not in SUPPORTED_PROTOCOL_VERSIONS:
+            raise ConfigurationError(
+                f"unsupported protocol version {version!r}; "
+                f"this server speaks "
+                f"{list(SUPPORTED_PROTOCOL_VERSIONS)}"
+            )
+        op = data.get("op")
+        if not isinstance(op, str) or not op:
+            raise ConfigurationError(
+                f"request op must be a non-empty string, got {op!r}"
+            )
+        spec = data.get("spec")
+        timeout = data.get("timeout")
+        start = data.get("from", 0)
+        if not isinstance(start, int) or isinstance(start, bool) \
+                or start < 0:
+            raise ConfigurationError(
+                f"'from' must be a non-negative int, got {start!r}"
+            )
+        job_id = data.get("job")
+        extra = tuple(sorted(
+            (key, value) for key, value in data.items()
+            if key not in ("v", "op", "spec", "job", "timeout", "from")
+        ))
+        return cls(
+            op=op,
+            version=version,
+            spec=None if spec is None else GridSpec.from_dict(spec),
+            job_id=None if job_id is None else str(job_id),
+            timeout=None if timeout is None else float(timeout),
+            start=start,
+            extra=extra,
+        )
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One per-point completion record in a job's event stream.
+
+    ``seq`` numbers events from 0 in emission order (the resume
+    cursor for the ``events`` op's ``from`` field); ``index`` is the
+    grid-point slot the record fills, ``total`` the grid size, and
+    ``payload`` the serialized point — a sweep-point record for
+    ``kind="point"``, a failure record for ``kind="failed"``.
+    """
+
+    job_id: str
+    seq: int
+    kind: str
+    index: int
+    total: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"event kind must be one of {EVENT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The event as one wire-ready JSON object."""
+        return {
+            "v": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "job": self.job_id,
+            "seq": self.seq,
+            "index": self.index,
+            "total": self.total,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobEvent":
+        """Decode one event object from a stream line."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"event must be an object, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                job_id=str(data["job"]),
+                seq=int(data["seq"]),
+                kind=str(data["kind"]),
+                index=int(data["index"]),
+                total=int(data["total"]),
+                payload=dict(data.get("payload") or {}),
+            )
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"event record missing field {missing}"
+            ) from None

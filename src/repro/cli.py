@@ -1,6 +1,7 @@
 """Command-line interface.
 
-Subcommands::
+Installed as the ``repro-tam`` console script; ``python -m repro``
+from a source checkout runs the identical entry point.  Subcommands::
 
     repro-tam cooptimize <file.soc | benchmark> -W 32 [--bmax 10]
     repro-tam exhaustive <file.soc | benchmark> -W 32 -B 2
@@ -9,6 +10,12 @@ Subcommands::
     repro-tam serve      [--port 7293] [--jobs N] [--cache-dir DIR]
     repro-tam submit     <sources...> -W 16 24 32 [--port 7293]
     repro-tam describe   <file.soc | benchmark>
+
+Every optimizing subcommand translates its arguments into the same
+typed :class:`repro.api.GridSpec` / :class:`repro.api.OptimizeSpec`
+through one shared translator (:mod:`repro.api.cli`), so the
+surfaces resolve widths, TAM counts and knobs identically — and a
+grid run via ``batch`` memo-hits the same grid sent via ``submit``.
 
 Each positional SOC argument is either a path to a ``.soc`` file in
 the dialect of :mod:`repro.soc.itc02`, or the name of an embedded
@@ -51,6 +58,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api.cli import (
+    add_spec_arguments,
+    grid_spec_from_args,
+    spec_from_args,
+)
 from repro.engine import BatchRunner, grid_rows
 from repro.engine.batch import BATCH_COLUMNS
 from repro.exceptions import ReproError
@@ -60,6 +72,15 @@ from repro.report.tables import TextTable
 from repro.schedule.session import build_schedule
 from repro.soc.complexity import test_complexity
 from repro.soc.loader import load_source as _load
+
+#: Shown on the main parser and every subcommand: the two entry
+#: points are the same ``main`` and must never drift apart
+#: (asserted by ``tests/test_cli_naming.py``).
+ENTRY_POINT_EPILOG = (
+    "Invoke as `repro-tam` (the installed console script) or "
+    "`python -m repro` (from a source checkout) — the two entry "
+    "points run the identical CLI."
+)
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -71,17 +92,10 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 def _cmd_cooptimize(args: argparse.Namespace) -> int:
     soc = _load(args.soc)
-    num_tams = (
-        args.num_tams if args.num_tams
-        else range(1, min(args.bmax, args.width) + 1)
-    )
-    result = co_optimize(
-        soc,
-        total_width=args.width,
-        num_tams=num_tams,
-        polish=not args.no_polish,
-        prune={"abort": True, "lb": "lb", "none": False}[args.prune],
-    )
+    # The shared translator builds the same canonical OptimizeSpec a
+    # batch/submit grid point would — one resolution rule for every
+    # surface.
+    result = co_optimize(soc, spec=spec_from_args(args, args.width))
     if args.json:
         from repro.report.serialize import co_optimization_to_dict, to_json
         print(to_json(co_optimization_to_dict(result)))
@@ -135,11 +149,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.utilization import analyze_utilization
 
     soc = _load(args.soc)
-    num_tams = (
-        args.num_tams if args.num_tams
-        else range(1, min(args.bmax, args.width) + 1)
-    )
-    result = co_optimize(soc, total_width=args.width, num_tams=num_tams)
+    result = co_optimize(soc, spec=spec_from_args(args, args.width))
 
     print(result.summary())
     print(certify(soc, result.final, result.tables).describe())
@@ -148,19 +158,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    socs = [_load(source) for source in args.socs]
-    # Counts above a point's width are skipped by the partition sweep,
-    # so a flat 1..bmax tuple matches co_optimize's per-width default.
-    num_tams = (
-        args.num_tams if args.num_tams is not None
-        else tuple(range(1, args.bmax + 1))
-    )
+    # One canonical GridSpec — the identical object `submit` sends to
+    # a server, so a local batch and a remote submission of the same
+    # arguments share one canonical content key.
+    grid_spec = grid_spec_from_args(args)
     runner = BatchRunner(
         max_workers=args.jobs,
         cache_dir=args.cache_dir,
         share_tables=not args.no_share_tables,
     )
-    grid = runner.run_grid(socs, args.widths, num_tams=num_tams)
+    grid = runner.run_grid(grid_spec)
 
     if args.json:
         from repro.report.serialize import sweep_point_to_dict, to_json
@@ -190,6 +197,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         retries=args.retries,
         share_tables=not args.no_share_tables,
+        max_records=args.max_records,
     )
     server = IPCServer(exploration, host=args.host, port=args.port)
     host, port = server.address
@@ -207,27 +215,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.service import ServiceClient, run_grid_remotely
+    from repro.service import ServiceClient
 
+    # The same canonical GridSpec `batch` runs locally, submitted
+    # over protocol v2 — so the server's (persisted) memo answers
+    # either surface.
+    grid_spec = grid_spec_from_args(args)
     with ServiceClient(host=args.host, port=args.port) as client:
-        num_tams = args.num_tams
-        bmax = args.bmax if num_tams is None else None
+        job_id = client.submit_grid(grid_spec)
         if args.no_wait:
-            print(client.submit(
-                args.socs, args.widths, num_tams=num_tams, bmax=bmax,
-            ))
+            print(job_id)
             return 0
+        if args.stream:
+            # Per-point completion events, pushed as the grid runs —
+            # the v2 `events` op instead of a blocking wait.
+            for event in client.events(job_id, timeout=args.timeout):
+                point = event.get("payload", {})
+                if event.get("kind") == "failed":
+                    print(
+                        f"[{event['index'] + 1}/{event['total']}] "
+                        f"FAILED {point.get('soc', '?')} "
+                        f"W={point.get('total_width', '?')}: "
+                        f"{point.get('error_type', '?')}",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(
+                        f"[{event['index'] + 1}/{event['total']}] "
+                        f"{point.get('soc', '?')} "
+                        f"W={point.get('total_width', '?')} "
+                        f"B={point.get('num_tams', '?')} "
+                        f"T={point.get('testing_time', '?')}",
+                        flush=True,
+                    )
+        else:
+            record = client.wait(job_id, timeout=args.timeout)
+            if record["status"] != "done":
+                from repro.exceptions import ServiceError
+
+                raise ServiceError(
+                    f"job {job_id} ended as {record['status']}: "
+                    f"{record.get('error', 'no result')}"
+                )
         # The result payload carries the job's status snapshot too
         # (job id, cached flag), so one call serves the whole render.
-        result = run_grid_remotely(
-            client,
-            args.socs,
-            args.widths,
-            num_tams=num_tams,
-            bmax=bmax,
-            timeout=args.timeout,
-        )
-    job_id = str(result["job"])
+        result = client.result(job_id)
     record = result
 
     if args.json:
@@ -267,36 +299,36 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the CLI argument parser.
+
+    The grid/spec flags (``-W``, ``-B``, ``--bmax``, the optimize
+    knobs) are registered by the *shared* translator in
+    :mod:`repro.api.cli` on every subcommand that optimizes, so the
+    surfaces cannot drift: one declaration, one resolution rule, one
+    canonical :class:`repro.api.GridSpec` behind ``cooptimize``,
+    ``analyze``, ``batch`` and ``submit`` alike.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-tam",
         description="Wrapper/TAM co-optimization "
                     "(Iyengar/Chakrabarty/Marinissen, DATE 2002)",
+        epilog=ENTRY_POINT_EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    describe = sub.add_parser("describe", help="print SOC contents")
+    describe = sub.add_parser(
+        "describe", help="print SOC contents",
+        epilog=ENTRY_POINT_EPILOG,
+    )
     describe.add_argument("soc", help=".soc file or benchmark name")
     describe.set_defaults(func=_cmd_describe)
 
     coopt = sub.add_parser(
-        "cooptimize", help="run the paper's two-step method (P_NPAW)"
+        "cooptimize", help="run the paper's two-step method (P_NPAW)",
+        epilog=ENTRY_POINT_EPILOG,
     )
     coopt.add_argument("soc", help=".soc file or benchmark name")
-    coopt.add_argument("-W", "--width", type=int, required=True,
-                       help="total TAM width")
-    coopt.add_argument("-B", "--num-tams", type=int, default=None,
-                       help="fix the number of TAMs (P_PAW)")
-    coopt.add_argument("--bmax", type=int, default=10,
-                       help="max TAMs for the P_NPAW sweep (default 10)")
-    coopt.add_argument("--no-polish", action="store_true",
-                       help="skip the exact final optimization step")
-    coopt.add_argument("--prune", choices=("abort", "lb", "none"),
-                       default="abort",
-                       help="partition-sweep pruning: the paper's "
-                            "best-known-time abort (default), the "
-                            "kernel's outcome-identical lower-bound "
-                            "skip on top, or none (ablation)")
+    add_spec_arguments(coopt)
     coopt.add_argument("--gantt", action="store_true",
                        help="print the test-session Gantt chart")
     coopt.add_argument("--stats", action="store_true",
@@ -306,13 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
     coopt.set_defaults(func=_cmd_cooptimize)
 
     exhaustive = sub.add_parser(
-        "exhaustive", help="run the [8]-style exhaustive baseline"
+        "exhaustive", help="run the [8]-style exhaustive baseline",
+        epilog=ENTRY_POINT_EPILOG,
     )
     exhaustive.add_argument("soc", help=".soc file or benchmark name")
-    exhaustive.add_argument("-W", "--width", type=int, required=True)
-    exhaustive.add_argument("-B", "--num-tams", type=int, default=None,
-                            help="number of TAMs (default: --bmax)")
-    exhaustive.add_argument("--bmax", type=int, default=2)
+    add_spec_arguments(exhaustive, bmax_default=2, knobs=False)
     exhaustive.add_argument("--time-limit", type=float, default=600.0,
                             help="total wall-clock budget in seconds")
     exhaustive.set_defaults(func=_cmd_exhaustive)
@@ -321,25 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="optimize, then report utilization and the optimality "
              "certificate",
+        epilog=ENTRY_POINT_EPILOG,
     )
     analyze.add_argument("soc", help=".soc file or benchmark name")
-    analyze.add_argument("-W", "--width", type=int, required=True)
-    analyze.add_argument("-B", "--num-tams", type=int, default=None)
-    analyze.add_argument("--bmax", type=int, default=10)
+    add_spec_arguments(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     batch = sub.add_parser(
         "batch",
         help="sweep SOCs x widths in parallel via the batch engine",
+        epilog=ENTRY_POINT_EPILOG,
     )
     batch.add_argument("socs", nargs="+",
                        help=".soc files and/or benchmark names")
-    batch.add_argument("-W", "--widths", type=int, nargs="+",
-                       required=True, help="TAM widths to sweep")
-    batch.add_argument("-B", "--num-tams", type=int, default=None,
-                       help="fix the number of TAMs (P_PAW)")
-    batch.add_argument("--bmax", type=int, default=10,
-                       help="max TAMs for the P_NPAW sweep (default 10)")
+    add_spec_arguments(batch, multi_width=True)
     batch.add_argument("--jobs", type=int, default=None,
                        help="worker processes (default: one per CPU; "
                             "1 = inline sequential)")
@@ -356,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="run the resident exploration service (JSON IPC)",
+        epilog=ENTRY_POINT_EPILOG,
     )
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
@@ -368,8 +394,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retries", type=int, default=0,
                        help="retry attempts per failed grid point")
     serve.add_argument("--cache-dir", default=None,
-                       help="persist wrapper time tables in this "
-                            "directory across jobs and restarts")
+                       help="persist wrapper time tables AND the "
+                            "grid-result memo in this directory "
+                            "across jobs and restarts")
+    serve.add_argument("--max-records", type=int, default=None,
+                       help="keep at most this many finished job "
+                            "records in memory, evicting the oldest "
+                            "(default: keep all)")
     serve.add_argument("--no-share-tables", action="store_true",
                        help="disable the shared-memory dense-matrix "
                             "transport (workers build private tables)")
@@ -381,17 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit = sub.add_parser(
         "submit",
         help="submit a batch grid to a running service",
+        epilog=ENTRY_POINT_EPILOG,
     )
     submit.add_argument("socs", nargs="+",
                         help=".soc files and/or benchmark names "
                              "(resolved server-side)")
-    submit.add_argument("-W", "--widths", type=int, nargs="+",
-                        required=True, help="TAM widths to sweep")
-    submit.add_argument("-B", "--num-tams", type=int, default=None,
-                        help="fix the number of TAMs (P_PAW)")
-    submit.add_argument("--bmax", type=int, default=10,
-                        help="max TAMs for the P_NPAW sweep "
-                             "(default 10)")
+    add_spec_arguments(submit, multi_width=True)
     submit.add_argument("--host", default="127.0.0.1",
                         help="service address (default 127.0.0.1)")
     submit.add_argument("--port", type=int, default=7293,
@@ -399,6 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--no-wait", action="store_true",
                         help="print the job id and return instead of "
                              "waiting for results")
+    submit.add_argument("--stream", action="store_true",
+                        help="stream per-point completion events "
+                             "while the grid runs (protocol v2)")
     submit.add_argument("--timeout", type=float, default=None,
                         help="max seconds to wait for completion")
     submit.add_argument("--json", action="store_true",

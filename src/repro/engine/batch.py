@@ -64,6 +64,7 @@ from repro.soc.fingerprint import soc_fingerprint
 from repro.soc.soc import Soc
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.specs import GridSpec, OptimizeSpec
     from repro.service.store import TableStore
 
 #: Valid ``on_error`` policies: abort the grid on the first failing
@@ -111,6 +112,39 @@ class BatchJob:
     def options_dict(self) -> Dict[str, Any]:
         """The frozen ``options`` pairs as keyword arguments."""
         return dict(self.options)
+
+    @classmethod
+    def from_spec(cls, soc: Soc, spec: "OptimizeSpec") -> "BatchJob":
+        """The engine job a typed :class:`repro.api.OptimizeSpec` means.
+
+        Options are carried *sparse* (non-defaults only, via
+        :meth:`~repro.api.specs.OptimizeSpec.engine_options`) so the
+        engine's own defaulting — e.g. ``evaluate_point`` switching
+        an unspecified ``prune`` to the outcome-identical ``"lb"`` —
+        still applies, exactly as for a hand-built job.
+        """
+        return cls(
+            soc=soc,
+            total_width=spec.total_width,
+            num_tams=spec.num_tams,
+            options=spec.engine_options(),
+        )
+
+    def spec(self) -> "OptimizeSpec":
+        """This job's configuration as a typed ``OptimizeSpec``.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the
+        job carries option keys the canonical spec does not know —
+        the drift guard that makes every supported option exist in
+        one place (:data:`repro.api.specs.OPTION_DEFAULTS`).
+        """
+        from repro.api.specs import OptimizeSpec
+
+        return OptimizeSpec.from_options(
+            self.total_width,
+            num_tams=self.num_tams,
+            options=self.options_dict(),
+        )
 
     def describe(self) -> str:
         """Short ``soc W=.. B=..`` label for logs and progress lines."""
@@ -466,6 +500,60 @@ class BatchRunner:
         """Context-manager exit: release the persistent pool."""
         self.close()
 
+    def run_iter(self, jobs: Sequence[BatchJob]):
+        """Evaluate ``jobs``, yielding one result per job, in order.
+
+        The streaming form of :meth:`run`: results become available
+        as each job finishes (``concurrent.futures`` ``map`` yields
+        in submission order), which is what lets the exploration
+        server emit per-point :class:`~repro.api.JobEvent` s while a
+        grid is still running.  The iterator must be consumed for
+        the batch to complete; abandoning it mid-grid closes the
+        underlying ephemeral pool.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return
+        workers = self.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if not self.persistent:
+            workers = min(workers, len(jobs))
+        if workers == 1:
+            for job in jobs:
+                yield _run_job_safe(
+                    self._caches, job, self.on_error, self.retries,
+                    store=self._store,
+                )
+            return
+        if self.share_tables:
+            items = list(zip(jobs, self._dense_descriptors(jobs)))
+        else:
+            items = [(job, None) for job in jobs]
+        if self.persistent:
+            pool = self._resident_pool(workers)
+            try:
+                yield from pool.map(
+                    _pool_worker, items, chunksize=self.chunksize
+                )
+            except BrokenProcessPool:
+                # A dead worker (OOM-kill, segfault) breaks the whole
+                # executor; discard it so the *next* run gets a fresh
+                # pool instead of this batch's failure forever.
+                self._executor = None
+                pool.shutdown(wait=False)
+                raise
+            return
+        try:
+            with self._new_pool(workers) as pool:
+                yield from pool.map(
+                    _pool_worker, items, chunksize=self.chunksize
+                )
+        finally:
+            # Ephemeral pool: its workers are gone, so the published
+            # segments have no readers left — free them now.
+            self._segments.close()
+
     def run(self, jobs: Sequence[BatchJob]) -> List[BatchResult]:
         """Evaluate ``jobs``, returning one result per job, in order.
 
@@ -477,65 +565,38 @@ class BatchRunner:
         under the default policy every element is a
         :class:`~repro.analysis.sweep.SweepPoint`.
         """
-        jobs = list(jobs)
-        if not jobs:
-            return []
-        workers = self.max_workers
-        if workers is None:
-            workers = os.cpu_count() or 1
-        if not self.persistent:
-            workers = min(workers, len(jobs))
-        if workers == 1:
-            return [
-                _run_job_safe(
-                    self._caches, job, self.on_error, self.retries,
-                    store=self._store,
-                )
-                for job in jobs
-            ]
-        if self.share_tables:
-            items = list(zip(jobs, self._dense_descriptors(jobs)))
-        else:
-            items = [(job, None) for job in jobs]
-        if self.persistent:
-            pool = self._resident_pool(workers)
-            try:
-                return list(
-                    pool.map(_pool_worker, items, chunksize=self.chunksize)
-                )
-            except BrokenProcessPool:
-                # A dead worker (OOM-kill, segfault) breaks the whole
-                # executor; discard it so the *next* run gets a fresh
-                # pool instead of this batch's failure forever.
-                self._executor = None
-                pool.shutdown(wait=False)
-                raise
-        try:
-            with self._new_pool(workers) as pool:
-                return list(
-                    pool.map(_pool_worker, items, chunksize=self.chunksize)
-                )
-        finally:
-            # Ephemeral pool: its workers are gone, so the published
-            # segments have no readers left — free them now.
-            self._segments.close()
+        return list(self.run_iter(jobs))
 
     def run_grid(
         self,
-        socs: Iterable[Soc],
-        widths: Iterable[int],
+        socs: "Union[GridSpec, Iterable[Soc]]",
+        widths: Optional[Iterable[int]] = None,
         num_tams: Union[int, Tuple[int, ...], None] = None,
         options: Optional[Mapping[str, Any]] = None,
     ) -> List[Tuple[BatchJob, BatchResult]]:
-        """Evaluate the full ``socs`` × ``widths`` grid.
+        """Evaluate a grid, pairing each job with its result.
 
-        Convenience for the CLI and benchmarks: builds one job per
-        (SOC, width) pair — widths varying fastest, every job sharing
-        ``num_tams`` and ``options`` — runs them, and pairs each job
-        with its result.
+        The canonical form takes one :class:`repro.api.GridSpec` —
+        the same typed object the exploration service and the CLI
+        submit — and runs the jobs it resolves to::
+
+            runner.run_grid(GridSpec.from_axes(["d695"], [16, 24]))
+
+        The legacy axes form (``socs`` × ``widths``, widths varying
+        fastest, every job sharing ``num_tams`` and ``options``) is
+        kept for existing callers and builds the identical job list.
         """
+        from repro.api.specs import GridSpec
+
+        if isinstance(socs, GridSpec):
+            if widths is not None or num_tams is not None or options:
+                raise ConfigurationError(
+                    "run_grid(GridSpec) takes no extra axes arguments"
+                )
+            jobs = socs.jobs()
+            return list(zip(jobs, self.run(jobs)))
         soc_list = list(socs)
-        width_list = list(widths)  # survives one-shot iterables
+        width_list = list(widths or ())  # survives one-shot iterables
         jobs = [
             BatchJob(
                 soc=soc,

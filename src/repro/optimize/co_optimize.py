@@ -23,6 +23,7 @@ from __future__ import annotations
 import time as _time
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 
+from repro.api.specs import DEFAULT_MAX_TAMS, OptimizeSpec
 from repro.assign.exact import exact_assign
 from repro.exceptions import ConfigurationError
 from repro.optimize.result import CoOptimizationResult
@@ -33,14 +34,12 @@ from repro.wrapper.pareto import TimeTable, build_time_tables
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.kernel import DenseTimeMatrix
 
-#: The paper found architectures beyond ten TAMs "less useful for
-#: testing time minimization"; its P_NPAW experiments use this cap.
-DEFAULT_MAX_TAMS = 10
+__all__ = ["DEFAULT_MAX_TAMS", "co_optimize"]
 
 
 def co_optimize(
     soc: Soc,
-    total_width: int,
+    total_width: Optional[int] = None,
     num_tams: Union[int, Iterable[int], None] = None,
     enumerator: str = "unique",
     polish: bool = True,
@@ -52,13 +51,25 @@ def co_optimize(
     prune: Union[bool, str] = True,
     sweep_engine: str = "kernel",
     dense: "Optional[DenseTimeMatrix]" = None,
+    spec: Optional[OptimizeSpec] = None,
 ) -> CoOptimizationResult:
     """Co-optimize the wrapper/TAM architecture of ``soc``.
+
+    The canonical configuration is a :class:`repro.api.OptimizeSpec`
+    passed as ``spec`` — one typed, hashable object shared with the
+    batch engine, the exploration service and the CLI.  The loose
+    keyword form below is kept as a compatibility shim: it simply
+    builds the same spec internally, and new options are added to
+    :class:`~repro.api.specs.OptimizeSpec` first.
 
     Parameters
     ----------
     soc:
         The SOC to optimize.
+    spec:
+        The typed job description.  Mutually exclusive with
+        ``total_width`` (and the other spec-covered keywords, whose
+        values are ignored when a spec is given).
     total_width:
         Total TAM width ``W`` available at the SOC pins.
     num_tams:
@@ -112,16 +123,34 @@ def co_optimize(
     -------
     :class:`~repro.optimize.result.CoOptimizationResult`
     """
-    if total_width < 1:
-        raise ConfigurationError(
-            f"total_width must be >= 1, got {total_width}"
+    if spec is None:
+        if total_width is None:
+            raise ConfigurationError(
+                "co_optimize needs either total_width or spec="
+            )
+        # The legacy keyword surface is a shim over the canonical
+        # spec: building it here gives every caller the same
+        # validation and the same canonical content.
+        spec = OptimizeSpec(
+            total_width=total_width,
+            num_tams=num_tams,
+            enumerator=enumerator,
+            polish=polish,
+            polish_top_k=polish_top_k,
+            polish_per_tam_count=polish_per_tam_count,
+            exact_node_limit=exact_node_limit,
+            exact_time_limit=exact_time_limit,
+            prune=prune,
+            sweep_engine=sweep_engine,
         )
-    if polish_top_k < 1:
+    elif total_width is not None:
         raise ConfigurationError(
-            f"polish_top_k must be >= 1, got {polish_top_k}"
+            "pass either total_width or spec=, not both"
         )
-    if num_tams is None:
-        num_tams = range(1, min(DEFAULT_MAX_TAMS, total_width) + 1)
+    total_width = spec.total_width
+    counts = spec.num_tams
+    if counts is None:
+        counts = range(1, min(DEFAULT_MAX_TAMS, total_width) + 1)
 
     start = _time.monotonic()
     if tables is None:
@@ -131,21 +160,23 @@ def co_optimize(
     search = partition_evaluate(
         table_list,
         total_width,
-        num_tams,
-        enumerator=enumerator,
-        prune=prune,
-        keep_top=polish_top_k if polish else 1,
-        stratify_by_tam_count=polish and polish_per_tam_count,
-        engine=sweep_engine,
+        counts,
+        enumerator=spec.enumerator,
+        # spec.prune None = "surface default", which here is the
+        # paper's best-known-time abort.
+        prune=spec.prune if spec.prune is not None else True,
+        keep_top=spec.polish_top_k if spec.polish else 1,
+        stratify_by_tam_count=spec.polish and spec.polish_per_tam_count,
+        engine=spec.sweep_engine,
         dense=dense,
     )
 
     final = search.best
     final_optimal = False
-    if polish:
+    if spec.polish:
         candidates = (search.best,) + search.runners_up
-        if not polish_per_tam_count:
-            candidates = candidates[:polish_top_k]
+        if not spec.polish_per_tam_count:
+            candidates = candidates[:spec.polish_top_k]
         best_polished = None
         best_optimal = False
         for candidate in candidates:
@@ -157,8 +188,8 @@ def co_optimize(
                 times,
                 candidate.widths,
                 incumbent=candidate,
-                node_limit=exact_node_limit,
-                time_limit=exact_time_limit,
+                node_limit=spec.exact_node_limit,
+                time_limit=spec.exact_time_limit,
             )
             if (best_polished is None
                     or exact.result.testing_time

@@ -139,6 +139,64 @@ def failed_point_to_dict(failure: "Any") -> Dict[str, Any]:
     }
 
 
+def grid_memo_to_dict(
+    key: str, payload: Dict[str, Any], num_jobs: int
+) -> Dict[str, Any]:
+    """Plain-data form of one persisted grid-memo entry.
+
+    ``payload`` is a finished grid's serialized result — ``points``
+    (sweep-point records, each tagged with its ``soc``) and
+    ``failures`` — keyed by the grid's canonical content hash
+    (:meth:`repro.api.GridSpec.canonical_key`), which is what lets a
+    restarted server answer an identical submission without
+    re-running anything.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "grid_memo",
+        "key": key,
+        "num_jobs": num_jobs,
+        "points": list(payload.get("points", [])),
+        "failures": list(payload.get("failures", [])),
+    }
+
+
+def grid_memo_from_dict(
+    data: Dict[str, Any], key: str
+) -> Dict[str, Any]:
+    """Validate a stored grid-memo entry and return its payload.
+
+    Checks the schema version, record kind, and that the record's
+    ``key`` matches the canonical key the caller derived from the
+    submission — a moved or hand-edited file can never answer the
+    wrong grid.  Raises :class:`~repro.exceptions.ValidationError`
+    on any mismatch (the store treats that as a miss).
+    """
+    if not isinstance(data, dict):
+        raise ValidationError("grid memo record must be an object")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValidationError(
+            f"unsupported schema {data.get('schema')!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    if data.get("kind") != "grid_memo":
+        raise ValidationError(
+            f"expected kind 'grid_memo', got {data.get('kind')!r}"
+        )
+    if data.get("key") != key:
+        raise ValidationError(
+            f"grid memo record key {data.get('key')!r} does not "
+            f"match submission key {key!r}"
+        )
+    points = data.get("points")
+    failures = data.get("failures")
+    if not isinstance(points, list) or not isinstance(failures, list):
+        raise ValidationError(
+            "grid memo record needs 'points' and 'failures' lists"
+        )
+    return {"points": points, "failures": failures}
+
+
 def wrapper_design_to_dict(design: WrapperDesign) -> Dict[str, Any]:
     """Plain-data form of one wrapper design (chains and counts).
 

@@ -15,20 +15,35 @@ waste the interactive workload actually pays for:
   status/result polling, cancellation, structured per-point failure
   records, and whole-grid result memoization;
 * :mod:`~repro.service.ipc` — :class:`IPCServer`, a line-oriented
-  JSON TCP front-end (``repro-tam serve``);
+  JSON TCP front-end (``repro-tam serve``), speaking the versioned
+  protocol of :mod:`repro.api.envelopes` (v2 typed
+  :class:`repro.api.GridSpec` submissions and streamed
+  :class:`repro.api.JobEvent` progress; v1 still accepted);
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the Python
   client behind ``repro-tam submit``.
+
+Result memoization is keyed by the grid's canonical content hash
+(:meth:`repro.api.GridSpec.canonical_key`) and — when a cache
+directory is configured — persisted as a :class:`GridMemo` next to
+the table store, so identical grids are answered ``cached`` across
+server restarts.
 """
 
 from repro.service.client import ServiceClient, run_grid_remotely
 from repro.service.ipc import IPCServer
-from repro.service.server import ExplorationServer, JobRecord
-from repro.service.store import TableStore
+from repro.service.server import (
+    ExplorationServer,
+    JobRecord,
+    grid_payload,
+)
+from repro.service.store import GridMemo, TableStore
 
 __all__ = [
     "TableStore",
+    "GridMemo",
     "ExplorationServer",
     "JobRecord",
+    "grid_payload",
     "IPCServer",
     "ServiceClient",
     "run_grid_remotely",

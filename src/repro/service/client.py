@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.api.envelopes import PROTOCOL_VERSION
+from repro.api.specs import DEFAULT_MAX_TAMS, GridSpec
 from repro.exceptions import ServiceError
 
 
@@ -114,6 +116,23 @@ class ServiceClient:
         """Liveness check; returns the server's counters."""
         return self.call({"op": "ping"})
 
+    def submit_grid(self, grid: GridSpec) -> str:
+        """Submit one typed :class:`repro.api.GridSpec`; returns the
+        job ID.
+
+        The protocol-v2 canonical submission: the spec serializes
+        through its schema-versioned ``to_dict`` and is re-validated
+        server-side, and its canonical content key is what the
+        server memoizes on — in memory and, with a ``--cache-dir``,
+        across restarts.
+        """
+        request = {
+            "v": PROTOCOL_VERSION,
+            "op": "submit",
+            "spec": grid.to_dict(),
+        }
+        return str(self.call(request)["job"])
+
     def submit(
         self,
         socs: Sequence[str],
@@ -124,26 +143,22 @@ class ServiceClient:
     ) -> str:
         """Submit a SOCs × widths grid; returns the job ID.
 
-        ``socs`` are sources the *server* resolves (benchmark names
-        or ``.soc`` paths readable server-side).  ``num_tams``,
-        ``bmax`` and ``options`` follow ``repro-tam batch``.  Whether
-        the answer came from the server's memo is visible via
-        :meth:`status` (``cached``).
+        Convenience wrapper over :meth:`submit_grid`: the axes are
+        folded into a :class:`repro.api.GridSpec` exactly like
+        ``repro-tam batch`` folds its arguments (``-B`` wins,
+        otherwise the flat ``1..bmax`` P_NPAW counts), so the same
+        grid submitted either way memo-hits.  ``socs`` are sources
+        the *server* resolves (benchmark names or ``.soc`` paths
+        readable server-side).  Whether the answer came from the
+        server's memo is visible via :meth:`status` (``cached``).
         """
-        request: Dict[str, Any] = {
-            "op": "submit",
-            "socs": list(socs),
-            "widths": [int(width) for width in widths],
-        }
-        if num_tams is not None:
-            request["num_tams"] = (
-                num_tams if isinstance(num_tams, int) else list(num_tams)
+        if num_tams is None:
+            num_tams = tuple(
+                range(1, (bmax or DEFAULT_MAX_TAMS) + 1)
             )
-        if bmax is not None:
-            request["bmax"] = int(bmax)
-        if options:
-            request["options"] = options
-        return str(self.call(request)["job"])
+        return self.submit_grid(GridSpec.from_axes(
+            socs, widths, num_tams=num_tams, options=options,
+        ))
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """Status snapshot of ``job_id``."""
@@ -168,6 +183,76 @@ class ServiceClient:
         )
         try:
             return self.call(request)
+        finally:
+            self._sock.settimeout(previous)
+
+    def events(
+        self,
+        job_id: str,
+        start: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream ``job_id``'s per-point completion events.
+
+        Yields one serialized :class:`repro.api.JobEvent` dictionary
+        per finished grid point, pushed by the server as the grid
+        runs (protocol v2 ``events`` op), and returns when the job
+        is terminal — no polling.  ``start`` resumes mid-stream at
+        an event sequence number; ``timeout`` bounds the server-side
+        wait.  Raises :class:`~repro.exceptions.ServiceError` on an
+        error line.
+        """
+        request: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "op": "events",
+            "job": job_id,
+        }
+        if start:
+            request["from"] = int(start)
+        if timeout is not None:
+            request["timeout"] = float(timeout)
+        previous = self._sock.gettimeout()
+        # The server pushes lines for as long as the grid runs; only
+        # a bounded stream keeps a socket deadline.
+        self._sock.settimeout(
+            None if timeout is None else self.timeout + timeout
+        )
+        try:
+            payload = json.dumps(request) + "\n"
+            try:
+                self._sock.sendall(payload.encode("utf-8"))
+            except OSError as error:
+                raise ServiceError(
+                    f"service connection failed: {error}"
+                ) from error
+            while True:
+                try:
+                    line = self._reader.readline()
+                except OSError as error:
+                    raise ServiceError(
+                        f"service connection failed: {error}"
+                    ) from error
+                if not line:
+                    raise ServiceError(
+                        "service closed the connection mid-stream"
+                    )
+                try:
+                    response = json.loads(line)
+                except ValueError as error:
+                    raise ServiceError(
+                        f"undecodable service response: {error}"
+                    ) from error
+                if not isinstance(response, dict) \
+                        or not response.get("ok"):
+                    message = "request failed"
+                    if isinstance(response, dict):
+                        message = str(response.get("error", message))
+                    raise ServiceError(message)
+                if "event" in response:
+                    yield response["event"]
+                    continue
+                if response.get("done"):
+                    return
         finally:
             self._sock.settimeout(previous)
 

@@ -6,23 +6,43 @@ protocol is greppable from a terminal::
     $ printf '{"op":"ping"}\n' | nc 127.0.0.1 7293
     {"ok": true, "pong": true, ...}
 
+The protocol is versioned by an optional ``v`` field on every
+request; a request without one is **version 1**, and both versions
+are served by the same listener (see :mod:`repro.api.envelopes` for
+the compatibility policy).  Version 2 responses echo ``"v": 2``;
+version 1 responses stay byte-compatible with what v1 clients always
+received.
+
 Operations (``op`` field):
 
 ``ping``
     Liveness check; echoes server :meth:`~repro.service.server.
     ExplorationServer.info` counters.
 ``submit``
-    ``{"op":"submit","socs":["d695",...],"widths":[16,24],...}`` —
-    sources are benchmark names or ``.soc`` paths (resolved
-    server-side by :func:`repro.soc.loader.load_source`); optional
-    ``num_tams`` (int or list), ``bmax`` (P_NPAW cap, default 10) and
-    ``options`` (forwarded to ``co_optimize``).  Answers
+    v2: ``{"v":2,"op":"submit","spec":{...}}`` with a typed,
+    schema-versioned :class:`repro.api.GridSpec` dictionary — the
+    same canonical spec ``co_optimize`` and ``repro-tam batch``
+    consume, validated at the boundary.
+    v1 (still accepted): ``{"op":"submit","socs":["d695",...],
+    "widths":[16,24],...}`` — sources are benchmark names or ``.soc``
+    paths (resolved server-side by :func:`repro.soc.loader.
+    load_source`); optional ``num_tams`` (int or list), ``bmax``
+    (P_NPAW cap, default 10) and ``options`` (forwarded to
+    ``co_optimize``).  Both forms reduce to the same canonical
+    content key, so they share one memo.  Answers
     ``{"ok":true,"job":"job-0001","cached":false,...}``.
 ``status`` / ``wait``
     Poll or block (``timeout`` seconds, optional) on a job ID.
 ``result``
     Finished grid as serialized sweep points (``points``) plus
     structured per-point failures (``failures``).
+``events``
+    v2: *streaming* per-point progress — one response line per
+    finished grid point (``{"ok":true,"event":{...}}``, see
+    :class:`repro.api.JobEvent`), pushed as the grid runs, then a
+    final ``{"ok":true,"done":true,...}`` status line.  ``from``
+    resumes a stream at an event sequence number.  The push-style
+    replacement for poll/wait loops.
 ``cancel``
     Cancel a still-queued job.
 ``shutdown``
@@ -41,16 +61,13 @@ from __future__ import annotations
 import json
 import socketserver
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.engine.batch import BatchJob, FailedPoint
+from repro.api.envelopes import JobRequest
+from repro.api.specs import DEFAULT_MAX_TAMS
+from repro.engine.batch import BatchJob
 from repro.exceptions import ReproError
-from repro.optimize.co_optimize import DEFAULT_MAX_TAMS
-from repro.report.serialize import (
-    failed_point_to_dict,
-    sweep_point_to_dict,
-)
-from repro.service.server import ExplorationServer
+from repro.service.server import ExplorationServer, grid_payload
 from repro.soc.loader import load_source
 
 
@@ -95,69 +112,111 @@ def jobs_from_request(request: Dict[str, Any]) -> List[BatchJob]:
 def result_payload(
     jobs: Tuple[BatchJob, ...], results: List[Any]
 ) -> Dict[str, Any]:
-    """Serialize a finished grid: per-point records plus failures."""
-    points: List[Dict[str, Any]] = []
-    failures: List[Dict[str, Any]] = []
-    for job, result in zip(jobs, results):
-        if isinstance(result, FailedPoint):
-            failures.append(failed_point_to_dict(result))
-        else:
-            points.append(
-                dict(sweep_point_to_dict(result), soc=job.soc.name)
-            )
-    return {"points": points, "failures": failures}
+    """Serialize a finished grid — alias of :func:`~repro.service.
+    server.grid_payload`, kept at its historical import site."""
+    return grid_payload(jobs, results)
+
+
+def _event_stream(
+    exploration: ExplorationServer,
+    job_id: str,
+    start: int,
+    timeout: Optional[float],
+    tag: Dict[str, Any],
+) -> Iterator[Dict[str, Any]]:
+    """Response lines for one ``events`` stream, errors included."""
+    try:
+        for event in exploration.events(
+            job_id, start=start, timeout=timeout
+        ):
+            yield {"ok": True, "event": event.to_dict(), **tag}
+        yield {
+            "ok": True,
+            "done": True,
+            **exploration.status(job_id),
+            **tag,
+        }
+    except ReproError as error:
+        yield {"ok": False, "error": str(error), **tag}
 
 
 def handle_request(
     exploration: ExplorationServer, request: Dict[str, Any]
-) -> Tuple[Dict[str, Any], bool]:
+) -> Tuple[Union[Dict[str, Any], Iterable[Dict[str, Any]]], bool]:
     """Dispatch one decoded request; returns (response, shutdown?).
 
     Pure with respect to the transport — the unit the protocol tests
-    drive directly.  Library errors (:class:`~repro.exceptions.
-    ReproError`) become ``ok: false`` responses; programming errors
-    propagate.
+    drive directly.  The raw dict is decoded into one
+    :class:`repro.api.JobRequest` envelope (the single place version
+    and field validation live), then dispatched.  The response is
+    one JSON-ready object for every op except ``events``, which
+    returns an *iterable* of them (one line per event, the transport
+    writes each as it arrives).  Library errors (:class:`~repro.
+    exceptions.ReproError`) become ``ok: false`` responses;
+    programming errors propagate.
     """
-    op = request.get("op")
+    #: Echoed on v2+ responses; v1 responses stay byte-compatible.
+    tag: Dict[str, Any] = {}
     try:
+        envelope = JobRequest.from_dict(request)
+        if envelope.version >= 2:
+            tag = {"v": envelope.version}
+        op = envelope.op
+        job_id = str(envelope.job_id)
         if op == "ping":
-            return {"ok": True, "pong": True, **exploration.info()}, False
+            return {
+                "ok": True, "pong": True, **exploration.info(), **tag,
+            }, False
         if op == "submit":
-            record = exploration.submit(jobs_from_request(request))
+            if envelope.spec is not None:
+                # v2 typed path: the GridSpec was schema-validated by
+                # the envelope decode (bad specs answer ok:false
+                # before anything is enqueued).
+                record = exploration.submit(envelope.spec)
+            else:
+                record = exploration.submit(
+                    jobs_from_request(envelope.extra_dict())
+                )
             return {
                 "ok": True,
                 "job": record.job_id,
                 "cached": record.cached,
                 "status": record.status,
                 "num_jobs": len(record.jobs),
+                **tag,
             }, False
         if op == "status":
-            snapshot = exploration.status(str(request.get("job")))
-            return {"ok": True, **snapshot}, False
+            snapshot = exploration.status(job_id)
+            return {"ok": True, **snapshot, **tag}, False
         if op == "wait":
-            timeout = request.get("timeout")
-            record = exploration.wait(
-                str(request.get("job")),
-                timeout=None if timeout is None else float(timeout),
-            )
-            return {"ok": True, **record.snapshot()}, False
+            record = exploration.wait(job_id, timeout=envelope.timeout)
+            return {"ok": True, **record.snapshot(), **tag}, False
         if op == "result":
-            job_id = str(request.get("job"))
-            results = exploration.results(job_id)
+            payload = exploration.result_payload(job_id)
             record = exploration.record(job_id)
             return {
                 "ok": True,
                 **record.snapshot(),
-                **result_payload(record.jobs, results),
+                **payload,
+                **tag,
             }, False
+        if op == "events":
+            exploration.record(job_id)  # unknown IDs fail up front
+            return _event_stream(
+                exploration,
+                job_id,
+                envelope.start,
+                envelope.timeout,
+                tag,
+            ), False
         if op == "cancel":
-            cancelled = exploration.cancel(str(request.get("job")))
-            return {"ok": True, "cancelled": cancelled}, False
+            cancelled = exploration.cancel(job_id)
+            return {"ok": True, "cancelled": cancelled, **tag}, False
         if op == "shutdown":
-            return {"ok": True, "bye": True}, True
+            return {"ok": True, "bye": True, **tag}, True
         raise ReproError(f"unknown op {op!r}")
     except ReproError as error:
-        return {"ok": False, "error": str(error)}, False
+        return {"ok": False, "error": str(error), **tag}, False
     except (ValueError, TypeError, KeyError, OSError) as error:
         # Malformed field *types* (non-numeric widths/timeout,
         # unhashable options, an unreadable/directory .soc path, ...)
@@ -166,6 +225,7 @@ def handle_request(
         return {
             "ok": False,
             "error": f"malformed request: {type(error).__name__}: {error}",
+            **tag,
         }, False
 
 
@@ -189,7 +249,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 self.server.exploration,  # type: ignore[attr-defined]
                 request,
             )
-            self._reply(response)
+            if isinstance(response, dict):
+                self._reply(response)
+            else:
+                # Streaming op (`events`): one line per item, flushed
+                # as produced, so clients see progress in real time.
+                for item in response:
+                    self._reply(item)
             if stop:
                 self.server.initiate_shutdown()  # type: ignore[attr-defined]
                 return

@@ -32,15 +32,32 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.api.envelopes import JobEvent
+from repro.api.specs import GridSpec, jobs_canonical_key
 from repro.engine.batch import (
     BatchJob,
     BatchResult,
     BatchRunner,
+    FailedPoint,
     split_results,
 )
 from repro.exceptions import ServiceError
+from repro.report.serialize import (
+    failed_point_to_dict,
+    sweep_point_to_dict,
+)
+from repro.service.store import GridMemo
 
 #: Job lifecycle states, in order of progress.  ``cancelled`` is
 #: reachable only from ``queued`` — a running grid is not interrupted.
@@ -52,22 +69,72 @@ JOB_STATUSES: Tuple[str, ...] = (
 TERMINAL_STATUSES: Tuple[str, ...] = ("done", "failed", "cancelled")
 
 
+def grid_payload(
+    jobs: Sequence[BatchJob], results: Sequence[BatchResult]
+) -> Dict[str, Any]:
+    """Serialize a finished grid: per-point records plus failures.
+
+    The one wire/persistence form of a grid's results — what the IPC
+    ``result`` op returns and what :class:`~repro.service.store.
+    GridMemo` stores, so a memo entry written by one server answers a
+    client of another byte-for-byte.
+    """
+    points: List[Dict[str, Any]] = []
+    failures: List[Dict[str, Any]] = []
+    for job, result in zip(jobs, results):
+        if isinstance(result, FailedPoint):
+            failures.append(failed_point_to_dict(result))
+        else:
+            points.append(
+                dict(sweep_point_to_dict(result), soc=job.soc.name)
+            )
+    return {"points": points, "failures": failures}
+
+
+def _point_event(
+    record: "JobRecord", index: int, total: int, result: BatchResult
+) -> JobEvent:
+    """One grid point's completion as a streamable :class:`JobEvent`."""
+    if isinstance(result, FailedPoint):
+        kind, payload = "failed", failed_point_to_dict(result)
+    else:
+        kind, payload = "point", dict(
+            sweep_point_to_dict(result),
+            soc=record.jobs[index].soc.name,
+        )
+    return JobEvent(
+        job_id=record.job_id,
+        seq=index,
+        kind=kind,
+        index=index,
+        total=total,
+        payload=payload,
+    )
+
+
 @dataclass
 class JobRecord:
     """One submitted grid and everything known about it.
 
     Mutable by design — the dispatcher thread advances ``status`` and
-    fills in ``results``/``error`` under the server's lock.
+    fills in ``results``/``events``/``error`` under the server's
+    lock.  ``key`` is the grid's canonical content hash (the memo
+    key); ``payload`` is set instead of ``results`` when the record
+    was answered from the *persisted* memo of an earlier server
+    process, where only the serialized form survives.
     """
 
     job_id: str
     jobs: Tuple[BatchJob, ...]
     status: str = "queued"
     cached: bool = False
+    key: Optional[str] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     results: Optional[List[BatchResult]] = None
+    payload: Optional[Dict[str, Any]] = None
+    events: List[JobEvent] = field(default_factory=list)
     error: Optional[str] = None
 
     @property
@@ -90,6 +157,9 @@ class JobRecord:
             points, failures = split_results(self.results)
             info["num_points"] = len(points)
             info["num_failures"] = len(failures)
+        elif self.payload is not None:
+            info["num_points"] = len(self.payload["points"])
+            info["num_failures"] = len(self.payload["failures"])
         if self.error is not None:
             info["error"] = self.error
         return info
@@ -118,6 +188,14 @@ class ExplorationServer:
         shared memory (see :class:`~repro.engine.batch.BatchRunner`)
         instead of letting every worker build a private table copy.
         On by default; segments live until :meth:`shutdown`.
+    max_records:
+        Retention bound for *terminal* job records (done / failed /
+        cancelled).  ``None`` (default) keeps every record for the
+        server's lifetime; with a bound, each submission evicts the
+        oldest terminal records beyond it, so a long-lived server's
+        memory stays flat.  Queued and running jobs are never
+        evicted, and an evicted grid's results remain answerable
+        from the persisted memo when a ``cache_dir`` is configured.
     """
 
     def __init__(
@@ -127,6 +205,7 @@ class ExplorationServer:
         cache_dir: Union[str, Path, None] = None,
         retries: int = 0,
         share_tables: bool = True,
+        max_records: Optional[int] = None,
     ):
         if runner is None:
             runner = BatchRunner(
@@ -137,15 +216,28 @@ class ExplorationServer:
                 persistent=True,
                 share_tables=share_tables,
             )
+        if max_records is not None and max_records < 1:
+            raise ServiceError(
+                f"max_records must be >= 1 or None, got {max_records}"
+            )
         self.runner = runner
+        self.max_records = max_records
+        #: Persisted grid memo, next to the runner's table store —
+        #: the cross-restart half of result memoization.
+        self.grid_memo: Optional[GridMemo] = None
+        if self.runner.cache_dir is not None:
+            self.grid_memo = GridMemo(
+                Path(self.runner.cache_dir) / "grid-memo"
+            )
         self._records: Dict[str, JobRecord] = {}
-        self._memo: Dict[Tuple[BatchJob, ...], str] = {}
+        self._memo: Dict[str, str] = {}
         self._queue: "queue.Queue[str]" = queue.Queue()
         self._lock = threading.Lock()
         self._done = threading.Condition(self._lock)
         self._stop = threading.Event()
         self._counter = 0
         self.memo_hits = 0
+        self.records_evicted = 0
         self._dispatcher = threading.Thread(
             target=self._drain, name="repro-exploration-dispatcher",
             daemon=True,
@@ -155,40 +247,107 @@ class ExplorationServer:
     # ------------------------------------------------------------------
     # Submission and queries
     # ------------------------------------------------------------------
-    def submit(self, jobs: Sequence[BatchJob]) -> JobRecord:
+    def submit(
+        self, jobs: Union[GridSpec, Sequence[BatchJob]]
+    ) -> JobRecord:
         """Enqueue a grid; returns its (possibly pre-answered) record.
 
-        An empty grid is rejected.  A grid whose job tuple matches a
-        previously *completed* submission is answered from memo: the
-        returned record is already ``done``, flagged ``cached``, and
-        shares the finished results — the queue and the pool are
+        The canonical submission is a :class:`repro.api.GridSpec`;
+        a raw job sequence is still accepted and hashes to the same
+        canonical key the spec would.  An empty grid is rejected.
+
+        A grid whose :func:`~repro.api.specs.jobs_canonical_key`
+        matches a previously *completed* clean submission is answered
+        from memo — first the in-process memo (sharing the finished
+        result objects), then, when a ``cache_dir`` is configured,
+        the memo persisted by *any* earlier server process on that
+        directory.  Either way the returned record is already
+        ``done``, flagged ``cached``, and the queue and the pool are
         never touched.
         """
-        job_tuple = tuple(jobs)
+        if isinstance(jobs, GridSpec):
+            job_tuple = tuple(jobs.jobs())
+        else:
+            job_tuple = tuple(jobs)
         if not job_tuple:
             raise ServiceError("cannot submit an empty grid")
+        key = jobs_canonical_key(job_tuple)
         with self._lock:
             self._counter += 1
             job_id = f"job-{self._counter:04d}"
-            memo_id = self._memo.get(job_tuple)
-            if memo_id is not None:
+            memo_id = self._memo.get(key)
+            if memo_id is not None and memo_id in self._records:
                 source = self._records[memo_id]
                 record = JobRecord(
                     job_id=job_id,
                     jobs=job_tuple,
                     status="done",
                     cached=True,
+                    key=key,
                     started_at=source.started_at,
                     finished_at=source.finished_at,
                     results=source.results,
+                    payload=source.payload,
                 )
                 self._records[job_id] = record
                 self.memo_hits += 1
+                self._evict_locked(keep=job_id)
                 return record
-            record = JobRecord(job_id=job_id, jobs=job_tuple)
+            payload = (
+                self.grid_memo.load(key)
+                if self.grid_memo is not None else None
+            )
+            if payload is not None:
+                record = JobRecord(
+                    job_id=job_id,
+                    jobs=job_tuple,
+                    status="done",
+                    cached=True,
+                    key=key,
+                    finished_at=time.time(),
+                    payload=payload,
+                )
+                self._records[job_id] = record
+                self._memo[key] = job_id
+                self.memo_hits += 1
+                self._evict_locked(keep=job_id)
+                return record
+            record = JobRecord(job_id=job_id, jobs=job_tuple, key=key)
             self._records[job_id] = record
+            self._evict_locked(keep=job_id)
         self._queue.put(job_id)
         return record
+
+    def _evict_locked(self, keep: Optional[str] = None) -> None:
+        """Drop oldest terminal records beyond ``max_records``.
+
+        Caller holds the lock.  ``keep`` shields the record being
+        created right now.  Dropping a record also drops the
+        in-memory memo entries pointing at it; the persisted memo
+        (when configured) still answers those grids.
+        """
+        if self.max_records is None:
+            return
+        terminal = [
+            record for record in self._records.values()
+            if record.is_terminal
+        ]
+        excess = len(terminal) - self.max_records
+        if excess <= 0:
+            return
+        candidates = sorted(
+            (record for record in terminal if record.job_id != keep),
+            key=lambda record: (record.finished_at or 0.0),
+        )
+        for record in candidates[:excess]:
+            del self._records[record.job_id]
+            self.records_evicted += 1
+            stale = [
+                memo_key for memo_key, memo_id in self._memo.items()
+                if memo_id == record.job_id
+            ]
+            for memo_key in stale:
+                del self._memo[memo_key]
 
     def record(self, job_id: str) -> JobRecord:
         """The record for ``job_id``; unknown IDs raise."""
@@ -203,18 +362,115 @@ class ExplorationServer:
         return self.record(job_id).snapshot()
 
     def results(self, job_id: str) -> List[BatchResult]:
-        """The finished results of ``job_id``.
+        """The finished results of ``job_id``, as live objects.
 
         Raises :class:`~repro.exceptions.ServiceError` unless the job
         is ``done`` — poll :meth:`status` or block on :meth:`wait`
-        first.
+        first.  A record answered from the *persisted* memo of an
+        earlier server process only has the serialized form — use
+        :meth:`result_payload` for those (the IPC layer always does).
         """
         record = self.record(job_id)
         if record.status != "done" or record.results is None:
+            if record.status == "done" and record.payload is not None:
+                raise ServiceError(
+                    f"job {job_id} was answered from the persisted "
+                    f"memo; only the serialized payload is available "
+                    f"(use result_payload)"
+                )
             raise ServiceError(
                 f"job {job_id} has no results (status: {record.status})"
             )
         return record.results
+
+    def result_payload(self, job_id: str) -> Dict[str, Any]:
+        """The finished grid of ``job_id`` in serialized form.
+
+        ``{"points": [...], "failures": [...]}`` — identical whether
+        the grid ran here, memo-hit in process, or was restored from
+        the persisted memo after a restart.
+        """
+        record = self.record(job_id)
+        if record.status != "done":
+            raise ServiceError(
+                f"job {job_id} has no results (status: {record.status})"
+            )
+        if record.payload is not None:
+            return record.payload
+        if record.results is None:
+            raise ServiceError(
+                f"job {job_id} has no results (status: {record.status})"
+            )
+        return grid_payload(record.jobs, record.results)
+
+    def events(
+        self,
+        job_id: str,
+        start: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Iterator[JobEvent]:
+        """Yield ``job_id``'s per-point events from ``start`` onwards.
+
+        Blocks between events while the grid is running and returns
+        once the record is terminal and every recorded event has been
+        yielded — the push-style alternative to poll/wait.  For a
+        terminal record with no recorded events (a memo hit, or a
+        grid restored from the persisted memo), events are
+        synthesized from the stored results so consumers see the
+        same per-point stream either way.  A ``timeout`` (seconds)
+        bounds the total wait; expiry simply ends the stream.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        next_seq = start
+        while True:
+            with self._done:
+                record = self._records.get(job_id)
+                if record is None:
+                    raise ServiceError(f"unknown job {job_id!r}")
+                if record.is_terminal and not record.events:
+                    pending = self._synthetic_events(record)[next_seq:]
+                    terminal = True
+                else:
+                    pending = list(record.events[next_seq:])
+                    terminal = record.is_terminal
+                if not pending and not terminal:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return
+                    self._done.wait(timeout=remaining)
+                    continue
+            for event in pending:
+                yield event
+            next_seq += len(pending)
+            if terminal:
+                return
+
+    def _synthetic_events(self, record: JobRecord) -> List[JobEvent]:
+        """Per-point events reconstructed from a finished record."""
+        events: List[JobEvent] = []
+        if record.results is not None:
+            total = len(record.jobs)
+            for index, result in enumerate(record.results):
+                events.append(_point_event(record, index, total, result))
+            return events
+        if record.payload is None:
+            return events
+        entries = (
+            [("point", point) for point in record.payload["points"]]
+            + [("failed", failure)
+               for failure in record.payload["failures"]]
+        )
+        total = len(entries)
+        for index, (kind, payload) in enumerate(entries):
+            events.append(JobEvent(
+                job_id=record.job_id, seq=index, kind=kind,
+                index=index, total=total, payload=payload,
+            ))
+        return events
 
     def wait(
         self, job_id: str, timeout: Optional[float] = None
@@ -273,6 +529,9 @@ class ExplorationServer:
                 "by_status": by_status,
                 "memo_hits": self.memo_hits,
                 "pools_started": self.runner.pools_started,
+                "max_records": self.max_records,
+                "records_evicted": self.records_evicted,
+                "persistent_memo": self.grid_memo is not None,
             }
 
     # ------------------------------------------------------------------
@@ -320,8 +579,20 @@ class ExplorationServer:
                     continue  # cancelled while waiting
                 record.status = "running"
                 record.started_at = time.time()
+            results: List[BatchResult] = []
+            total = len(record.jobs)
             try:
-                results = self.runner.run(list(record.jobs))
+                # Streamed, not batched: each finished point becomes
+                # a JobEvent immediately, so `events` consumers watch
+                # the grid progress instead of polling `status`.
+                for index, result in enumerate(
+                    self.runner.run_iter(list(record.jobs))
+                ):
+                    results.append(result)
+                    event = _point_event(record, index, total, result)
+                    with self._done:
+                        record.events.append(event)
+                        self._done.notify_all()
             except Exception as error:  # noqa: BLE001 - job boundary
                 with self._done:
                     record.status = "failed"
@@ -329,14 +600,24 @@ class ExplorationServer:
                     record.finished_at = time.time()
                     self._done.notify_all()
                 continue
+            # Only clean grids are memoized: a recorded failure may
+            # be transient (killed worker, truncated solve), and
+            # serving it from cache forever would make resubmission
+            # useless as a retry path.  Persisting happens *before*
+            # the record turns terminal, so a client that observed
+            # `done` can rely on the memo surviving a restart.
+            clean = not split_results(results)[1]
+            if clean and record.key is not None \
+                    and self.grid_memo is not None:
+                self.grid_memo.save(
+                    record.key,
+                    grid_payload(record.jobs, results),
+                    num_jobs=total,
+                )
             with self._done:
                 record.results = results
                 record.status = "done"
                 record.finished_at = time.time()
-                # Only clean grids are memoized: a recorded failure
-                # may be transient (killed worker, truncated solve),
-                # and serving it from cache forever would make
-                # resubmission useless as a retry path.
-                if not split_results(results)[1]:
-                    self._memo[record.jobs] = job_id
+                if clean and record.key is not None:
+                    self._memo[record.key] = job_id
                 self._done.notify_all()

@@ -45,6 +45,8 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.report.serialize import (
     SCHEMA_VERSION,
+    grid_memo_from_dict,
+    grid_memo_to_dict,
     time_table_from_dict,
     time_table_to_dict,
     to_json,
@@ -251,4 +253,114 @@ class TableStore:
             except OSError:
                 pass
         self._known_widths.clear()
+        return removed
+
+
+class GridMemo:
+    """On-disk memoization of finished exploration grids.
+
+    The exploration server's in-memory memo answers identical
+    re-submissions within one process; this store is the cross-restart
+    half of that contract (ROADMAP: "memo persisted next to the table
+    store").  One ``<canonical_key>.json`` per completed clean grid —
+    the key is :meth:`repro.api.GridSpec.canonical_key`, a content
+    hash over SOC fingerprints and normalized options, so it is
+    identical across processes, protocol versions and CLI surfaces.
+
+    Same cache discipline as :class:`TableStore`: unreadable, corrupt
+    or key-mismatching records are misses, never errors; writes are
+    atomic renames; entries hold *serialized* results (the exact
+    ``points``/``failures`` payload the IPC ``result`` op returns),
+    so serving one costs no object reconstruction.
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        """The record path serving canonical ``key``."""
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or ``None`` on any miss.
+
+        A record written by a *newer* build (unknown schema version)
+        is a miss but is left on disk — a rolled-back server must
+        never destroy entries the newer build can still serve.  Only
+        records this build positively identifies as corrupt or
+        mismatched are removed.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except OSError:
+            return None
+        except ValueError:
+            self._discard(path)
+            return None
+        if isinstance(data, dict) \
+                and data.get("schema") != SCHEMA_VERSION:
+            return None
+        try:
+            return grid_memo_from_dict(data, key)
+        except Exception:
+            self._discard(path)
+            return None
+
+    def _discard(self, path: Path) -> None:
+        """Best-effort removal of a record this build knows is bad."""
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def save(
+        self, key: str, payload: Dict[str, object], num_jobs: int
+    ) -> bool:
+        """Persist a finished grid's payload under ``key``.
+
+        Atomic publish (temp file + rename), idempotent — a key
+        already present is simply rewritten with identical content
+        (the pipeline is deterministic).  Returns False when the
+        write failed; persistence is best-effort and never takes a
+        finished grid down with it.
+        """
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            record = to_json(grid_memo_to_dict(key, payload, num_jobs))
+            handle, tmp_name = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w") as tmp:
+                    tmp.write(record)
+                os.replace(tmp_name, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def entries(self) -> List[Path]:
+        """Paths of every memo record currently on disk."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every memo record; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed

@@ -1,0 +1,70 @@
+"""Unit tests for the versioned wire envelopes (repro.api.envelopes)."""
+
+import pytest
+
+from repro.api import (
+    GridSpec,
+    JobEvent,
+    JobRequest,
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestJobRequest:
+    def test_v2_spec_round_trip(self):
+        grid = GridSpec.from_axes(["d695"], [8, 16], num_tams=2)
+        request = JobRequest(op="submit", spec=grid)
+        rebuilt = JobRequest.from_dict(request.to_dict())
+        assert rebuilt.version == PROTOCOL_VERSION
+        assert rebuilt.spec == grid
+        assert rebuilt.op == "submit"
+
+    def test_missing_v_means_version_1(self):
+        request = JobRequest.from_dict({"op": "ping"})
+        assert request.version == 1
+
+    def test_v1_extra_fields_are_preserved(self):
+        raw = {"op": "submit", "socs": ["d695"], "widths": [8],
+               "bmax": 3}
+        request = JobRequest.from_dict(raw)
+        assert request.extra_dict() == {
+            "socs": ["d695"], "widths": [8], "bmax": 3,
+        }
+        # Round-trips losslessly, so a proxy could re-emit it.
+        assert JobRequest.from_dict(request.to_dict()) == request
+
+    @pytest.mark.parametrize("version", [0, 3, "2", True, None])
+    def test_unsupported_versions_rejected(self, version):
+        with pytest.raises(ConfigurationError, match="version"):
+            JobRequest.from_dict({"op": "ping", "v": version})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="op"):
+            JobRequest.from_dict({"v": 2})
+
+    def test_every_supported_version_parses(self):
+        for version in SUPPORTED_PROTOCOL_VERSIONS:
+            assert JobRequest.from_dict(
+                {"op": "ping", "v": version}
+            ).version == version
+
+
+class TestJobEvent:
+    def test_round_trip(self):
+        event = JobEvent(
+            job_id="job-0001", seq=2, kind="point", index=2, total=4,
+            payload={"testing_time": 41504, "soc": "d695"},
+        )
+        assert JobEvent.from_dict(event.to_dict()) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            JobEvent(job_id="j", seq=0, kind="exploded", index=0,
+                     total=1)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="seq"):
+            JobEvent.from_dict({"job": "j", "kind": "point",
+                                "index": 0, "total": 1})

@@ -1,0 +1,86 @@
+"""CI guard: spec round-trips and canonical-key stability.
+
+Run explicitly by the ``spec-roundtrip`` CI job (and in tier-1):
+serializes every embedded benchmark's GridSpec through
+``to_dict`` → ``from_dict`` → ``canonical_key`` and fails on any
+hash instability — including across interpreter processes with
+different ``PYTHONHASHSEED``, which would silently break the
+persisted cross-restart memo.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import GridSpec
+from repro.soc.data import benchmark_names
+
+#: A representative grid per benchmark: mixed widths, explicit and
+#: default counts, one non-default knob.
+GRID_VARIANTS = [
+    {"widths": [8, 16], "num_tams": 2, "options": None},
+    {"widths": [12, 24, 32], "num_tams": [1, 2, 3], "options": None},
+    {"widths": [16], "num_tams": None, "options": {"polish": False}},
+]
+
+
+def grids():
+    for name in benchmark_names():
+        for variant in GRID_VARIANTS:
+            yield GridSpec.from_axes(
+                [name],
+                variant["widths"],
+                num_tams=(
+                    tuple(variant["num_tams"])
+                    if isinstance(variant["num_tams"], list)
+                    else variant["num_tams"]
+                ),
+                options=variant["options"],
+            )
+
+
+@pytest.mark.parametrize(
+    "grid", list(grids()),
+    ids=lambda grid: f"{grid.socs[0]}-W{'x'.join(map(str, grid.widths))}",
+)
+def test_round_trip_preserves_spec_and_key(grid):
+    data = grid.to_dict()
+    rebuilt = GridSpec.from_dict(json.loads(json.dumps(data)))
+    assert rebuilt == grid
+    assert rebuilt.canonical_key() == grid.canonical_key()
+    # Key computation is deterministic within a process too.
+    assert grid.canonical_key() == grid.canonical_key()
+
+
+def _keys_in_subprocess(hash_seed):
+    """Canonical keys for every benchmark grid, in a fresh process."""
+    script = (
+        "import json\n"
+        "from repro.api import GridSpec\n"
+        "from tests.api.test_spec_roundtrip import grids\n"
+        "print(json.dumps([g.canonical_key() for g in grids()]))\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED=str(hash_seed))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(root, "src"), root]
+        + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env, capture_output=True, text=True, check=True,
+        cwd=root,
+    )
+    return json.loads(output.stdout)
+
+
+def test_keys_are_stable_across_processes_and_hash_seeds():
+    """The memo key must survive restarts — PYTHONHASHSEED included."""
+    here = [grid.canonical_key() for grid in grids()]
+    assert _keys_in_subprocess(0) == here
+    assert _keys_in_subprocess(12345) == here

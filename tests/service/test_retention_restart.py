@@ -1,0 +1,195 @@
+"""Job-record retention bounds and the cross-restart grid memo."""
+
+import pytest
+
+from repro.api import GridSpec
+from repro.engine.batch import BatchJob, BatchRunner
+from repro.exceptions import ServiceError
+from repro.service.server import ExplorationServer
+from repro.service.store import GridMemo
+
+
+def grid(widths=(8,), num_tams=2):
+    return GridSpec.from_axes(["d695"], widths, num_tams=num_tams)
+
+
+class TestRecordRetention:
+    def test_default_keeps_every_record(self, tiny_soc):
+        with ExplorationServer(max_workers=1) as server:
+            for width in (4, 5, 6):
+                record = server.submit(
+                    [BatchJob(tiny_soc, width, 2)]
+                )
+                server.wait(record.job_id, timeout=120)
+            info = server.info()
+            assert info["jobs"] == 3
+            assert info["records_evicted"] == 0
+
+    def test_oldest_terminal_records_are_evicted(self, tiny_soc):
+        with ExplorationServer(max_workers=1, max_records=2) as server:
+            ids = []
+            for width in (4, 5, 6, 7):
+                record = server.submit([BatchJob(tiny_soc, width, 2)])
+                server.wait(record.job_id, timeout=120)
+                ids.append(record.job_id)
+            # One more submission triggers eviction of the oldest.
+            last = server.submit([BatchJob(tiny_soc, 8, 2)])
+            server.wait(last.job_id, timeout=120)
+            info = server.info()
+            assert info["records_evicted"] >= 2
+            with pytest.raises(ServiceError):
+                server.status(ids[0])
+            # The newest records are still answerable.
+            assert server.status(last.job_id)["status"] == "done"
+
+    def test_eviction_drops_stale_memo_entries(self, tiny_soc):
+        with ExplorationServer(max_workers=1, max_records=1) as server:
+            first = server.submit([BatchJob(tiny_soc, 4, 2)])
+            server.wait(first.job_id, timeout=120)
+            other = server.submit([BatchJob(tiny_soc, 5, 2)])
+            server.wait(other.job_id, timeout=120)
+            third = server.submit([BatchJob(tiny_soc, 6, 2)])
+            server.wait(third.job_id, timeout=120)
+            # The first grid's record was evicted; resubmitting it
+            # must re-run (no dangling memo pointer), not crash.
+            again = server.submit([BatchJob(tiny_soc, 4, 2)])
+            final = server.wait(again.job_id, timeout=120)
+            assert final.status == "done"
+
+    def test_no_eviction_while_under_the_bound(self, tiny_soc):
+        """Regression: a generous bound must never evict anything."""
+        with ExplorationServer(max_workers=1, max_records=10) as server:
+            ids = []
+            for width in (4, 5, 6):
+                record = server.submit([BatchJob(tiny_soc, width, 2)])
+                server.wait(record.job_id, timeout=120)
+                ids.append(record.job_id)
+            assert server.info()["records_evicted"] == 0
+            for job_id in ids:
+                assert server.status(job_id)["status"] == "done"
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ServiceError):
+            ExplorationServer(
+                runner=BatchRunner(max_workers=1), max_records=0,
+            )
+
+
+class TestPersistedMemo:
+    def test_identical_grid_is_cached_across_restart(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        spec = grid(widths=(8, 12))
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as server:
+            record = server.submit(spec)
+            done = server.wait(record.job_id, timeout=300)
+            assert done.status == "done" and not done.cached
+            payload_before = server.result_payload(record.job_id)
+            assert len(GridMemo(cache_dir / "grid-memo")) == 1
+
+        # A brand-new server process on the same cache directory.
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as reborn:
+            replay = reborn.submit(spec)
+            assert replay.cached
+            assert replay.status == "done"
+            assert reborn.result_payload(replay.job_id) == \
+                payload_before
+            assert reborn.info()["memo_hits"] == 1
+            # Events synthesize from the persisted payload.
+            events = list(reborn.events(replay.job_id, timeout=30))
+            assert len(events) == 2
+            assert {event.kind for event in events} == {"point"}
+
+    def test_restart_memo_answers_v1_style_job_lists(
+        self, tmp_path, d695
+    ):
+        """The memo key is canonical content, not the wire format."""
+        cache_dir = tmp_path / "cache"
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as server:
+            record = server.submit(grid())
+            server.wait(record.job_id, timeout=300)
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as reborn:
+            replay = reborn.submit([BatchJob(d695, 8, 2)])
+            assert replay.cached
+
+    def test_results_object_api_explains_payload_only_records(
+        self, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as server:
+            record = server.submit(grid())
+            server.wait(record.job_id, timeout=300)
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as reborn:
+            replay = reborn.submit(grid())
+            with pytest.raises(ServiceError, match="persisted memo"):
+                reborn.results(replay.job_id)
+
+    def test_corrupt_memo_record_is_a_miss(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as server:
+            record = server.submit(grid())
+            server.wait(record.job_id, timeout=300)
+        memo = GridMemo(cache_dir / "grid-memo")
+        [entry] = memo.entries()
+        entry.write_text("{not json")
+        with ExplorationServer(
+            max_workers=1, cache_dir=cache_dir
+        ) as reborn:
+            replay = reborn.submit(grid())
+            assert not replay.cached  # corrupt entry ignored, re-run
+            assert reborn.wait(
+                replay.job_id, timeout=300
+            ).status == "done"
+
+    def test_without_cache_dir_nothing_is_persisted(self):
+        with ExplorationServer(max_workers=1) as server:
+            assert server.grid_memo is None
+            assert not server.info()["persistent_memo"]
+
+
+class TestGridMemoStore:
+    def test_save_load_round_trip(self, tmp_path):
+        memo = GridMemo(tmp_path)
+        payload = {"points": [{"soc": "d695"}], "failures": []}
+        assert memo.save("abc123", payload, num_jobs=1)
+        assert memo.load("abc123") == payload
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        memo = GridMemo(tmp_path)
+        memo.save("abc123", {"points": [], "failures": []}, num_jobs=0)
+        # A record renamed to another key must not answer it.
+        (tmp_path / "abc123.json").rename(tmp_path / "zzz999.json")
+        assert memo.load("zzz999") is None
+
+    def test_newer_schema_record_is_a_miss_but_survives(self, tmp_path):
+        """A rolled-back build must not destroy a newer build's memo."""
+        import json
+
+        memo = GridMemo(tmp_path)
+        (tmp_path / "abc123.json").write_text(json.dumps({
+            "schema": 999, "kind": "grid_memo", "key": "abc123",
+            "num_jobs": 1, "points": [], "failures": [],
+        }))
+        assert memo.load("abc123") is None
+        assert (tmp_path / "abc123.json").exists()
+
+    def test_clear_removes_entries(self, tmp_path):
+        memo = GridMemo(tmp_path)
+        memo.save("k1", {"points": [], "failures": []}, num_jobs=0)
+        memo.save("k2", {"points": [], "failures": []}, num_jobs=0)
+        assert len(memo) == 2
+        assert memo.clear() == 2
+        assert len(memo) == 0

@@ -1,0 +1,58 @@
+"""The two CLI entry points must agree and say so.
+
+Satellite of the api_redesign PR: README used to mix `repro-tam
+serve` and `python -m repro serve` without stating they are the same
+program.  These tests pin the invariant: the installed console
+script, the module entry point, and the documented prose all point
+at one `repro.cli.main`.
+"""
+
+import tomllib
+from pathlib import Path
+
+from repro.cli import ENTRY_POINT_EPILOG, build_parser
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_console_script_points_at_cli_main():
+    pyproject = tomllib.loads((ROOT / "pyproject.toml").read_text())
+    scripts = pyproject["project"]["scripts"]
+    assert scripts == {"repro-tam": "repro.cli:main"}
+
+
+def test_module_entry_point_uses_the_same_main():
+    source = (ROOT / "src" / "repro" / "__main__.py").read_text()
+    assert "from repro.cli import main" in source
+
+
+def test_parser_prog_matches_console_script():
+    parser = build_parser()
+    assert parser.prog == "repro-tam"
+
+
+def test_epilog_names_both_entry_points():
+    assert "repro-tam" in ENTRY_POINT_EPILOG
+    assert "python -m repro" in ENTRY_POINT_EPILOG
+    parser = build_parser()
+    assert parser.epilog == ENTRY_POINT_EPILOG
+
+
+def test_every_subcommand_help_carries_the_epilog():
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    )
+    for name, sub in subparsers.choices.items():
+        assert sub.epilog == ENTRY_POINT_EPILOG, (
+            f"subcommand {name!r} drifted from the shared epilog"
+        )
+
+
+def test_readme_states_the_equivalence():
+    readme = (ROOT / "README.md").read_text()
+    assert "python -m repro" in readme
+    assert "repro-tam" in readme
+    # The prose must state the two forms are the same entry point.
+    assert "same entry point" in readme or "identical CLI" in readme
