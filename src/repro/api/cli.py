@@ -38,6 +38,20 @@ PRUNE_MODES: Dict[str, Union[bool, str]] = {
 }
 
 
+def _shard_policy(value: str) -> Union[int, str]:
+    """Parse ``--shard``: 'auto', 'off' (→ 0), or a shard count."""
+    if value == "auto":
+        return "auto"
+    if value == "off":
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto', 'off' or an integer, got {value!r}"
+        ) from None
+
+
 def add_spec_arguments(
     parser: argparse.ArgumentParser,
     multi_width: bool = False,
@@ -56,6 +70,15 @@ def add_spec_arguments(
         parser.add_argument(
             "-W", "--widths", type=int, nargs="+", required=True,
             help="TAM widths to sweep",
+        )
+        parser.add_argument(
+            "--shard", type=_shard_policy, default=None,
+            metavar="{auto,off,N}",
+            help="intra-job partition-sweep sharding: 'auto' (split "
+                 "a job across idle pool workers when its partition "
+                 "space is large), 'off', or an explicit shard "
+                 "count.  Results are identical at any setting; "
+                 "unset keeps the executing runner's policy",
         )
     else:
         parser.add_argument(
@@ -134,10 +157,20 @@ def spec_from_args(
 
 
 def grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
-    """The :class:`GridSpec` a ``batch``/``submit`` namespace asks for."""
+    """The :class:`GridSpec` a ``batch``/``submit`` namespace asks for.
+
+    Execution hints (``--shard``) land in the spec's ``runner``
+    mapping — serialized with the grid but excluded from its
+    canonical key, so hints never split the result memo.
+    """
+    runner: Dict[str, Any] = {}
+    shard = getattr(args, "shard", None)
+    if shard is not None:
+        runner["shard"] = shard
     return GridSpec.from_axes(
         args.socs,
         args.widths,
         num_tams=tam_counts_from_args(args),
         options=optimize_options_from_args(args),
+        runner=runner,
     )

@@ -99,6 +99,28 @@ def _frozen_counts(
     return tuple(num_tams)
 
 
+def resolved_tam_counts(
+    total_width: int,
+    num_tams: Union[int, Iterable[int], None],
+) -> Tuple[int, ...]:
+    """The TAM counts a job actually sweeps, defaults applied.
+
+    ``None`` means the paper's per-width P_NPAW default
+    ``1..min(10, W)``; a single count and explicit iterables pass
+    through.  This is the one resolution rule shared by
+    :func:`~repro.optimize.co_optimize.co_optimize` and the batch
+    engine's intra-job shard planner, so both enumerate the identical
+    partition space.
+    """
+    if num_tams is None:
+        return tuple(
+            range(1, min(DEFAULT_MAX_TAMS, total_width) + 1)
+        )
+    if isinstance(num_tams, int):
+        return (num_tams,)
+    return tuple(num_tams)
+
+
 def _canonical_counts(
     num_tams: Union[int, Tuple[int, ...], None]
 ) -> Optional[List[int]]:

@@ -168,6 +168,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         share_tables=not args.no_share_tables,
     )
     grid = runner.run_grid(grid_spec)
+    # Execution counters for --stats / --json: how the grid actually
+    # ran — sharded jobs, and workers that lost the shared matrix and
+    # silently paid for private tables (the slow path, now visible).
+    runner_stats = {
+        "jobs_sharded": runner.jobs_sharded,
+        "shm_fallbacks": runner.shm_fallbacks,
+        "pools_started": runner.pools_started,
+    }
 
     if args.json:
         from repro.report.serialize import sweep_point_to_dict, to_json
@@ -175,7 +183,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             dict(sweep_point_to_dict(point), soc=job.soc.name)
             for job, point in grid
         ]
-        print(to_json({"schema": 1, "kind": "batch", "points": records}))
+        print(to_json({
+            "schema": 1, "kind": "batch", "points": records,
+            "runner": runner_stats,
+        }))
         return 0
 
     table = TextTable(
@@ -184,6 +195,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     for row in grid_rows(grid):
         table.add_row([row[column] for column in BATCH_COLUMNS])
     print(table.render())
+    if args.stats:
+        print(
+            f"runner: {runner_stats['jobs_sharded']} job(s) sharded, "
+            f"{runner_stats['shm_fallbacks']} shared-table "
+            f"fallback(s), {runner_stats['pools_started']} pool(s) "
+            f"started"
+        )
     return 0
 
 
@@ -228,8 +246,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             return 0
         if args.stream:
             # Per-point completion events, pushed as the grid runs —
-            # the v2 `events` op instead of a blocking wait.
-            for event in client.events(job_id, timeout=args.timeout):
+            # the v2 `events` op instead of a blocking wait.  A
+            # dropped connection resumes from the sequence cursor
+            # (reconnect=True), so long grids survive transient
+            # network hiccups without duplicating or losing points.
+            for event in client.events(
+                job_id, timeout=args.timeout, reconnect=True,
+            ):
                 point = event.get("payload", {})
                 if event.get("kind") == "failed":
                     print(
@@ -370,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "1 = inline sequential)")
     batch.add_argument("--json", action="store_true",
                        help="emit the grid as a JSON record")
+    batch.add_argument("--stats", action="store_true",
+                       help="print execution counters (sharded jobs, "
+                            "shared-table fallbacks) after the table")
     batch.add_argument("--cache-dir", default=None,
                        help="persist wrapper time tables in this "
                             "directory (warm runs skip wrapper design)")

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from time import monotonic as _os_clock
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
@@ -56,10 +57,31 @@ from typing import (
 )
 
 from repro.analysis.sweep import SweepPoint, evaluate_point
+from repro.api.specs import resolved_tam_counts
 from repro.engine.cache import WrapperTableCache
-from repro.engine.kernel import build_dense_matrix, dense_time_tables
-from repro.engine.shm import DenseDescriptor, SegmentRegistry, attach
+from repro.engine.kernel import (
+    DenseTimeMatrix,
+    build_dense_matrix,
+    dense_time_tables,
+)
+from repro.engine.shm import (
+    DenseDescriptor,
+    IncumbentBoard,
+    SegmentRegistry,
+    attach,
+    attach_design_steps,
+    design_steps_blob,
+    parse_design_steps,
+)
 from repro.exceptions import ConfigurationError
+from repro.partition.evaluate import partition_evaluate
+from repro.partition.shard import (
+    ShardOutcome,
+    ShardSpan,
+    count_sizes,
+    sharded_partition_evaluate,
+    sweep_shard,
+)
 from repro.soc.fingerprint import soc_fingerprint
 from repro.soc.soc import Soc
 
@@ -193,6 +215,27 @@ class FailedPoint:
 BatchResult = Union[SweepPoint, FailedPoint]
 
 
+def normalize_shard_policy(
+    value: Union[int, str, None]
+) -> Union[int, str, None]:
+    """Validate a shard policy (runner default, CLI flag, or hint).
+
+    Accepts ``None`` (defer to the runner), ``"auto"``, or a shard
+    count >= 0; anything else — including the untrusted ``runner``
+    mapping of a submitted :class:`~repro.api.specs.GridSpec` —
+    raises :class:`~repro.exceptions.ConfigurationError` instead of
+    silently degrading the grid or crashing a worker.
+    """
+    if value is None or value == "auto":
+        return value
+    if isinstance(value, int) and not isinstance(value, bool) \
+            and value >= 0:
+        return value
+    raise ConfigurationError(
+        f'shard must be "auto", a count >= 0, or None; got {value!r}'
+    )
+
+
 def split_results(
     results: Iterable[BatchResult],
 ) -> Tuple[List[SweepPoint], List[FailedPoint]]:
@@ -257,8 +300,9 @@ def _dense_point(
     wrong SOC content, too narrow, segment gone — so the caller falls
     back to its private table cache.  On the happy path the worker
     builds *no* wrapper tables at all: the sweep reads the shared
-    matrix, and the handful of designs the final utilization
-    accounting needs are recovered on demand per bus width.
+    matrix, and the designs the final utilization accounting needs
+    come decoded from the transported staircases (or, absent those,
+    are recovered on demand per bus width).
     """
     if descriptor is None:
         return None
@@ -275,10 +319,42 @@ def _dense_point(
         job.soc,
         job.total_width,
         num_tams=job.num_tams,
-        tables=dense_time_tables(job.soc.cores, matrix),
+        tables=dense_time_tables(
+            job.soc.cores, matrix,
+            design_steps=attach_design_steps(descriptor),
+        ),
         dense=matrix,
         **job.options_dict(),
     )
+
+
+def _run_job_tracked(
+    caches: Dict[str, WrapperTableCache],
+    job: BatchJob,
+    store: "Optional[TableStore]" = None,
+    descriptor: Optional[DenseDescriptor] = None,
+) -> Tuple[SweepPoint, int]:
+    """Evaluate one job; also report whether the dense path was lost.
+
+    The second element counts shared-table fallbacks: ``1`` when a
+    descriptor was provided but could not serve the job (segment
+    gone, stale content, attach failure) and the worker silently paid
+    for a full private cache instead — the slow path the runner now
+    surfaces (:attr:`BatchRunner.shm_fallbacks`) instead of hiding.
+    """
+    if descriptor is not None:
+        point = _dense_point(job, descriptor)
+        if point is not None:
+            return point, 0
+    cache = _cache_for(caches, job.soc, store=store)
+    point = evaluate_point(
+        job.soc,
+        job.total_width,
+        num_tams=job.num_tams,
+        tables=cache.tables(job.total_width),
+        **job.options_dict(),
+    )
+    return point, (0 if descriptor is None else 1)
 
 
 def _run_job_cached(
@@ -288,17 +364,9 @@ def _run_job_cached(
     descriptor: Optional[DenseDescriptor] = None,
 ) -> SweepPoint:
     """Evaluate one job against the transported matrix or shared caches."""
-    point = _dense_point(job, descriptor)
-    if point is not None:
-        return point
-    cache = _cache_for(caches, job.soc, store=store)
-    return evaluate_point(
-        job.soc,
-        job.total_width,
-        num_tams=job.num_tams,
-        tables=cache.tables(job.total_width),
-        **job.options_dict(),
-    )
+    return _run_job_tracked(
+        caches, job, store=store, descriptor=descriptor
+    )[0]
 
 
 def _run_job_safe(
@@ -308,12 +376,12 @@ def _run_job_safe(
     retries: int,
     store: "Optional[TableStore]" = None,
     descriptor: Optional[DenseDescriptor] = None,
-) -> BatchResult:
+) -> Tuple[BatchResult, int]:
     """Evaluate one job under the runner's failure policy."""
     attempts = retries + 1
     for attempt in range(1, attempts + 1):
         try:
-            return _run_job_cached(
+            return _run_job_tracked(
                 caches, job, store=store, descriptor=descriptor
             )
         except Exception as error:  # noqa: BLE001 - policy boundary
@@ -325,20 +393,83 @@ def _run_job_safe(
                     error_type=type(error).__name__,
                     error_message=str(error),
                     attempts=attempt,
-                )
+                ), 0
             raise
     raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _pool_worker(
     item: Tuple[BatchJob, Optional[DenseDescriptor]]
-) -> BatchResult:
+) -> Tuple[BatchResult, int]:
     """Pool entry point: evaluate one (job, dense descriptor) item."""
     job, descriptor = item
     on_error, retries, store = _WORKER_POLICY
     return _run_job_safe(
         _WORKER_CACHES, job, on_error, retries, store=store,
         descriptor=descriptor,
+    )
+
+
+def _shard_worker(
+    item: Tuple[
+        DenseDescriptor, object, int, Tuple[ShardSpan, ...], Soc,
+        int, int, Optional[int], Union[bool, str],
+    ]
+) -> Tuple[ShardOutcome, int]:
+    """Pool entry point: score one shard of a sharded partition sweep.
+
+    Attaches the job's shared dense matrix and the sweep's incumbent
+    board, scores the shard's rank ranges, and ships the recorded
+    completions back for the parent-side deterministic merge.  A
+    worker that cannot attach the matrix rebuilds privately from its
+    cache — same outcome, counted as a shared-table fallback.
+    """
+    (descriptor, board_descriptor, shard_index, spans, soc,
+     total_width, keep_top, initial_best, prune) = item
+    fallbacks = 0
+    matrix = attach(descriptor)
+    if matrix is None:
+        fallbacks = 1
+        store = _WORKER_POLICY[2]
+        cache = _cache_for(_WORKER_CACHES, soc, store=store)
+        matrix = build_dense_matrix(
+            cache.table_list(total_width), total_width
+        )
+    board = IncumbentBoard.attach(board_descriptor)
+    try:
+        outcome = sweep_shard(
+            matrix, spans, shard_index, total_width,
+            keep_top=keep_top, initial_best=initial_best,
+            prune=prune, board=board,
+        )
+    finally:
+        if board is not None:
+            board.close()
+    return outcome, fallbacks
+
+
+def _build_matrix_worker(
+    item: Tuple[Soc, int]
+) -> Tuple[bytes, bytes, float]:
+    """Pool entry point: build one cold SOC's dense matrix + staircases.
+
+    Runs the wrapper designs on a pool worker — through that worker's
+    (store-backed) cache, so the build also warms it — and returns
+    the matrix bytes, the serialized design staircases, and the build
+    seconds for the parent to publish over shared memory.  This is
+    how a cold many-SOC grid's table builds spread across the pool
+    instead of serializing in the parent.
+    """
+    soc, total_width = item
+    start = _os_clock()
+    store = _WORKER_POLICY[2]
+    cache = _cache_for(_WORKER_CACHES, soc, store=store)
+    tables = cache.table_list(total_width)
+    matrix = build_dense_matrix(tables, total_width)
+    return (
+        matrix.to_bytes(),
+        design_steps_blob(tables),
+        _os_clock() - start,
     )
 
 
@@ -385,11 +516,23 @@ class BatchRunner:
         pool, :meth:`close` for a persistent one), and the transport
         degrades gracefully — to pickled matrix bytes when shared
         memory is unavailable, to per-worker caches when a worker
-        cannot attach.  Trade-off: the parent builds each distinct
-        SOC's tables *serially* before the pool starts, so a cold
-        grid over many large SOCs may prefer ``share_tables=False``
-        (workers build concurrently, one private copy each) or a warm
-        ``cache_dir`` that makes the parent build free.
+        cannot attach.  The matrices of a *cold* grid over several
+        SOCs are built through the pool (one task per SOC) rather
+        than serially in the parent, and the wrapper-design
+        staircases ride along, so workers never run ``Design_wrapper``
+        at all on the happy path.
+    shard:
+        Intra-job sharding policy for the partition sweep
+        (:mod:`repro.partition.shard`): ``"auto"`` (default) splits a
+        job's enumeration across the pool when jobs are scarcer than
+        workers and the partition space is big enough to pay for the
+        fan-out; an ``int`` forces that many shards per eligible job;
+        ``None``/``0`` disables.  Outcomes are bit-identical to the
+        unsharded run either way — sharding is pure execution
+        strategy, excluded from every canonical job key.  Only jobs
+        on the production defaults (canonical ``unique`` enumeration,
+        kernel engine, no per-count stratification) shard; others
+        fall back to whole-job dispatch.
     """
 
     def __init__(
@@ -401,6 +544,7 @@ class BatchRunner:
         cache_dir: Union[str, Path, None] = None,
         persistent: bool = False,
         share_tables: bool = True,
+        shard: Union[int, str, None] = "auto",
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -419,6 +563,7 @@ class BatchRunner:
             raise ConfigurationError(
                 f"retries must be >= 0, got {retries}"
             )
+        normalize_shard_policy(shard)
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.on_error = on_error
@@ -428,13 +573,28 @@ class BatchRunner:
         )
         self.persistent = persistent
         self.share_tables = share_tables
+        self.shard = shard
         #: Pools started over this runner's lifetime — observable
         #: evidence that ``persistent=True`` reuses one pool.
         self.pools_started = 0
+        #: Jobs whose shared dense matrix could not serve a worker,
+        #: which silently rebuilt from a private cache instead — the
+        #: slow path, surfaced for ``--stats``/service monitoring.
+        self.shm_fallbacks = 0
+        #: Jobs that executed via the intra-job sharded sweep.
+        self.jobs_sharded = 0
         self._store = _make_store(self.cache_dir)
         self._caches: Dict[str, WrapperTableCache] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._segments = SegmentRegistry()
+        #: Parent-side dense matrices by SOC fingerprint — what the
+        #: sharded sweep's merge and polish read; lifetime matches
+        #: the published segments.
+        self._matrices: Dict[str, DenseTimeMatrix] = {}
+        #: Parent-side tables by fingerprint for finishing sharded
+        #: jobs: real cached tables when the parent built them,
+        #: staircase-backed dense tables when the pool did.
+        self._merge_tables: Dict[str, Dict[str, Any]] = {}
 
     def cache_for(self, soc: Soc) -> WrapperTableCache:
         """This runner's (inline-mode) table cache for ``soc``."""
@@ -461,17 +621,38 @@ class BatchRunner:
             self._executor.shutdown(wait=True)
             self._executor = None
         self._segments.close()
+        self._matrices.clear()
+        self._merge_tables.clear()
+
+    def _publish_local(self, fingerprint: str, soc: Soc, width: int):
+        """Build one SOC's matrix in the parent and publish it."""
+        cache = self.cache_for(soc)
+        tables = cache.table_list(width)
+        matrix = build_dense_matrix(tables, width)
+        self._matrices[fingerprint] = matrix
+        self._merge_tables[fingerprint] = cache.tables(width)
+        return self._segments.publish(
+            fingerprint, matrix, designs=design_steps_blob(tables)
+        )
 
     def _dense_descriptors(
-        self, jobs: Sequence[BatchJob]
+        self,
+        jobs: Sequence[BatchJob],
+        pool: Optional[ProcessPoolExecutor] = None,
     ) -> List[Optional[DenseDescriptor]]:
         """One (possibly shared) dense descriptor per job, in order.
 
-        Builds each distinct SOC's tables once in the parent — via
-        the runner's own (store-backed) cache — at the largest width
-        any of its jobs needs, and publishes the dense matrix through
-        the segment registry.  A SOC appearing in several jobs ships
-        as one segment.
+        Builds each distinct SOC's tables once — at the largest width
+        any of its jobs needs — and publishes the dense matrix plus
+        its wrapper-design staircases through the segment registry.
+        A SOC appearing in several jobs ships as one segment.
+
+        SOCs whose tables the parent already holds (or that a
+        persistent runner published before) build locally: warm
+        builds are cheap.  When two or more SOCs are *cold* and a
+        ``pool`` is available, their builds fan out as pool tasks
+        (:func:`_build_matrix_worker`) instead of serializing in the
+        parent — the cold-grid half of the intra-job scaling story.
         """
         width_by_soc: Dict[str, int] = {}
         soc_by_print: Dict[str, Soc] = {}
@@ -484,12 +665,53 @@ class BatchRunner:
                 width_by_soc.get(fingerprint, 0), job.total_width
             )
         descriptors: Dict[str, Optional[DenseDescriptor]] = {}
+        cold: List[Tuple[str, Soc, int]] = []
         for fingerprint, width in width_by_soc.items():
-            cache = self.cache_for(soc_by_print[fingerprint])
-            matrix = build_dense_matrix(cache.table_list(width), width)
-            descriptors[fingerprint] = self._segments.publish(
-                fingerprint, matrix
+            soc = soc_by_print[fingerprint]
+            held = self._matrices.get(fingerprint)
+            if held is not None and held.total_width >= width:
+                descriptors[fingerprint] = self._segments.publish(
+                    fingerprint, held
+                )
+                continue
+            cache = self._caches.get(soc.name)
+            warm = (
+                cache is not None and cache.soc == soc
+                and cache.max_width > 0
             )
+            if warm or pool is None:
+                descriptors[fingerprint] = self._publish_local(
+                    fingerprint, soc, width
+                )
+            else:
+                cold.append((fingerprint, soc, width))
+        if len(cold) == 1:
+            # One cold SOC gains nothing from a pool round-trip: the
+            # parent would idle-wait on the single build anyway.
+            fingerprint, soc, width = cold[0]
+            descriptors[fingerprint] = self._publish_local(
+                fingerprint, soc, width
+            )
+        elif cold:
+            futures = [
+                (fingerprint, soc, width, pool.submit(
+                    _build_matrix_worker, (soc, width)
+                ))
+                for fingerprint, soc, width in cold
+            ]
+            for fingerprint, soc, width, future in futures:
+                data, blob, _ = future.result()
+                matrix = DenseTimeMatrix.from_buffer(
+                    data, len(soc.cores), width
+                )
+                self._matrices[fingerprint] = matrix
+                self._merge_tables[fingerprint] = dense_time_tables(
+                    soc.cores, matrix,
+                    design_steps=parse_design_steps(blob),
+                )
+                descriptors[fingerprint] = self._segments.publish(
+                    fingerprint, matrix, designs=blob
+                )
         return [descriptors[fingerprint] for fingerprint in prints]
 
     def __enter__(self) -> "BatchRunner":
@@ -500,7 +722,57 @@ class BatchRunner:
         """Context-manager exit: release the persistent pool."""
         self.close()
 
-    def run_iter(self, jobs: Sequence[BatchJob]):
+    #: Below this many partitions in a job's whole enumeration,
+    #: ``shard="auto"`` leaves the job on one worker — the fan-out
+    #: overhead would outweigh the sweep.
+    AUTO_SHARD_MIN_PARTITIONS = 2048
+    #: Shards per worker under ``shard="auto"``: oversubscription
+    #: smooths the load imbalance between a shard that discovers the
+    #: incumbents and shards that mostly abort against them.
+    SHARD_OVERSUBSCRIPTION = 4
+
+    @staticmethod
+    def _job_shardable(job: BatchJob) -> bool:
+        """True when the shard protocol's determinism argument applies."""
+        options = job.options_dict()
+        return (
+            options.get("enumerator", "unique") == "unique"
+            and options.get("sweep_engine", "kernel") == "kernel"
+            and not options.get("polish_per_tam_count", False)
+        )
+
+    def _shard_count(
+        self,
+        job: BatchJob,
+        override: Union[int, str, None],
+        workers: int,
+        num_jobs: int,
+    ) -> int:
+        """How many shards this job should split into (0 = don't)."""
+        policy = override if override is not None else self.shard
+        if policy in (None, 0, 1) or not self.share_tables:
+            return 0
+        if not self._job_shardable(job):
+            return 0
+        counts = resolved_tam_counts(job.total_width, job.num_tams)
+        total = sum(count_sizes(job.total_width, counts))
+        if total == 0:
+            return 0
+        if policy == "auto":
+            if num_jobs >= workers:
+                return 0
+            if total < self.AUTO_SHARD_MIN_PARTITIONS:
+                return 0
+            wanted = workers * self.SHARD_OVERSUBSCRIPTION
+        else:
+            wanted = int(policy)
+        return max(1, min(wanted, total))
+
+    def run_iter(
+        self,
+        jobs: Sequence[BatchJob],
+        shard: Union[int, str, None] = None,
+    ):
         """Evaluate ``jobs``, yielding one result per job, in order.
 
         The streaming form of :meth:`run`: results become available
@@ -510,51 +782,212 @@ class BatchRunner:
         grid is still running.  The iterator must be consumed for
         the batch to complete; abandoning it mid-grid closes the
         underlying ephemeral pool.
+
+        ``shard`` overrides the runner's intra-job sharding policy
+        for this call (the per-submission runner hint); results are
+        identical either way.
         """
         jobs = list(jobs)
         if not jobs:
             return
-        workers = self.max_workers
-        if workers is None:
-            workers = os.cpu_count() or 1
-        if not self.persistent:
+        shard = normalize_shard_policy(shard)
+        requested = self.max_workers
+        if requested is None:
+            requested = os.cpu_count() or 1
+        shard_counts = (
+            [
+                self._shard_count(job, shard, requested, len(jobs))
+                for job in jobs
+            ]
+            if requested > 1 else [0] * len(jobs)
+        )
+        workers = requested
+        if not any(shard_counts) and not self.persistent:
             workers = min(workers, len(jobs))
         if workers == 1:
             for job in jobs:
-                yield _run_job_safe(
+                result, fallbacks = _run_job_safe(
                     self._caches, job, self.on_error, self.retries,
                     store=self._store,
                 )
+                self.shm_fallbacks += fallbacks
+                yield result
             return
-        if self.share_tables:
-            items = list(zip(jobs, self._dense_descriptors(jobs)))
-        else:
-            items = [(job, None) for job in jobs]
-        if self.persistent:
-            pool = self._resident_pool(workers)
-            try:
-                yield from pool.map(
+        pool = (
+            self._resident_pool(workers) if self.persistent
+            else self._new_pool(workers)
+        )
+        try:
+            if self.share_tables:
+                descriptors = self._dense_descriptors(jobs, pool)
+            else:
+                descriptors = [None] * len(jobs)
+            if any(shard_counts):
+                # Unsharded jobs are submitted up front so they keep
+                # running concurrently; each sharded job saturates
+                # the pool with its own shard tasks at its turn.
+                futures = {
+                    index: pool.submit(_pool_worker, (job, descriptor))
+                    for index, (job, descriptor, num_shards) in
+                    enumerate(zip(jobs, descriptors, shard_counts))
+                    if not (
+                        num_shards >= 2 and descriptor is not None
+                        and descriptor.fingerprint in self._matrices
+                    )
+                }
+                for index, (job, descriptor, num_shards) in enumerate(
+                    zip(jobs, descriptors, shard_counts)
+                ):
+                    if index in futures:
+                        result, fallbacks = futures[index].result()
+                        self.shm_fallbacks += fallbacks
+                        yield result
+                    else:
+                        yield self._run_sharded_safe(
+                            job, descriptor, pool, num_shards
+                        )
+            else:
+                items = list(zip(jobs, descriptors))
+                for result, fallbacks in pool.map(
                     _pool_worker, items, chunksize=self.chunksize
-                )
-            except BrokenProcessPool:
+                ):
+                    self.shm_fallbacks += fallbacks
+                    yield result
+        except BrokenProcessPool:
+            if self.persistent:
                 # A dead worker (OOM-kill, segfault) breaks the whole
                 # executor; discard it so the *next* run gets a fresh
                 # pool instead of this batch's failure forever.
                 self._executor = None
                 pool.shutdown(wait=False)
-                raise
-            return
-        try:
-            with self._new_pool(workers) as pool:
-                yield from pool.map(
-                    _pool_worker, items, chunksize=self.chunksize
-                )
+            raise
         finally:
-            # Ephemeral pool: its workers are gone, so the published
-            # segments have no readers left — free them now.
-            self._segments.close()
+            if not self.persistent:
+                # Ephemeral pool: its workers are gone, so the
+                # published segments have no readers left — free
+                # them (and the parent-side matrices) now.
+                pool.shutdown(wait=True)
+                self._segments.close()
+                self._matrices.clear()
+                self._merge_tables.clear()
 
-    def run(self, jobs: Sequence[BatchJob]) -> List[BatchResult]:
+    def _run_sharded_safe(
+        self,
+        job: BatchJob,
+        descriptor: DenseDescriptor,
+        pool: ProcessPoolExecutor,
+        num_shards: int,
+    ) -> BatchResult:
+        """The sharded job under the runner's failure policy."""
+        attempts = self.retries + 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._run_sharded(
+                    job, descriptor, pool, num_shards
+                )
+            except BrokenProcessPool:
+                raise  # pool-level: the whole batch is over
+            except Exception as error:  # noqa: BLE001 - policy boundary
+                if attempt < attempts:
+                    continue
+                if self.on_error == "record":
+                    return FailedPoint(
+                        job=job,
+                        error_type=type(error).__name__,
+                        error_message=str(error),
+                        attempts=attempt,
+                    )
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _run_sharded(
+        self,
+        job: BatchJob,
+        descriptor: DenseDescriptor,
+        pool: ProcessPoolExecutor,
+        num_shards: int,
+    ) -> SweepPoint:
+        """Run one job with its partition sweep fanned across the pool.
+
+        Step 1 (the sweep) executes as ``num_shards`` worker tasks
+        over the already-shared dense matrix, with incumbents
+        broadcast through a shared-memory board; the deterministic
+        merge, the exact polish, and the certificate/utilization
+        accounting run here in the parent over the same matrix.  The
+        result is bit-identical to whole-job execution.
+        """
+        matrix = self._matrices[descriptor.fingerprint]
+        tables = self._merge_tables[descriptor.fingerprint]
+
+        def sweep(
+            table_list, total_width, tam_counts, *,
+            enumerator="unique", prune=True, initial_best=None,
+            keep_top=1, stratify_by_tam_count=False,
+            engine="kernel", dense=None,
+        ):
+            if stratify_by_tam_count or engine != "kernel" \
+                    or enumerator != "unique":
+                # Configurations outside the shard protocol's
+                # determinism argument run serially, as before.
+                return partition_evaluate(
+                    table_list, total_width, tam_counts,
+                    enumerator=enumerator, prune=prune,
+                    initial_best=initial_best, keep_top=keep_top,
+                    stratify_by_tam_count=stratify_by_tam_count,
+                    engine=engine, dense=dense,
+                )
+
+            def scorer(plan):
+                # Unpruned sweeps never read the board; skip it.
+                board = (
+                    IncumbentBoard.create(plan.num_shards, keep_top)
+                    if prune else None
+                )
+                try:
+                    board_descriptor = (
+                        board.descriptor()
+                        if board is not None else None
+                    )
+                    futures = [
+                        pool.submit(_shard_worker, (
+                            descriptor, board_descriptor, index,
+                            spans, job.soc, total_width, keep_top,
+                            initial_best, prune,
+                        ))
+                        for index, spans in enumerate(plan.shards)
+                    ]
+                    outcomes = []
+                    for future in futures:
+                        outcome, fallbacks = future.result()
+                        self.shm_fallbacks += fallbacks
+                        outcomes.append(outcome)
+                    return outcomes
+                finally:
+                    if board is not None:
+                        board.close()
+
+            return sharded_partition_evaluate(
+                None, total_width, tam_counts, num_shards,
+                prune=prune, initial_best=initial_best,
+                keep_top=keep_top, dense=matrix, scorer=scorer,
+            )
+
+        self.jobs_sharded += 1
+        return evaluate_point(
+            job.soc,
+            job.total_width,
+            num_tams=job.num_tams,
+            tables=tables,
+            dense=matrix,
+            sweep=sweep,
+            **job.options_dict(),
+        )
+
+    def run(
+        self,
+        jobs: Sequence[BatchJob],
+        shard: Union[int, str, None] = None,
+    ) -> List[BatchResult]:
         """Evaluate ``jobs``, returning one result per job, in order.
 
         Results are independent of worker count and scheduling: the
@@ -565,7 +998,7 @@ class BatchRunner:
         under the default policy every element is a
         :class:`~repro.analysis.sweep.SweepPoint`.
         """
-        return list(self.run_iter(jobs))
+        return list(self.run_iter(jobs, shard=shard))
 
     def run_grid(
         self,
@@ -594,7 +1027,10 @@ class BatchRunner:
                     "run_grid(GridSpec) takes no extra axes arguments"
                 )
             jobs = socs.jobs()
-            return list(zip(jobs, self.run(jobs)))
+            # Execution hints ride the spec's `runner` mapping —
+            # excluded from its canonical key, honored here.
+            shard = socs.runner_options().get("shard")
+            return list(zip(jobs, self.run(jobs, shard=shard)))
         soc_list = list(socs)
         width_list = list(widths or ())  # survives one-shot iterables
         jobs = [

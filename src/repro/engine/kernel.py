@@ -139,8 +139,21 @@ class DenseTimeMatrix:
         widest bus (rows are monotone), so the unrelated-machines
         bound needs only that column's cached aggregates.
         """
-        max_time, total = self.column_stats(max(widths))
-        return column_lower_bound(max_time, total, len(widths))
+        return self.lower_bound_for_max(max(widths), len(widths))
+
+    def lower_bound_for_max(self, max_part: int, num_buses: int) -> int:
+        """:meth:`lower_bound` of any partition with this widest bus.
+
+        The bound depends on a partition only through its largest
+        part and its bus count — and it is monotone non-increasing in
+        the largest part (wider columns are elementwise faster).
+        The sharded sweep's merge exploits both facts to count
+        lower-bound-pruned partitions analytically
+        (:func:`repro.partition.enumerate.count_slice_max_at_most`)
+        instead of replaying them.
+        """
+        max_time, total = self.column_stats(max_part)
+        return column_lower_bound(max_time, total, num_buses)
 
     def pick_order(
         self, width: int, reference_width: Optional[int] = None
@@ -431,19 +444,34 @@ class DenseTimeTable:
 
     Answers :meth:`time` by O(1) matrix lookup and :meth:`design` by
     recovering the staircase breakpoint (leftmost width with the same
-    time — where the running-minimum construction stored its design)
-    and running ``Design_wrapper`` once there.  Values are identical
-    to the real table's; pool workers use these over a shared-memory
-    matrix so the only wrapper designs they ever run are the handful
-    the final utilization accounting needs.
+    time — where the running-minimum construction stored its design).
+    Values are identical to the real table's; pool workers use these
+    over a shared-memory matrix so they never build private tables.
+
+    ``design_steps`` — serialized wrapper-design records keyed by
+    breakpoint width, as shipped by the shared-memory staircase
+    transport (:mod:`repro.engine.shm`) — closes the last per-worker
+    rebuild gap: a breakpoint with a shipped record is *decoded*, not
+    re-designed, so the handful of designs the final utilization
+    accounting needs cost zero ``Design_wrapper`` calls too.  Without
+    records (or for a width outside them) the table falls back to
+    running ``Design_wrapper`` at the breakpoint, as before.
     """
 
-    def __init__(self, core: Core, matrix: DenseTimeMatrix, index: int):
+    def __init__(
+        self,
+        core: Core,
+        matrix: DenseTimeMatrix,
+        index: int,
+        design_steps: Optional[Sequence[Tuple[int, dict]]] = None,
+    ):
         self.core = core
         self.max_width = matrix.total_width
         self._matrix = matrix
         self._index = index
         self._designs: Dict[int, WrapperDesign] = {}
+        #: breakpoint width → serialized design record, decoded lazily.
+        self._design_steps: Dict[int, dict] = dict(design_steps or ())
 
     def _check_width(self, width: int) -> None:
         if not 1 <= width <= self.max_width:
@@ -472,7 +500,17 @@ class DenseTimeTable:
                 low = mid + 1
         design = self._designs.get(low)
         if design is None:
-            design = design_wrapper(self.core, low)
+            record = self._design_steps.get(low)
+            if record is not None:
+                # Imported lazily: the serializer sits above this
+                # module in the layering.
+                from repro.report.serialize import (
+                    wrapper_design_from_dict,
+                )
+
+                design = wrapper_design_from_dict(record, self.core)
+            else:
+                design = design_wrapper(self.core, low)
             self._designs[low] = design
         return design
 
@@ -490,14 +528,23 @@ class DenseTimeTable:
 
 
 def dense_time_tables(
-    cores: Sequence[Core], matrix: DenseTimeMatrix
+    cores: Sequence[Core],
+    matrix: DenseTimeMatrix,
+    design_steps: Optional[Dict[str, Sequence[Tuple[int, dict]]]] = None,
 ) -> Dict[str, "DenseTimeTable"]:
-    """One :class:`DenseTimeTable` per core over ``matrix``'s rows."""
+    """One :class:`DenseTimeTable` per core over ``matrix``'s rows.
+
+    ``design_steps`` optionally maps core names to their transported
+    staircase records (see :func:`repro.engine.shm.attach_design_steps`).
+    """
     if len(cores) != matrix.num_cores:
         raise ConfigurationError(
             f"{len(cores)} cores for a {matrix.num_cores}-row matrix"
         )
+    steps = design_steps or {}
     return {
-        core.name: DenseTimeTable(core, matrix, index)
+        core.name: DenseTimeTable(
+            core, matrix, index, design_steps=steps.get(core.name)
+        )
         for index, core in enumerate(cores)
     }

@@ -1,4 +1,4 @@
-"""Shared-memory transport for dense time matrices.
+"""Shared-memory transport for dense time matrices and incumbents.
 
 Closes the ROADMAP item "shared-memory or copy-on-write table
 transport for the process pool": instead of every pool worker holding
@@ -10,6 +10,24 @@ build_dense_matrix`), publishes its int64 bytes in one
 Workers attach read-only and wrap the buffer zero-copy; the matrix —
 plus on-demand :class:`~repro.engine.kernel.DenseTimeTable` designs
 for final reporting — replaces their private table builds.
+
+Two further payloads ride the same machinery:
+
+* **wrapper-design staircases** — each core's Pareto breakpoints with
+  their serialized designs (:func:`design_steps_blob`), published
+  alongside the matrix and decoded lazily by
+  :class:`~repro.engine.kernel.DenseTimeTable`.  This closes the last
+  per-worker rebuild: the handful of ``Design_wrapper`` runs the
+  final utilization accounting used to pay per worker now cost a
+  dictionary lookup;
+* the **incumbent board** (:class:`IncumbentBoard`) — a tiny int64
+  array with one slot of ``keep_top`` best-times per shard of an
+  intra-job sharded sweep (:mod:`repro.partition.shard`).  Each shard
+  writes only its own slot and reads only earlier shards' slots
+  (forward-only, which is what keeps the merged result bit-identical
+  to the serial sweep), so no locking is needed; a torn read is not a
+  correctness hazard on any platform CPython supports shared memory
+  on, because slot writes are single aligned 8-byte stores.
 
 Degradation is graceful at both ends:
 
@@ -35,8 +53,9 @@ unregisters them — cleanup stays the creator's job.
 from __future__ import annotations
 
 import atexit
+import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.kernel import DenseTimeMatrix
 
@@ -55,6 +74,12 @@ class DenseDescriptor:
     the :func:`repro.soc.fingerprint.soc_fingerprint` of the SOC the
     matrix was built for — workers verify it against each job's SOC
     before trusting the matrix.
+
+    ``design_shm_name`` / ``design_payload`` optionally carry the
+    wrapper-design staircase blob (:func:`design_steps_blob`) the same
+    two ways; ``design_size`` is the blob's byte length (shared-memory
+    segments may be page-padded).  Absent designs only cost speed —
+    workers fall back to on-demand ``Design_wrapper`` recovery.
     """
 
     fingerprint: str
@@ -62,6 +87,9 @@ class DenseDescriptor:
     total_width: int
     shm_name: Optional[str] = None
     payload: Optional[bytes] = None
+    design_shm_name: Optional[str] = None
+    design_payload: Optional[bytes] = None
+    design_size: int = 0
 
 
 class SegmentRegistry:
@@ -74,42 +102,76 @@ class SegmentRegistry:
     """
 
     def __init__(self) -> None:
-        self._segments: Dict[str, Tuple[object, DenseDescriptor]] = {}
+        self._segments: Dict[
+            str, Tuple[Tuple[object, ...], DenseDescriptor]
+        ] = {}
+
+    @staticmethod
+    def _new_segment(data: bytes):
+        """A filled shared segment for ``data``, or ``None``."""
+        if _shared_memory is None or not data:
+            return None
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=len(data)
+            )
+        except OSError:
+            return None
+        segment.buf[:len(data)] = data
+        return segment
 
     def publish(
-        self, fingerprint: str, matrix: DenseTimeMatrix
+        self,
+        fingerprint: str,
+        matrix: DenseTimeMatrix,
+        designs: Optional[bytes] = None,
     ) -> DenseDescriptor:
-        """A descriptor for ``matrix``, creating/reusing its segment.
+        """A descriptor for ``matrix``, creating/reusing its segments.
 
         A segment already published for ``fingerprint`` is reused when
-        wide enough; otherwise it is replaced.  When shared memory is
-        unavailable the descriptor falls back to carrying the matrix
-        bytes inline (the pickle channel).
+        wide enough (and not missing newly-available ``designs``);
+        otherwise it is replaced.  When shared memory is unavailable
+        the descriptor falls back to carrying the matrix — and the
+        optional wrapper-design staircase blob — inline (the pickle
+        channel).
         """
         held = self._segments.get(fingerprint)
         if held is not None:
             _, descriptor = held
-            if descriptor.total_width >= matrix.total_width:
+            has_designs = (
+                descriptor.design_shm_name is not None
+                or descriptor.design_payload is not None
+            )
+            if descriptor.total_width >= matrix.total_width and (
+                has_designs or designs is None
+            ):
                 return descriptor
             self._release(fingerprint)
         data = matrix.to_bytes()
-        descriptor = None
-        if _shared_memory is not None:
-            try:
-                segment = _shared_memory.SharedMemory(
-                    create=True, size=len(data)
-                )
-                segment.buf[:len(data)] = data
-                descriptor = DenseDescriptor(
-                    fingerprint=fingerprint,
-                    num_cores=matrix.num_cores,
-                    total_width=matrix.total_width,
-                    shm_name=segment.name,
-                )
-                self._segments[fingerprint] = (segment, descriptor)
-            except OSError:
-                descriptor = None
-        if descriptor is None:
+        design_fields: Dict[str, object] = {}
+        design_segment = None
+        if designs:
+            design_segment = self._new_segment(designs)
+            if design_segment is not None:
+                design_fields = {
+                    "design_shm_name": design_segment.name,
+                    "design_size": len(designs),
+                }
+            else:
+                design_fields = {
+                    "design_payload": designs,
+                    "design_size": len(designs),
+                }
+        segment = self._new_segment(data)
+        if segment is not None:
+            descriptor = DenseDescriptor(
+                fingerprint=fingerprint,
+                num_cores=matrix.num_cores,
+                total_width=matrix.total_width,
+                shm_name=segment.name,
+                **design_fields,  # type: ignore[arg-type]
+            )
+        else:
             # Fallback descriptors are registered too (segment-less),
             # so repeated runs reuse the packed bytes instead of
             # re-serializing the matrix each time.  The bytes still
@@ -120,19 +182,23 @@ class SegmentRegistry:
                 num_cores=matrix.num_cores,
                 total_width=matrix.total_width,
                 payload=data,
+                **design_fields,  # type: ignore[arg-type]
             )
-            self._segments[fingerprint] = (None, descriptor)
+        self._segments[fingerprint] = (
+            (segment, design_segment), descriptor
+        )
         return descriptor
 
     def _release(self, fingerprint: str) -> None:
-        segment, _ = self._segments.pop(fingerprint)
-        if segment is None:
-            return
-        try:
-            segment.close()  # type: ignore[attr-defined]
-            segment.unlink()  # type: ignore[attr-defined]
-        except OSError:  # pragma: no cover - already gone
-            pass
+        segments, _ = self._segments.pop(fingerprint)
+        for segment in segments:
+            if segment is None:
+                continue
+            try:
+                segment.close()  # type: ignore[attr-defined]
+                segment.unlink()  # type: ignore[attr-defined]
+            except OSError:  # pragma: no cover - already gone
+                pass
 
     def close(self) -> None:
         """Unlink every published segment (idempotent)."""
@@ -221,6 +287,215 @@ def attach(descriptor: DenseDescriptor) -> Optional[DenseTimeMatrix]:
         atexit.register(_close_attachments)
     _ATTACHED[descriptor.fingerprint] = (identity, matrix, segment)
     return matrix
+
+
+def design_steps_blob(tables) -> bytes:
+    """Serialize wrapper-design staircases for the shm transport.
+
+    One record per core: the Pareto breakpoints of its
+    :class:`~repro.wrapper.pareto.TimeTable` with each breakpoint's
+    serialized design — a few kilobytes for the whole SOC, versus the
+    per-worker ``Design_wrapper`` runs they replace.  The inverse is
+    :func:`parse_design_steps`.
+    """
+    # Imported lazily: the serializer sits above this module.
+    from repro.report.serialize import wrapper_design_to_dict
+
+    cores = {
+        table.core.name: [
+            [width, wrapper_design_to_dict(design)]
+            for width, _, design in table.staircase()
+        ]
+        for table in tables
+    }
+    return json.dumps(
+        {"schema": 1, "kind": "design_staircases", "cores": cores},
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def parse_design_steps(
+    blob: bytes,
+) -> Optional[Dict[str, List[Tuple[int, dict]]]]:
+    """Decode a :func:`design_steps_blob`; ``None`` when unusable.
+
+    Designs are an optimization, not a correctness dependency, so a
+    blob from a different build (schema mismatch, truncation) degrades
+    to on-demand recovery instead of failing the job.
+    """
+    try:
+        record = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or record.get("schema") != 1 \
+            or record.get("kind") != "design_staircases":
+        return None
+    cores = record.get("cores")
+    if not isinstance(cores, dict):
+        return None
+    return {
+        str(name): [(int(width), step) for width, step in steps]
+        for name, steps in cores.items()
+    }
+
+
+#: Worker-side cache of parsed design staircases, keyed by SOC
+#: fingerprint; the first element identifies the exact blob (segment
+#: name, or blob length for payload fallbacks).
+_DESIGN_STEPS: Dict[str, Tuple[object, Optional[Dict]]] = {}
+
+
+def attach_design_steps(
+    descriptor: DenseDescriptor,
+) -> Optional[Dict[str, List[Tuple[int, dict]]]]:
+    """The descriptor's design staircases, or ``None`` when absent.
+
+    Parsed once per worker per blob: the shared segment is read and
+    *closed* immediately (the decoded records carry no buffer
+    references), so design segments never pin worker address space.
+    Any failure — segment gone, undecodable blob — returns ``None``
+    and the caller falls back to on-demand design recovery.
+    """
+    if descriptor.design_payload is not None:
+        identity: object = ("payload", descriptor.design_size)
+        blob = descriptor.design_payload
+    elif descriptor.design_shm_name is not None:
+        identity = descriptor.design_shm_name
+        blob = None
+    else:
+        return None
+    held = _DESIGN_STEPS.get(descriptor.fingerprint)
+    if held is not None and held[0] == identity:
+        return held[1]
+    if blob is None:
+        if _shared_memory is None:
+            return None
+        try:
+            segment = _attach_untracked(descriptor.design_shm_name)
+        except (OSError, ValueError):
+            return None
+        try:
+            if segment.size < descriptor.design_size:
+                return None  # pragma: no cover - size mismatch
+            blob = bytes(segment.buf[:descriptor.design_size])
+        finally:
+            segment.close()
+    steps = parse_design_steps(blob)
+    _DESIGN_STEPS[descriptor.fingerprint] = (identity, steps)
+    return steps
+
+
+@dataclass(frozen=True)
+class BoardDescriptor:
+    """How a pool worker finds a sharded sweep's incumbent board."""
+
+    shm_name: str
+    num_shards: int
+    keep_top: int
+
+
+class IncumbentBoard:
+    """Cross-process incumbent slots for one sharded partition sweep.
+
+    An int64 array of ``num_shards`` slots × ``keep_top`` entries,
+    initialized to :data:`SENTINEL`.  Shard ``s`` *writes* only slot
+    ``s`` (its current best times, ascending) and *reads* only slots
+    ``< s`` — the forward-only broadcast the sharded sweep's
+    determinism argument rests on (:mod:`repro.partition.shard`).
+    Single-writer slots need no locking, and every write is one
+    aligned 8-byte store.
+
+    The parent owns the segment (:meth:`create` / :meth:`close`);
+    workers :meth:`attach` by descriptor and close their mapping when
+    the shard finishes.  Every failure path returns ``None`` — the
+    sweep simply runs without cross-shard sharing, which cannot
+    change its outcome.
+    """
+
+    SENTINEL = 1 << 62
+
+    def __init__(self, segment, num_shards: int, keep_top: int,
+                 owner: bool):
+        self._segment = segment
+        self._view = memoryview(segment.buf).cast("q")
+        self.num_shards = num_shards
+        self.keep_top = keep_top
+        self._owner = owner
+
+    @classmethod
+    def create(
+        cls, num_shards: int, keep_top: int = 1
+    ) -> "Optional[IncumbentBoard]":
+        """A zeroed board, or ``None`` when shared memory is absent."""
+        if _shared_memory is None:
+            return None
+        size = num_shards * keep_top * 8
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=size
+            )
+        except OSError:
+            return None
+        board = cls(segment, num_shards, keep_top, owner=True)
+        for index in range(num_shards * keep_top):
+            board._view[index] = cls.SENTINEL
+        return board
+
+    def descriptor(self) -> BoardDescriptor:
+        """The attach handle workers receive in their shard payload."""
+        return BoardDescriptor(
+            shm_name=self._segment.name,
+            num_shards=self.num_shards,
+            keep_top=self.keep_top,
+        )
+
+    @classmethod
+    def attach(
+        cls, descriptor: Optional[BoardDescriptor]
+    ) -> "Optional[IncumbentBoard]":
+        """The descriptor's board, or ``None`` when it cannot be had."""
+        if descriptor is None or _shared_memory is None:
+            return None
+        try:
+            segment = _attach_untracked(descriptor.shm_name)
+        except (OSError, ValueError):
+            return None
+        expected = descriptor.num_shards * descriptor.keep_top * 8
+        if segment.size < expected:  # pragma: no cover - size mismatch
+            segment.close()
+            return None
+        return cls(
+            segment, descriptor.num_shards, descriptor.keep_top,
+            owner=False,
+        )
+
+    def publish(self, shard_index: int, times) -> None:
+        """Record ``shard_index``'s current kept times (ascending)."""
+        base = shard_index * self.keep_top
+        view = self._view
+        for offset in range(self.keep_top):
+            view[base + offset] = (
+                times[offset] if offset < len(times) else self.SENTINEL
+            )
+
+    def earlier_times(self, shard_index: int) -> List[int]:
+        """Every time published by shards before ``shard_index``."""
+        sentinel = self.SENTINEL
+        return [
+            value
+            for value in self._view[:shard_index * self.keep_top]
+            if value < sentinel
+        ]
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        self._view.release()
+        try:
+            self._segment.close()
+            if self._owner:
+                self._segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
 
 
 def _attach_untracked(name: str):

@@ -58,3 +58,18 @@ class ServiceError(ReproError):
     job, malformed request, unloadable SOC source, ...) or when the
     connection itself breaks mid-request.
     """
+
+
+class ServiceTransportError(ServiceError):
+    """The service *connection* failed, not the request.
+
+    The subclass the client raises when the socket drops, the peer
+    closes mid-stream, or a response line cannot be decoded — the
+    failures that are safe to retry on a fresh connection.  A server
+    that answered ``ok: false`` keeps raising plain
+    :class:`ServiceError`: retrying those would just repeat the
+    refusal.  The distinction is what lets the event stream's
+    auto-reconnect (``ServiceClient.events(reconnect=True)``) resume
+    a dropped stream from its sequence cursor without ever retrying a
+    genuine rejection.
+    """

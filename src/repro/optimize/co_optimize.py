@@ -21,13 +21,20 @@ anomaly is reproduced — and tested — rather than papered over.
 from __future__ import annotations
 
 import time as _time
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Union
 
-from repro.api.specs import DEFAULT_MAX_TAMS, OptimizeSpec
+from repro.api.specs import (
+    DEFAULT_MAX_TAMS,
+    OptimizeSpec,
+    resolved_tam_counts,
+)
 from repro.assign.exact import exact_assign
 from repro.exceptions import ConfigurationError
 from repro.optimize.result import CoOptimizationResult
-from repro.partition.evaluate import partition_evaluate
+from repro.partition.evaluate import (
+    PartitionSearchResult,
+    partition_evaluate,
+)
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import TimeTable, build_time_tables
 
@@ -52,6 +59,7 @@ def co_optimize(
     sweep_engine: str = "kernel",
     dense: "Optional[DenseTimeMatrix]" = None,
     spec: Optional[OptimizeSpec] = None,
+    sweep: Optional[Callable[..., "PartitionSearchResult"]] = None,
 ) -> CoOptimizationResult:
     """Co-optimize the wrapper/TAM architecture of ``soc``.
 
@@ -118,6 +126,16 @@ def co_optimize(
         Optional pre-built :class:`~repro.engine.kernel.
         DenseTimeMatrix` for the kernel sweep (e.g. attached from the
         batch engine's shared-memory transport).
+    sweep:
+        Optional replacement for :func:`~repro.partition.evaluate.
+        partition_evaluate` — called with the identical signature and
+        required to return an outcome-identical
+        :class:`~repro.partition.evaluate.PartitionSearchResult`.
+        This is the seam the batch engine's intra-job sharding plugs
+        into (:mod:`repro.partition.shard`): step 1 fans out across
+        the pool, while step 2 (the exact polish) and the result
+        assembly stay right here.  An execution hint, not part of the
+        job's canonical content.
 
     Returns
     -------
@@ -148,16 +166,15 @@ def co_optimize(
             "pass either total_width or spec=, not both"
         )
     total_width = spec.total_width
-    counts = spec.num_tams
-    if counts is None:
-        counts = range(1, min(DEFAULT_MAX_TAMS, total_width) + 1)
+    counts = resolved_tam_counts(total_width, spec.num_tams)
 
     start = _time.monotonic()
     if tables is None:
         tables = build_time_tables(soc, total_width)
     table_list = [tables[core.name] for core in soc.cores]
 
-    search = partition_evaluate(
+    search_fn = sweep if sweep is not None else partition_evaluate
+    search = search_fn(
         table_list,
         total_width,
         counts,

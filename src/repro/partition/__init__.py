@@ -9,7 +9,12 @@
   all duplicates — kept for the ablation study);
 * :mod:`~repro.partition.evaluate` — ``Partition_evaluate`` (Fig. 3):
   sweep partitions across TAM counts, scoring each with ``Core_assign``
-  under the shared best-known-time abort.
+  under the shared best-known-time abort;
+* :mod:`~repro.partition.shard` — the same sweep split into
+  contiguous rank ranges that score independently (the batch
+  engine's intra-job parallelism), with a shared incumbent and a
+  deterministic merge that reproduces the serial result
+  bit-for-bit.
 """
 
 from repro.partition.count import (

@@ -36,6 +36,15 @@ so every observable outcome — best time, partition, assignment,
 and the wall clock move.  The engine/service paths enable it; the
 paper-fidelity report drivers keep the plain abort so Table 1's
 protocol is untouched.
+
+This module is the *serial* sweep and the semantic reference: the
+sharded driver in :mod:`repro.partition.shard` splits the same
+enumeration across pool workers and merges back a
+:class:`PartitionSearchResult` that is bit-identical to what the
+loop below produces (the differential suite in
+``tests/partition/test_shard.py`` holds it to that), reusing the
+:class:`_TopK` incumbent tracker both for the shard-local thresholds
+and for the deterministic replay merge.
 """
 
 from __future__ import annotations

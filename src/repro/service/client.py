@@ -19,11 +19,12 @@ from __future__ import annotations
 
 import json
 import socket
+import time as _time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.api.envelopes import PROTOCOL_VERSION
 from repro.api.specs import DEFAULT_MAX_TAMS, GridSpec
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceError, ServiceTransportError
 
 
 class ServiceClient:
@@ -49,15 +50,28 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._connect()
+
+    def _connect(self) -> None:
+        """(Re)establish the socket; transport state starts fresh."""
         try:
             self._sock = socket.create_connection(
-                (host, port), timeout=timeout
+                (self.host, self.port), timeout=self.timeout
             )
         except OSError as error:
-            raise ServiceError(
-                f"cannot connect to service at {host}:{port}: {error}"
+            raise ServiceTransportError(
+                f"cannot connect to service at {self.host}:"
+                f"{self.port}: {error}"
             ) from error
         self._reader = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        """Swap in a fresh connection after a transport failure."""
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self._connect()
 
     # ------------------------------------------------------------------
     # Transport
@@ -74,17 +88,17 @@ class ServiceClient:
             self._sock.sendall(payload.encode("utf-8"))
             line = self._reader.readline()
         except OSError as error:
-            raise ServiceError(
+            raise ServiceTransportError(
                 f"service connection failed: {error}"
             ) from error
         if not line:
-            raise ServiceError(
+            raise ServiceTransportError(
                 "service closed the connection mid-request"
             )
         try:
             response = json.loads(line)
         except ValueError as error:
-            raise ServiceError(
+            raise ServiceTransportError(
                 f"undecodable service response: {error}"
             ) from error
         if not isinstance(response, dict) or not response.get("ok"):
@@ -140,6 +154,7 @@ class ServiceClient:
         num_tams: Union[int, Sequence[int], None] = None,
         bmax: Optional[int] = None,
         options: Optional[Dict[str, Any]] = None,
+        shard: Union[int, str, None] = None,
     ) -> str:
         """Submit a SOCs × widths grid; returns the job ID.
 
@@ -151,13 +166,23 @@ class ServiceClient:
         the *server* resolves (benchmark names or ``.soc`` paths
         readable server-side).  Whether the answer came from the
         server's memo is visible via :meth:`status` (``cached``).
+
+        ``shard`` is the intra-job sharding hint (``"auto"``, a shard
+        count, or ``None`` for the server's policy): an execution
+        hint carried in the spec's ``runner`` mapping, excluded from
+        the canonical key — so the same grid memo-hits at any shard
+        setting.
         """
         if num_tams is None:
             num_tams = tuple(
                 range(1, (bmax or DEFAULT_MAX_TAMS) + 1)
             )
+        runner: Dict[str, Any] = (
+            {} if shard is None else {"shard": shard}
+        )
         return self.submit_grid(GridSpec.from_axes(
             socs, widths, num_tams=num_tams, options=options,
+            runner=runner,
         ))
 
     def status(self, job_id: str) -> Dict[str, Any]:
@@ -186,22 +211,13 @@ class ServiceClient:
         finally:
             self._sock.settimeout(previous)
 
-    def events(
+    def _events_once(
         self,
         job_id: str,
-        start: int = 0,
-        timeout: Optional[float] = None,
+        start: int,
+        timeout: Optional[float],
     ) -> Iterator[Dict[str, Any]]:
-        """Stream ``job_id``'s per-point completion events.
-
-        Yields one serialized :class:`repro.api.JobEvent` dictionary
-        per finished grid point, pushed by the server as the grid
-        runs (protocol v2 ``events`` op), and returns when the job
-        is terminal — no polling.  ``start`` resumes mid-stream at
-        an event sequence number; ``timeout`` bounds the server-side
-        wait.  Raises :class:`~repro.exceptions.ServiceError` on an
-        error line.
-        """
+        """One ``events`` stream over the current connection."""
         request: Dict[str, Any] = {
             "v": PROTOCOL_VERSION,
             "op": "events",
@@ -222,24 +238,24 @@ class ServiceClient:
             try:
                 self._sock.sendall(payload.encode("utf-8"))
             except OSError as error:
-                raise ServiceError(
+                raise ServiceTransportError(
                     f"service connection failed: {error}"
                 ) from error
             while True:
                 try:
                     line = self._reader.readline()
                 except OSError as error:
-                    raise ServiceError(
+                    raise ServiceTransportError(
                         f"service connection failed: {error}"
                     ) from error
                 if not line:
-                    raise ServiceError(
+                    raise ServiceTransportError(
                         "service closed the connection mid-stream"
                     )
                 try:
                     response = json.loads(line)
                 except ValueError as error:
-                    raise ServiceError(
+                    raise ServiceTransportError(
                         f"undecodable service response: {error}"
                     ) from error
                 if not isinstance(response, dict) \
@@ -254,7 +270,69 @@ class ServiceClient:
                 if response.get("done"):
                     return
         finally:
-            self._sock.settimeout(previous)
+            try:
+                self._sock.settimeout(previous)
+            except OSError:  # pragma: no cover - socket replaced
+                pass
+
+    def events(
+        self,
+        job_id: str,
+        start: int = 0,
+        timeout: Optional[float] = None,
+        reconnect: bool = False,
+        max_reconnects: int = 5,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream ``job_id``'s per-point completion events.
+
+        Yields one serialized :class:`repro.api.JobEvent` dictionary
+        per finished grid point, pushed by the server as the grid
+        runs (protocol v2 ``events`` op), and returns when the job
+        is terminal — no polling.  ``start`` resumes mid-stream at
+        an event sequence number; ``timeout`` bounds the server-side
+        wait.  Raises :class:`~repro.exceptions.ServiceError` on an
+        error line.
+
+        With ``reconnect=True`` a *dropped* stream (the connection —
+        not the request — failed: :class:`~repro.exceptions.
+        ServiceTransportError`) is resumed transparently: the client
+        reconnects and re-issues the request from the sequence cursor
+        after the last delivered event, so consumers see every event
+        exactly once.  ``max_reconnects`` bounds consecutive
+        reconnect attempts *without progress* — failed reconnects
+        included, with a short growing backoff between them (a
+        restarting server answers connection-refused for a moment) —
+        and any delivered event resets the budget.  Server-side
+        errors (unknown job, bad request) are never retried.
+        """
+        next_seq = start
+        failures = 0
+        dropped = False
+        while True:
+            try:
+                if dropped:
+                    dropped = False
+                    self._reconnect()
+                for event in self._events_once(
+                    job_id, next_seq, timeout
+                ):
+                    cursor = event.get("seq")
+                    next_seq = (
+                        int(cursor) + 1 if cursor is not None
+                        else next_seq + 1
+                    )
+                    failures = 0
+                    yield event
+                return
+            except ServiceTransportError:
+                if not reconnect:
+                    raise
+                failures += 1
+                if failures > max_reconnects:
+                    raise
+                dropped = True
+                if failures > 1:
+                    _time.sleep(min(0.1 * (failures - 1), 1.0))
 
     def result(self, job_id: str) -> Dict[str, Any]:
         """Finished grid of ``job_id``: ``points`` and ``failures``.

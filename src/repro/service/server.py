@@ -129,6 +129,10 @@ class JobRecord:
     status: str = "queued"
     cached: bool = False
     key: Optional[str] = None
+    #: Intra-job sharding hint from the submission's runner options
+    #: (``None`` = the runner's own policy).  Pure execution
+    #: strategy: not part of ``key``, so any setting memo-hits.
+    shard: "Union[int, str, None]" = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -265,8 +269,10 @@ class ExplorationServer:
         ``done``, flagged ``cached``, and the queue and the pool are
         never touched.
         """
+        shard: Union[int, str, None] = None
         if isinstance(jobs, GridSpec):
             job_tuple = tuple(jobs.jobs())
+            shard = jobs.runner_options().get("shard")
         else:
             job_tuple = tuple(jobs)
         if not job_tuple:
@@ -312,7 +318,9 @@ class ExplorationServer:
                 self.memo_hits += 1
                 self._evict_locked(keep=job_id)
                 return record
-            record = JobRecord(job_id=job_id, jobs=job_tuple, key=key)
+            record = JobRecord(
+                job_id=job_id, jobs=job_tuple, key=key, shard=shard,
+            )
             self._records[job_id] = record
             self._evict_locked(keep=job_id)
         self._queue.put(job_id)
@@ -529,6 +537,8 @@ class ExplorationServer:
                 "by_status": by_status,
                 "memo_hits": self.memo_hits,
                 "pools_started": self.runner.pools_started,
+                "jobs_sharded": self.runner.jobs_sharded,
+                "shm_fallbacks": self.runner.shm_fallbacks,
                 "max_records": self.max_records,
                 "records_evicted": self.records_evicted,
                 "persistent_memo": self.grid_memo is not None,
@@ -586,7 +596,9 @@ class ExplorationServer:
                 # a JobEvent immediately, so `events` consumers watch
                 # the grid progress instead of polling `status`.
                 for index, result in enumerate(
-                    self.runner.run_iter(list(record.jobs))
+                    self.runner.run_iter(
+                        list(record.jobs), shard=record.shard
+                    )
                 ):
                     results.append(result)
                     event = _point_event(record, index, total, result)
