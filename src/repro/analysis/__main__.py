@@ -1,0 +1,12 @@
+"""``python -m repro.analysis`` — the project-invariant linter.
+
+Runs the identical entry point as ``repro-tam lint``; see
+:mod:`repro.analysis.lint.cli`.
+"""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Project-invariant lint: the contracts of PRs 3–5, enforced statically.
+
+The differential suites prove determinism, shm lifecycle, and schema
+freezing only on sampled paths; this package checks them on every
+line of every file, on every run:
+
+* :mod:`~repro.analysis.lint.engine` — the visitor framework, rule
+  registry, ``# repro: allow[CODE]`` suppression, and
+  :func:`~repro.analysis.lint.engine.run_lint`;
+* :mod:`~repro.analysis.lint.rules` — RPR001 determinism, RPR002
+  shm-lifecycle, RPR003 pool-picklability, RPR005
+  protocol-discipline, RPR006 mutable-default, RPR007 bare-except;
+* :mod:`~repro.analysis.lint.schema_lock` — RPR004, the committed
+  golden spec schema;
+* :mod:`~repro.analysis.lint.cli` — ``repro-tam lint`` /
+  ``python -m repro.analysis``.
+"""
+
+from repro.analysis.lint.engine import (
+    LintReport,
+    ModuleSource,
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+    register,
+    run_lint,
+)
+from repro.analysis.lint.schema_lock import (
+    check_drift,
+    current_schema,
+    golden_path,
+    load_golden,
+    write_golden,
+)
+
+__all__ = [
+    "LintReport",
+    "ModuleSource",
+    "ProjectRule",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "register",
+    "run_lint",
+    "check_drift",
+    "current_schema",
+    "golden_path",
+    "load_golden",
+    "write_golden",
+]

@@ -1,0 +1,111 @@
+"""The lint command line — ``repro-tam lint`` and ``python -m
+repro.analysis`` run the identical entry point (the same contract the
+main CLI keeps between ``repro-tam`` and ``python -m repro``).
+
+Exit codes: ``0`` clean, ``1`` violations found, ``2`` usage errors
+(unknown rule codes, missing paths) — so CI can distinguish "the tree
+regressed" from "the lint invocation is broken".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.lint.engine import all_rules, run_lint
+from repro.analysis.lint.report import render_json, render_text
+from repro.analysis.lint.schema_lock import write_golden
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint flags (shared with the ``repro-tam`` CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint "
+             "(default: ./src, falling back to the root)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="project root violations are reported relative to "
+             "(default: the current directory)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run "
+             "(default: every registered rule)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--write-schema", action="store_true",
+        help="regenerate the committed golden spec schema from the "
+             "live dataclasses (run after a deliberate version bump) "
+             "and exit",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code} {rule.name}: {rule.description}")
+        return 0
+    if args.write_schema:
+        golden = write_golden()
+        print(f"golden spec schema written to {golden}")
+        return 0
+    root = Path(args.root) if args.root else Path.cwd()
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    if paths is not None:
+        missing = [str(p) for p in paths if not p.exists()]
+        if missing:
+            print(
+                f"error: no such path: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+    select = None
+    if args.select:
+        select = [
+            code.strip() for code in args.select.split(",")
+            if code.strip()
+        ]
+    try:
+        report = run_lint(paths=paths, root=root, select=select)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rendered = (
+        render_json(report) if args.format == "json"
+        else render_text(report)
+    )
+    print(rendered)
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tam lint",
+        description="Project-invariant static analysis: determinism "
+                    "in the hot scoring paths, shared-memory "
+                    "lifecycle, pool picklability, the golden spec-"
+                    "schema lock, and wire-protocol discipline.",
+        epilog="Invoke as `repro-tam lint` or `python -m "
+               "repro.analysis` — the two entry points run the "
+               "identical linter.",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,354 @@
+"""The lint engine: sources in, rule-checked violations out.
+
+The differential suites prove the project's correctness contracts —
+bit-identical sharding, shared-memory lifecycle, frozen spec schema —
+only on the paths they happen to exercise.  This engine enforces the
+same contracts *mechanically*, over every file, on every run:
+
+* a :class:`ModuleSource` wraps one parsed file (text, AST, and the
+  ``# repro: allow[...]`` suppression table, all computed lazily);
+* a :class:`Rule` inspects one module at a time; a
+  :class:`ProjectRule` inspects the tree as a whole (the golden spec
+  schema lock needs the committed artifact, not a single file);
+* :func:`run_lint` walks the requested paths, applies every selected
+  rule, filters suppressed findings, and returns a
+  :class:`LintReport`.
+
+Suppression syntax
+------------------
+A violation is silenced by a trailing comment on its line::
+
+    segment = SharedMemory(name=name)  # repro: allow[RPR002] freed by caller
+
+Several codes may share one comment (``allow[RPR001,RPR005]``).  The
+prose after the bracket is *required by convention* — say why the
+construct is safe — but not enforced mechanically.
+
+Rules register themselves via :func:`register`; the registry is the
+single source the CLI's ``--list-rules`` and ``--select`` read.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+#: ``# repro: allow[RPR001]`` / ``# repro: allow[RPR001,RPR005] why``.
+_ALLOW_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]"
+)
+
+#: Pseudo-rule emitted for files the parser rejects outright.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and what went wrong."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The conventional one-line ``path:line:col: CODE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record (the ``--format json`` reporter's unit)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleSource:
+    """One file under lint: path, text, AST, and suppressions.
+
+    The AST and the suppression table are parsed on first use and
+    cached, so a file skipped by every rule's ``applies_to`` is never
+    parsed at all.
+    """
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self._tree: Optional[ast.Module] = None
+        self._parse_error: Optional[SyntaxError] = None
+        self._suppressions: Optional[Dict[int, Set[str]]] = None
+
+    @property
+    def tree(self) -> Optional[ast.Module]:
+        """The parsed module, or ``None`` on a syntax error."""
+        if self._tree is None and self._parse_error is None:
+            try:
+                self._tree = ast.parse(self.text, filename=self.relpath)
+            except SyntaxError as error:
+                self._parse_error = error
+        return self._tree
+
+    @property
+    def parse_error(self) -> Optional[SyntaxError]:
+        """The syntax error that blocked parsing, if any."""
+        self.tree  # noqa: B018 - force the lazy parse
+        return self._parse_error
+
+    @property
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """Line number → rule codes allowed on that line."""
+        if self._suppressions is None:
+            self._suppressions = _parse_suppressions(self.text)
+        return self._suppressions
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """Whether an ``allow`` comment covers this violation."""
+        allowed = self.suppressions.get(violation.line, set())
+        return violation.rule in allowed or "*" in allowed
+
+    def violation(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Violation:
+        """A violation anchored at ``node``'s source position."""
+        return Violation(
+            rule=rule,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _parse_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Extract the per-line ``# repro: allow[...]`` table from source.
+
+    Tokenizing (rather than regexing raw lines) keeps ``allow``
+    markers inside string literals from suppressing anything.
+    """
+    table: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_PATTERN.search(token.string)
+            if match is None:
+                continue
+            codes = {
+                code.strip()
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            table.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        # An untokenizable file will fail AST parsing too; the parse
+        # error is reported instead of a suppression table.
+        pass
+    return table
+
+
+class Rule:
+    """One per-module check.  Subclass, set the class fields, register.
+
+    ``applies_to`` narrows a rule to the paths whose invariant it
+    guards (the determinism rule only patrols the hot scoring paths);
+    the default is every file.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule inspects the module at ``relpath``."""
+        return True
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Yield this rule's findings for one module."""
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> Violation:
+        """Subclass shorthand: a finding of this rule at ``node``."""
+        return module.violation(self.code, node, message)
+
+
+class ProjectRule(Rule):
+    """A check over the tree as a whole rather than one module.
+
+    Runs once per lint invocation; per-line suppression does not
+    apply (the findings name artifacts, not source lines).
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Nothing per-module; see :meth:`check_project`."""
+        return iter(())
+
+    def check_project(self, root: Path) -> Iterator[Violation]:
+        """Yield this rule's findings for the whole tree."""
+        raise NotImplementedError
+
+
+#: code → rule instance; populated by :func:`register` at import time.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the engine registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"{rule_cls.__name__} has no rule code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in code order."""
+    _load_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def _load_rules() -> None:
+    """Import the rule modules so their ``register`` calls run."""
+    from repro.analysis.lint import rules, schema_lock  # noqa: F401
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation survived suppression."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record for the ``--format json`` reporter."""
+        return {
+            "schema": 1,
+            "kind": "lint",
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules_run),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, sorted for determinism."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and candidate.suffix == ".py":
+                seen.add(resolved)
+                yield candidate
+
+
+def _relpath(path: Path, root: Path) -> str:
+    """``path`` relative to ``root`` (posix), or absolute if outside."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint ``paths`` (default: ``root/src``) with the selected rules.
+
+    ``select`` narrows the run to specific rule codes (unknown codes
+    raise ``ValueError`` — a typo must not silently lint nothing).
+    Findings suppressed by ``# repro: allow[...]`` comments are
+    dropped; everything else is returned sorted by location.
+    """
+    root = Path.cwd() if root is None else Path(root)
+    if paths is None:
+        default = root / "src"
+        paths = [default if default.is_dir() else root]
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        known = {rule.code for rule in rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        rules = [rule for rule in rules if rule.code in wanted]
+    module_rules = [
+        rule for rule in rules if not isinstance(rule, ProjectRule)
+    ]
+    project_rules = [
+        rule for rule in rules if isinstance(rule, ProjectRule)
+    ]
+
+    report = LintReport(rules_run=tuple(rule.code for rule in rules))
+    for path in _iter_python_files([Path(p) for p in paths]):
+        relpath = _relpath(path, root)
+        applicable = [
+            rule for rule in module_rules if rule.applies_to(relpath)
+        ]
+        if not applicable:
+            continue
+        module = ModuleSource(path, relpath, path.read_text())
+        report.files_checked += 1
+        if module.tree is None:
+            error = module.parse_error
+            report.violations.append(Violation(
+                rule=PARSE_ERROR_CODE,
+                path=relpath,
+                line=error.lineno or 1 if error else 1,
+                col=error.offset or 0 if error else 0,
+                message=f"syntax error: "
+                        f"{error.msg if error else 'unparsable file'}",
+            ))
+            continue
+        for rule in applicable:
+            for violation in rule.check(module):
+                if not module.is_suppressed(violation):
+                    report.violations.append(violation)
+    for rule in project_rules:
+        report.violations.extend(rule.check_project(root))
+    report.violations.sort(
+        key=lambda v: (v.path, v.line, v.col, v.rule)
+    )
+    return report

@@ -1,0 +1,40 @@
+"""Reporters: a :class:`~repro.analysis.lint.engine.LintReport` out.
+
+Two formats, matching the rest of the CLI surface:
+
+* ``text`` — one ``path:line:col: CODE message`` line per finding
+  (editor- and grep-friendly) plus a one-line summary;
+* ``json`` — a single schema-tagged object, the same shape
+  ``repro-tam batch --json`` consumers already parse by convention.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.lint.engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """The human-facing report: findings, then a summary line."""
+    lines: List[str] = [
+        violation.render() for violation in report.violations
+    ]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.ok:
+        lines.append(
+            f"ok: {report.files_checked} {noun} checked, "
+            f"{len(report.rules_run)} rule(s), no violations"
+        )
+    else:
+        lines.append(
+            f"FAILED: {len(report.violations)} violation(s) in "
+            f"{report.files_checked} {noun} checked"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-facing report as one JSON document."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,551 @@
+"""The project-invariant rules (RPR001—RPR007, except the schema lock).
+
+Each rule mechanizes one contract the differential suites only
+sample.  They are deliberately *syntactic* approximations — sound
+enough to catch the regressions that actually happen (a wall-clock
+call creeping into the kernel, a segment created without a cleanup
+path, a lambda handed to the pool), cheap enough to run on every
+commit, and suppressible per line with ``# repro: allow[CODE] why``
+where a human can see further than the AST.
+
+The golden spec-schema lock (RPR004) lives in
+:mod:`repro.analysis.lint.schema_lock` — it diffs a committed
+artifact, not a single module.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.lint.engine import (
+    ModuleSource,
+    Rule,
+    Violation,
+    register,
+)
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """``foo`` for ``foo(...)``, ``bar`` for ``x.bar(...)``, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """The leftmost simple name of an attribute chain, if any."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """A set display, set/frozenset call, or set comprehension."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _enclosing_functions(
+    tree: ast.Module,
+) -> Dict[ast.AST, List[ast.AST]]:
+    """node → stack of enclosing function/lambda nodes (outermost first)."""
+    scopes: Dict[ast.AST, List[ast.AST]] = {}
+
+    def visit(node: ast.AST, stack: List[ast.AST]) -> None:
+        scopes[node] = stack
+        child_stack = stack
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            child_stack = stack + [node]
+        for child in ast.iter_child_nodes(node):
+            visit(child, child_stack)
+
+    visit(tree, [])
+    return scopes
+
+
+def _local_callables(scope: ast.AST) -> Set[str]:
+    """Names bound to nested defs or lambdas directly inside ``scope``.
+
+    Anything in this set cannot be pickled by the pool transport: it
+    is reachable only through the enclosing frame.
+    """
+    names: Set[str] = set()
+    body = getattr(scope, "body", [])
+    statements = list(body if isinstance(body, list) else [])
+    while statements:
+        statement = statements.pop()
+        if isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            names.add(statement.name)
+            continue  # a nested def's own body is a deeper scope
+        if isinstance(statement, ast.Assign) and isinstance(
+            statement.value, ast.Lambda
+        ):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        # Walk compound statements (if/for/try/with) at this level.
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.stmt):
+                statements.append(child)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — determinism in the hot scoring paths
+# ---------------------------------------------------------------------------
+
+#: The scoring paths whose outputs must be bit-identical across runs,
+#: shard counts, and hosts (DESIGN.md §5: the shard merge's replay
+#: proof assumes partition scores are pure functions of their inputs).
+_HOT_PATH_PATTERNS = (
+    re.compile(r"(^|/)repro/engine/kernel\.py$"),
+    re.compile(r"(^|/)repro/partition/shard\.py$"),
+    re.compile(r"(^|/)repro/partition/evaluate\.py$"),
+    re.compile(r"(^|/)repro/assign/[^/]+\.py$"),
+)
+
+#: module name → banned attributes (wall clock, entropy).  The
+#: monotonic clock is deliberately *not* listed: deadlines and elapsed
+#: metrics are allowed, wall-clock values leaking into scores are not.
+_NONDETERMINISTIC_CALLS: Dict[str, Tuple[str, ...]] = {
+    "time": ("time", "time_ns"),
+    "_time": ("time", "time_ns"),
+    "datetime": ("now", "utcnow", "today"),
+    "date": ("today",),
+    "os": ("urandom",),
+    "uuid": ("uuid1", "uuid4"),
+}
+
+
+@register
+class DeterminismRule(Rule):
+    """RPR001: no order- or clock-sensitive constructs in hot paths."""
+
+    code = "RPR001"
+    name = "determinism"
+    description = (
+        "Hot scoring paths (engine/kernel, partition/shard, "
+        "partition/evaluate, assign/*) must be bit-deterministic: no "
+        "wall-clock or entropy calls, no unseeded random, no "
+        "iteration or float accumulation over unordered sets."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """The determinism rule patrols only the hot scoring paths."""
+        return any(
+            pattern.search(relpath) for pattern in _HOT_PATH_PATTERNS
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Flag non-deterministic constructs in this hot-path module."""
+        tree = module.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(
+                    module, node, node.iter
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._check_iteration(
+                        module, node, generator.iter
+                    )
+
+    def _check_import(
+        self, module: ModuleSource, node: ast.ImportFrom
+    ) -> Iterator[Violation]:
+        if node.module == "random":
+            yield self.violation(
+                module, node,
+                "import from 'random' in a hot scoring path; use an "
+                "explicitly seeded random.Random instance threaded "
+                "through the caller",
+            )
+        elif node.module == "time":
+            banned = [
+                alias.name for alias in node.names
+                if alias.name in ("time", "time_ns")
+            ]
+            if banned:
+                yield self.violation(
+                    module, node,
+                    f"wall-clock import ({', '.join(banned)}) in a "
+                    f"hot scoring path; use time.monotonic for "
+                    f"deadlines and elapsed metrics",
+                )
+
+    def _check_call(
+        self, module: ModuleSource, node: ast.Call
+    ) -> Iterator[Violation]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            # sum() over a set: float accumulation in set order.
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "sum"
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                yield self.violation(
+                    module, node,
+                    "sum() over an unordered set accumulates floats "
+                    "in set-iteration order; sort first",
+                )
+            return
+        base = _base_name(func.value)
+        if base is None:
+            return
+        if base in ("random", "_random"):
+            if func.attr != "Random":
+                yield self.violation(
+                    module, node,
+                    f"random.{func.attr}() uses the shared unseeded "
+                    f"generator; construct random.Random(seed) "
+                    f"explicitly",
+                )
+            return
+        banned = _NONDETERMINISTIC_CALLS.get(base, ())
+        if func.attr in banned:
+            yield self.violation(
+                module, node,
+                f"{base}.{func.attr}() is non-deterministic; hot "
+                f"scoring paths may only use the monotonic clock",
+            )
+
+    def _check_iteration(
+        self, module: ModuleSource, node: ast.AST, iterable: ast.expr
+    ) -> Iterator[Violation]:
+        if _is_set_expression(iterable):
+            yield self.violation(
+                module, node,
+                "iteration over an unordered set in a hot scoring "
+                "path; wrap in sorted(...) to fix the order",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — shared-memory segment lifecycle
+# ---------------------------------------------------------------------------
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """RPR002: every shm segment is created/attached with a cleanup path."""
+
+    code = "RPR002"
+    name = "shm-lifecycle"
+    description = (
+        "Every SharedMemory(create=True) must live in a module with "
+        "both .close() and .unlink() cleanup calls, and every attach "
+        "in a module with .close() — leaked segments survive the "
+        "process and exhaust /dev/shm."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Flag shm segments without a close()/unlink() path."""
+        tree = module.tree
+        assert tree is not None
+        creates: List[ast.Call] = []
+        attaches: List[ast.Call] = []
+        method_calls: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                method_calls.add(node.func.attr)
+            if _call_name(node.func) != "SharedMemory":
+                continue
+            if any(
+                keyword.arg == "create"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            ):
+                creates.append(node)
+            else:
+                attaches.append(node)
+        for node in creates:
+            missing = [
+                cleanup for cleanup in ("close", "unlink")
+                if cleanup not in method_calls
+            ]
+            if missing:
+                yield self.violation(
+                    module, node,
+                    f"SharedMemory(create=True) without a "
+                    f"{' + '.join('.' + m + '()' for m in missing)} "
+                    f"cleanup path in this module; the segment "
+                    f"outlives the process",
+                )
+        for node in attaches:
+            if "close" not in method_calls:
+                yield self.violation(
+                    module, node,
+                    "SharedMemory attach without a .close() call in "
+                    "this module; the mapping leaks",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — pool picklability
+# ---------------------------------------------------------------------------
+
+#: Receiver names that identify a process-pool submission; a method
+#: called ``submit`` on anything else (e.g. the exploration server)
+#: is not a pool hand-off.
+_POOL_RECEIVER = re.compile(r"pool|executor", re.IGNORECASE)
+
+#: Methods whose first positional argument crosses the pickle boundary.
+_POOL_METHODS = ("submit", "apply_async", "map", "imap")
+
+
+@register
+class PicklabilityRule(Rule):
+    """RPR003: callables handed to the pool must be module-level."""
+
+    code = "RPR003"
+    name = "pool-picklability"
+    description = (
+        "Callables submitted to BatchRunner's pool / a "
+        "ProcessPoolExecutor must be module-level functions; lambdas "
+        "and nested defs fail to pickle at runtime, inside a worker."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Flag non-module-level callables handed to pool methods."""
+        tree = module.tree
+        assert tree is not None
+        scopes = _enclosing_functions(tree)
+        local_names: Dict[ast.AST, Set[str]] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _POOL_METHODS:
+                continue
+            receiver = _base_name(func.value)
+            terminal = (
+                func.value.attr
+                if isinstance(func.value, ast.Attribute) else receiver
+            )
+            if not any(
+                name and _POOL_RECEIVER.search(name)
+                for name in (receiver, terminal)
+            ):
+                continue
+            if not node.args:
+                continue
+            payload = node.args[0]
+            if isinstance(payload, ast.Lambda):
+                yield self.violation(
+                    module, node,
+                    f"lambda passed to {func.attr}() on a pool; "
+                    f"pool payloads must be module-level functions "
+                    f"(pickled by name)",
+                )
+                continue
+            if isinstance(payload, ast.Name):
+                for scope in scopes.get(node, []):
+                    if scope not in local_names:
+                        local_names[scope] = _local_callables(scope)
+                    if payload.id in local_names[scope]:
+                        yield self.violation(
+                            module, node,
+                            f"'{payload.id}' is defined inside an "
+                            f"enclosing function; pool payloads must "
+                            f"be module-level functions (pickled by "
+                            f"name)",
+                        )
+                        break
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — protocol discipline on the wire
+# ---------------------------------------------------------------------------
+
+#: The service modules that touch sockets.  The on-disk stores
+#: (service/store.py) parse their own JSON artifacts and are exempt.
+_WIRE_MODULE = re.compile(
+    r"(^|/)repro/service/(ipc|client|server)\.py$"
+)
+
+#: Referencing any of these inside the decoding function counts as
+#: routing through the versioned envelope layer.
+_ENVELOPE_SYMBOLS = ("JobRequest", "JobEvent", "handle_request")
+
+
+@register
+class ProtocolDisciplineRule(Rule):
+    """RPR005: wire bytes decode through the versioned envelopes."""
+
+    code = "RPR005"
+    name = "protocol-discipline"
+    description = (
+        "In the wire-facing service modules, json.loads is only "
+        "allowed inside functions that route the decoded object "
+        "through the v1/v2 envelope validators (JobRequest / "
+        "JobEvent / handle_request) — raw dicts must never drive "
+        "protocol behavior."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """The protocol rule patrols only the wire-facing modules."""
+        return _WIRE_MODULE.search(relpath) is not None
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Flag raw json.loads outside the envelope validators."""
+        tree = module.tree
+        assert tree is not None
+        scopes = _enclosing_functions(tree)
+        referenced: Dict[ast.AST, bool] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "loads"
+                and _base_name(func.value) == "json"
+            ):
+                continue
+            stack = scopes.get(node, [])
+            functions = [
+                scope for scope in stack
+                if isinstance(
+                    scope, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+            ]
+            if not functions:
+                yield self.violation(
+                    module, node,
+                    "module-level json.loads on wire data; decode "
+                    "inside a handler that validates through the "
+                    "protocol envelopes",
+                )
+                continue
+            enclosing = functions[-1]
+            if enclosing not in referenced:
+                referenced[enclosing] = _references_envelope(enclosing)
+            if not referenced[enclosing]:
+                yield self.violation(
+                    module, node,
+                    f"json.loads in {enclosing.name}() without "
+                    f"routing through an envelope validator "
+                    f"({', '.join(_ENVELOPE_SYMBOLS)}); raw wire "
+                    f"dicts bypass version and field validation",
+                )
+
+
+def _references_envelope(function: ast.AST) -> bool:
+    """Whether a function's body mentions an envelope validator."""
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and node.id in _ENVELOPE_SYMBOLS:
+            return True
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _ENVELOPE_SYMBOLS
+        ):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# RPR006 / RPR007 — repo-wide hygiene the hot rules assume
+# ---------------------------------------------------------------------------
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RPR006: no mutable default arguments."""
+
+    code = "RPR006"
+    name = "mutable-default"
+    description = (
+        "Mutable default arguments ([] / {} / set()) are shared "
+        "across calls — state bleeds between jobs and, through the "
+        "pool, between grids.  Default to None and construct inside."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Flag mutable default values in function signatures."""
+        tree = module.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                       ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        module, default,
+                        f"mutable default argument in {label}(); "
+                        f"use None and construct per call",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Name
+        ):
+            return node.func.id in ("list", "dict", "set", "bytearray")
+        return False
+
+
+@register
+class BareExceptRule(Rule):
+    """RPR007: no bare ``except:`` clauses."""
+
+    code = "RPR007"
+    name = "bare-except"
+    description = (
+        "A bare except: swallows KeyboardInterrupt and SystemExit — "
+        "it can wedge pool shutdown and hide worker crashes.  Catch "
+        "Exception (or narrower) instead."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Flag bare ``except:`` clauses."""
+        tree = module.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    module, node,
+                    "bare 'except:' clause; catch Exception or a "
+                    "narrower type",
+                )

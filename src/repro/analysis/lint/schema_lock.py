@@ -1,0 +1,255 @@
+"""RPR004 — the golden spec-schema lock.
+
+PR 4 froze the job description into schema-versioned dataclasses
+(:class:`~repro.api.specs.OptimizeSpec` / :class:`~repro.api.specs.
+GridSpec`) and wire envelopes (:class:`~repro.api.envelopes.
+JobRequest` / :class:`~repro.api.envelopes.JobEvent`).  Their
+``from_dict`` loaders reject unknown fields and versions — but
+nothing stopped a PR from *adding or retyping a field without
+bumping the version*, silently aliasing old persisted memo entries
+and old wire payloads onto new semantics.
+
+This module closes that hole with a committed golden artifact:
+
+* :func:`current_schema` introspects the live dataclasses into a
+  plain JSON record — field names, field type strings, option
+  defaults, and every version constant;
+* the golden copy lives next to this module
+  (``spec_schema.json``, regenerated via ``repro-tam lint
+  --write-schema``) and is committed, so schema drift fails PRs;
+* :class:`SchemaLockRule` (RPR004) diffs live against golden on
+  every lint run.  A field change while the version constants are
+  unchanged is *the* hard error; a stale golden after a legitimate
+  version bump asks for regeneration.
+
+:func:`check_drift` is pure (two records in, findings out) so the
+drift logic is testable without touching the committed file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.analysis.lint.engine import (
+    ProjectRule,
+    Violation,
+    register,
+)
+
+#: The committed golden artifact, next to this module so it ships
+#: with the package and is found regardless of the lint root.
+GOLDEN_FILENAME = "spec_schema.json"
+
+#: Keys of :func:`current_schema` that hold version constants; a
+#: change to any locked class requires moving at least one of them.
+_VERSION_KEYS = (
+    "spec_schema_version",
+    "protocol_version",
+    "supported_protocol_versions",
+)
+
+
+def golden_path() -> Path:
+    """Where the committed golden schema lives."""
+    return Path(__file__).resolve().parent / GOLDEN_FILENAME
+
+
+def _locked_classes() -> List[type]:
+    """The dataclasses whose shape the golden schema locks."""
+    from repro.api.envelopes import JobEvent, JobRequest
+    from repro.api.specs import GridSpec, OptimizeSpec
+
+    return [OptimizeSpec, GridSpec, JobRequest, JobEvent]
+
+
+def current_schema() -> Dict[str, Any]:
+    """The live schema record, introspected from the dataclasses.
+
+    Everything is plain JSON data (types as their annotation
+    strings), so the record round-trips losslessly through the
+    committed file and ``==`` is the whole comparison.
+    """
+    from repro.api import envelopes, specs
+
+    classes: Dict[str, Any] = {}
+    for cls in _locked_classes():
+        classes[cls.__name__] = {
+            "fields": {
+                spec_field.name: str(spec_field.type)
+                for spec_field in dataclasses.fields(cls)
+            },
+        }
+    return {
+        "generated_by": "repro-tam lint --write-schema",
+        "spec_schema_version": specs.SPEC_SCHEMA_VERSION,
+        "protocol_version": envelopes.PROTOCOL_VERSION,
+        "supported_protocol_versions": list(
+            envelopes.SUPPORTED_PROTOCOL_VERSIONS
+        ),
+        "option_defaults": {
+            key: _default_repr(value)
+            for key, value in specs.OPTION_DEFAULTS.items()
+        },
+        "classes": classes,
+    }
+
+
+def _default_repr(value: Any) -> Any:
+    """JSON-stable form of an option default.
+
+    ``repr`` for floats and strings keeps ``30.0`` and ``30``
+    distinct through the JSON round trip; everything the defaults
+    table holds today is already JSON-native, but the lock must not
+    silently coarsen future values.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)
+
+
+def load_golden(path: Optional[Path] = None) -> Dict[str, Any]:
+    """The committed golden record; raises ``FileNotFoundError``."""
+    golden = golden_path() if path is None else path
+    return json.loads(golden.read_text())
+
+
+def write_golden(path: Optional[Path] = None) -> Path:
+    """(Re)generate the golden file from the live schema."""
+    golden = golden_path() if path is None else path
+    golden.write_text(
+        json.dumps(current_schema(), indent=2, sort_keys=True) + "\n"
+    )
+    return golden
+
+
+def _diff_fields(
+    name: str,
+    current: Dict[str, str],
+    golden: Dict[str, str],
+) -> Iterator[str]:
+    """Human-readable field-level differences for one class."""
+    for field_name in sorted(set(golden) - set(current)):
+        yield f"{name}.{field_name} was removed"
+    for field_name in sorted(set(current) - set(golden)):
+        yield f"{name}.{field_name} was added"
+    for field_name in sorted(set(current) & set(golden)):
+        if current[field_name] != golden[field_name]:
+            yield (
+                f"{name}.{field_name} changed type: "
+                f"{golden[field_name]} -> {current[field_name]}"
+            )
+
+
+def check_drift(
+    current: Dict[str, Any], golden: Dict[str, Any]
+) -> List[str]:
+    """Every difference between the live and golden records.
+
+    Pure — the in-memory drift surface the tests mutate directly.
+    An empty list means the lock holds.
+    """
+    problems: List[str] = []
+    current_classes = current.get("classes", {})
+    golden_classes = golden.get("classes", {})
+    for name in sorted(set(golden_classes) - set(current_classes)):
+        problems.append(f"locked class {name} disappeared")
+    for name in sorted(set(current_classes) - set(golden_classes)):
+        problems.append(f"class {name} is new to the lock")
+    for name in sorted(set(current_classes) & set(golden_classes)):
+        problems.extend(_diff_fields(
+            name,
+            current_classes[name].get("fields", {}),
+            golden_classes[name].get("fields", {}),
+        ))
+    for key in ("option_defaults",):
+        if current.get(key) != golden.get(key):
+            problems.append(
+                f"{key} changed: {golden.get(key)!r} -> "
+                f"{current.get(key)!r}"
+            )
+    for key in _VERSION_KEYS:
+        if current.get(key) != golden.get(key):
+            problems.append(
+                f"{key} changed: {golden.get(key)!r} -> "
+                f"{current.get(key)!r}"
+            )
+    return problems
+
+
+def _versions_bumped(
+    current: Dict[str, Any], golden: Dict[str, Any]
+) -> bool:
+    """Whether any version constant moved between the two records."""
+    return any(
+        current.get(key) != golden.get(key) for key in _VERSION_KEYS
+    )
+
+
+@register
+class SchemaLockRule(ProjectRule):
+    """RPR004: spec/envelope shape changes require a version bump."""
+
+    code = "RPR004"
+    name = "spec-schema-lock"
+    description = (
+        "The committed golden schema (analysis/lint/spec_schema.json) "
+        "must match the live OptimizeSpec / GridSpec / JobRequest / "
+        "JobEvent dataclasses; any field or default change without a "
+        "schema/protocol version bump is a hard error.  Regenerate "
+        "after a legitimate bump with `repro-tam lint --write-schema`."
+    )
+
+    def check_project(self, root: Path) -> Iterator[Violation]:
+        """Compare the live schema against the committed golden."""
+        target = golden_path()
+        relpath = _display_path(target, root)
+        try:
+            golden = load_golden()
+        except FileNotFoundError:
+            yield Violation(
+                rule=self.code, path=relpath, line=1, col=0,
+                message=(
+                    "golden spec schema is missing; generate and "
+                    "commit it with `repro-tam lint --write-schema`"
+                ),
+            )
+            return
+        except ValueError as error:
+            yield Violation(
+                rule=self.code, path=relpath, line=1, col=0,
+                message=f"golden spec schema is unreadable: {error}",
+            )
+            return
+        current = current_schema()
+        problems = check_drift(current, golden)
+        if not problems:
+            return
+        if _versions_bumped(current, golden):
+            preamble = (
+                "golden spec schema is stale after a version bump; "
+                "regenerate with `repro-tam lint --write-schema` and "
+                "commit it"
+            )
+        else:
+            preamble = (
+                "spec/envelope schema changed without a version "
+                "bump — old persisted memos and wire payloads would "
+                "alias onto new semantics; bump the schema/protocol "
+                "version, then regenerate the golden file"
+            )
+        for problem in problems:
+            yield Violation(
+                rule=self.code, path=relpath, line=1, col=0,
+                message=f"{preamble}: {problem}",
+            )
+
+
+def _display_path(target: Path, root: Path) -> str:
+    """``target`` relative to the lint root when possible."""
+    try:
+        return target.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return target.as_posix()

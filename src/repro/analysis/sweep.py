@@ -24,7 +24,17 @@ would pay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.certificates import Certificate, certify
 from repro.analysis.utilization import (
@@ -64,7 +74,7 @@ def evaluate_point(
     num_tams: Union[int, Iterable[int], None] = None,
     tables: Optional[Dict[str, TimeTable]] = None,
     dense: "Optional[DenseTimeMatrix]" = None,
-    **co_optimize_options,
+    **co_optimize_options: Any,
 ) -> SweepPoint:
     """Optimize one (W, B) design point and annotate it.
 

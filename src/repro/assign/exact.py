@@ -61,7 +61,7 @@ class _Search:
         widths: Sequence[int],
         node_limit: int,
         time_limit: float,
-    ):
+    ) -> None:
         self.times = times
         self.widths = widths
         self.num_cores = len(times)

@@ -10,6 +10,7 @@ from a source checkout runs the identical entry point.  Subcommands::
     repro-tam serve      [--port 7293] [--jobs N] [--cache-dir DIR]
     repro-tam submit     <sources...> -W 16 24 32 [--port 7293]
     repro-tam describe   <file.soc | benchmark>
+    repro-tam lint       [paths...] [--format json] [--write-schema]
 
 Every optimizing subcommand translates its arguments into the same
 typed :class:`repro.api.GridSpec` / :class:`repro.api.OptimizeSpec`
@@ -50,6 +51,15 @@ stops paying pool startup and table construction per request::
 
 ``submit`` sends a batch-identical grid to a running server, waits
 (unless ``--no-wait``), and renders the same table/JSON as ``batch``.
+
+Static analysis
+---------------
+``repro-tam lint`` runs the project-invariant linter of
+:mod:`repro.analysis.lint` — determinism in the hot scoring paths,
+shared-memory lifecycle, pool picklability, the golden spec-schema
+lock, and wire-protocol discipline (``python -m repro.analysis`` is
+the identical entry point).  CI gates on it; see DESIGN.md
+§"Invariants & static analysis".
 """
 
 from __future__ import annotations
@@ -321,6 +331,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if not result["failures"] else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter pulls in ast/tokenize machinery no
+    # optimizing subcommand needs.
+    from repro.analysis.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser.
 
@@ -459,6 +477,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--json", action="store_true",
                         help="emit the grid as a JSON record")
     submit.set_defaults(func=_cmd_submit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analysis "
+             "(determinism, shm lifecycle, spec-schema lock, ...)",
+        epilog=ENTRY_POINT_EPILOG,
+    )
+    from repro.analysis.lint.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -48,6 +48,7 @@ from typing import (
     Any,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -74,9 +75,13 @@ from repro.engine.shm import (
     parse_design_steps,
 )
 from repro.exceptions import ConfigurationError
-from repro.partition.evaluate import partition_evaluate
+from repro.partition.evaluate import (
+    PartitionSearchResult,
+    partition_evaluate,
+)
 from repro.partition.shard import (
     ShardOutcome,
+    ShardPlan,
     ShardSpan,
     count_sizes,
     sharded_partition_evaluate,
@@ -84,6 +89,7 @@ from repro.partition.shard import (
 )
 from repro.soc.fingerprint import soc_fingerprint
 from repro.soc.soc import Soc
+from repro.wrapper.pareto import TimeTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.specs import GridSpec, OptimizeSpec
@@ -545,7 +551,7 @@ class BatchRunner:
         persistent: bool = False,
         share_tables: bool = True,
         shard: Union[int, str, None] = "auto",
-    ):
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1 or None, got {max_workers}"
@@ -624,7 +630,9 @@ class BatchRunner:
         self._matrices.clear()
         self._merge_tables.clear()
 
-    def _publish_local(self, fingerprint: str, soc: Soc, width: int):
+    def _publish_local(
+        self, fingerprint: str, soc: Soc, width: int
+    ) -> DenseDescriptor:
         """Build one SOC's matrix in the parent and publish it."""
         cache = self.cache_for(soc)
         tables = cache.table_list(width)
@@ -772,7 +780,7 @@ class BatchRunner:
         self,
         jobs: Sequence[BatchJob],
         shard: Union[int, str, None] = None,
-    ):
+    ) -> Iterator[BatchResult]:
         """Evaluate ``jobs``, yielding one result per job, in order.
 
         The streaming form of :meth:`run`: results become available
@@ -920,11 +928,17 @@ class BatchRunner:
         tables = self._merge_tables[descriptor.fingerprint]
 
         def sweep(
-            table_list, total_width, tam_counts, *,
-            enumerator="unique", prune=True, initial_best=None,
-            keep_top=1, stratify_by_tam_count=False,
-            engine="kernel", dense=None,
-        ):
+            table_list: Sequence[TimeTable],
+            total_width: int,
+            tam_counts: Union[int, Iterable[int]], *,
+            enumerator: str = "unique",
+            prune: Union[bool, str] = True,
+            initial_best: Optional[int] = None,
+            keep_top: int = 1,
+            stratify_by_tam_count: bool = False,
+            engine: str = "kernel",
+            dense: Optional[DenseTimeMatrix] = None,
+        ) -> PartitionSearchResult:
             if stratify_by_tam_count or engine != "kernel" \
                     or enumerator != "unique":
                 # Configurations outside the shard protocol's
@@ -937,7 +951,7 @@ class BatchRunner:
                     engine=engine, dense=dense,
                 )
 
-            def scorer(plan):
+            def scorer(plan: ShardPlan) -> List[ShardOutcome]:
                 # Unpruned sweeps never read the board; skip it.
                 board = (
                     IncumbentBoard.create(plan.num_shards, keep_top)

@@ -51,7 +51,7 @@ class WrapperTableCache:
         build/extension is persisted back.
     """
 
-    def __init__(self, soc: Soc, store: "Optional[TableStore]" = None):
+    def __init__(self, soc: Soc, store: "Optional[TableStore]" = None) -> None:
         self.soc = soc
         self.store = store
         self._tables: Dict[str, TimeTable] = {}

@@ -34,7 +34,7 @@ the differential suite in ``tests/engine/test_kernel.py``):
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.assign.core_assign import CoreAssignOutcome, reference_buses
 from repro.assign.lower_bounds import column_lower_bound
@@ -65,7 +65,12 @@ class DenseTimeMatrix:
         "_orders", "_contexts",
     )
 
-    def __init__(self, flat, num_cores: int, total_width: int):
+    def __init__(
+        self,
+        flat: Union["array[int]", memoryview, Sequence[int]],
+        num_cores: int,
+        total_width: int,
+    ) -> None:
         if num_cores < 1:
             raise ConfigurationError(
                 f"num_cores must be >= 1, got {num_cores}"
@@ -217,7 +222,10 @@ class DenseTimeMatrix:
 
     @classmethod
     def from_buffer(
-        cls, buffer, num_cores: int, total_width: int
+        cls,
+        buffer: Union[bytes, bytearray, memoryview],
+        num_cores: int,
+        total_width: int,
     ) -> "DenseTimeMatrix":
         """Zero-copy view over a native int64 buffer (bytes or shm)."""
         view = memoryview(buffer).cast("q")
@@ -464,7 +472,7 @@ class DenseTimeTable:
         matrix: DenseTimeMatrix,
         index: int,
         design_steps: Optional[Sequence[Tuple[int, dict]]] = None,
-    ):
+    ) -> None:
         self.core = core
         self.max_width = matrix.total_width
         self._matrix = matrix

@@ -55,9 +55,12 @@ from __future__ import annotations
 import atexit
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.kernel import DenseTimeMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wrapper.pareto import TimeTable
 
 try:  # pragma: no cover - import guard for exotic builds
     from multiprocessing import shared_memory as _shared_memory
@@ -107,7 +110,9 @@ class SegmentRegistry:
         ] = {}
 
     @staticmethod
-    def _new_segment(data: bytes):
+    def _new_segment(
+        data: bytes,
+    ) -> "Optional[_shared_memory.SharedMemory]":
         """A filled shared segment for ``data``, or ``None``."""
         if _shared_memory is None or not data:
             return None
@@ -289,7 +294,7 @@ def attach(descriptor: DenseDescriptor) -> Optional[DenseTimeMatrix]:
     return matrix
 
 
-def design_steps_blob(tables) -> bytes:
+def design_steps_blob(tables: "Sequence[TimeTable]") -> bytes:
     """Serialize wrapper-design staircases for the shm transport.
 
     One record per core: the Pareto breakpoints of its
@@ -414,8 +419,9 @@ class IncumbentBoard:
 
     SENTINEL = 1 << 62
 
-    def __init__(self, segment, num_shards: int, keep_top: int,
-                 owner: bool):
+    def __init__(self, segment: "_shared_memory.SharedMemory",
+                 num_shards: int, keep_top: int,
+                 owner: bool) -> None:
         self._segment = segment
         self._view = memoryview(segment.buf).cast("q")
         self.num_shards = num_shards
@@ -469,7 +475,9 @@ class IncumbentBoard:
             owner=False,
         )
 
-    def publish(self, shard_index: int, times) -> None:
+    def publish(
+        self, shard_index: int, times: Sequence[int]
+    ) -> None:
         """Record ``shard_index``'s current kept times (ascending)."""
         base = shard_index * self.keep_top
         view = self._view
@@ -498,7 +506,7 @@ class IncumbentBoard:
             pass
 
 
-def _attach_untracked(name: str):
+def _attach_untracked(name: str) -> "_shared_memory.SharedMemory":
     """Attach to ``name`` without telling the resource tracker.
 
     Python ≤ 3.12 registers *attached* segments with the resource

@@ -27,7 +27,7 @@ class ParseError(ReproError):
         the error is not tied to a specific line.
     """
 
-    def __init__(self, message: str, line_number: "int | None" = None):
+    def __init__(self, message: str, line_number: "int | None" = None) -> None:
         if line_number is not None:
             message = f"line {line_number}: {message}"
         super().__init__(message)

@@ -38,7 +38,7 @@ class _Node:
 class BranchAndBound:
     """Configurable branch-and-bound solver for a single model."""
 
-    def __init__(self, model: Model, node_limit: int = 100_000):
+    def __init__(self, model: Model, node_limit: int = 100_000) -> None:
         if node_limit < 1:
             raise ConfigurationError(
                 f"node_limit must be >= 1, got {node_limit}"

@@ -33,7 +33,7 @@ class LinExpr:
         self,
         terms: Optional[Dict[int, float]] = None,
         constant: float = 0.0,
-    ):
+    ) -> None:
         self.terms: Dict[int, float] = dict(terms or {})
         self.constant = float(constant)
 
@@ -142,7 +142,7 @@ class Constraint:
 class Model:
     """A small mixed 0-1 linear program."""
 
-    def __init__(self, name: str = "model"):
+    def __init__(self, name: str = "model") -> None:
         self.name = name
         self.variables: List[Variable] = []
         self.constraints: List[Constraint] = []

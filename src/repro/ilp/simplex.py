@@ -29,7 +29,7 @@ class LpResult:
 class LpRelaxation:
     """Reusable LP data for a model; per-node bounds vary only."""
 
-    def __init__(self, model: Model):
+    def __init__(self, model: Model) -> None:
         self.model = model
         num_vars = model.num_variables
 

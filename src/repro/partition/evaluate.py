@@ -157,7 +157,7 @@ class PartitionSearchResult:
 
 def _times_for(
     tables: Sequence[TimeTable], widths: Tuple[int, ...]
-) -> list:
+) -> List[List[int]]:
     """N x B testing-time matrix for one width partition."""
     return [
         [table.time(width) for width in widths]
@@ -174,10 +174,10 @@ class _TopK:
     best-known-time abort.
     """
 
-    def __init__(self, capacity: int, initial_best: Optional[int]):
+    def __init__(self, capacity: int, initial_best: Optional[int]) -> None:
         self.capacity = capacity
         self.initial_best = initial_best
-        self.entries: list = []  # sorted by testing_time ascending
+        self.entries: List[AssignmentResult] = []  # sorted by time asc
 
     def threshold(self) -> Optional[int]:
         """Current abort threshold for ``Core_assign``."""
@@ -342,8 +342,8 @@ def partition_evaluate(
         workspace = KernelWorkspace()
 
     global_top = _TopK(keep_top, initial_best)
-    trackers = []
-    all_stats = []
+    trackers: List[_TopK] = []
+    all_stats: List[PartitionStats] = []
 
     for count in tam_counts:
         tracker = (

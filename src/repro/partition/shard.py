@@ -51,7 +51,16 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.engine.kernel import (
     DenseTimeMatrix,
@@ -151,6 +160,22 @@ class ShardOutcome:
     elapsed_seconds: float
 
 
+class Board(Protocol):
+    """What a cross-shard incumbent board must provide.
+
+    Satisfied structurally by :class:`LocalBoard` and by the
+    shared-memory :class:`repro.engine.shm.IncumbentBoard`.
+    """
+
+    def publish(
+        self, shard_index: int, times: Sequence[int]
+    ) -> None:
+        """Record ``shard_index``'s current kept times (ascending)."""
+
+    def earlier_times(self, shard_index: int) -> List[int]:
+        """Every time published by shards before ``shard_index``."""
+
+
 class LocalBoard:
     """In-process incumbent board (inline runs and tests).
 
@@ -160,7 +185,7 @@ class LocalBoard:
     slots of *earlier* shards.
     """
 
-    def __init__(self, num_shards: int, keep_top: int = 1):
+    def __init__(self, num_shards: int, keep_top: int = 1) -> None:
         self.keep_top = keep_top
         self._slots: List[List[int]] = [[] for _ in range(num_shards)]
 
@@ -230,7 +255,7 @@ def plan_shards(
 
 def _shared_threshold(
     tracker: _TopK,
-    board,
+    board: Optional[Board],
     shard_index: int,
     keep_top: int,
 ) -> Optional[int]:
@@ -268,7 +293,7 @@ def sweep_shard(
     keep_top: int = 1,
     initial_best: Optional[int] = None,
     prune: Union[bool, str] = True,
-    board=None,
+    board: Optional[Board] = None,
     workspace: Optional[KernelWorkspace] = None,
 ) -> ShardOutcome:
     """Score one shard's spans; the pool-worker payload.
@@ -292,7 +317,7 @@ def sweep_shard(
     workspace = workspace or KernelWorkspace()
     completions: List[ShardCompletion] = []
     #: prune=False: widths-key → latest kept completion (see above).
-    kept: dict = {}
+    kept: Dict[Tuple[int, ...], ShardCompletion] = {}
     for span in spans:
         threshold = (
             _shared_threshold(tracker, board, shard_index, keep_top)

@@ -22,7 +22,7 @@ class TextTable:
     16 | 8+8       | 45055
     """
 
-    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None) -> None:
         self.title = title
         self.headers = [str(header) for header in headers]
         self.rows: List[List[str]] = []

@@ -22,9 +22,13 @@ import socket
 import time as _time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
-from repro.api.envelopes import PROTOCOL_VERSION
+from repro.api.envelopes import PROTOCOL_VERSION, JobEvent
 from repro.api.specs import DEFAULT_MAX_TAMS, GridSpec
-from repro.exceptions import ServiceError, ServiceTransportError
+from repro.exceptions import (
+    ConfigurationError,
+    ServiceError,
+    ServiceTransportError,
+)
 
 
 class ServiceClient:
@@ -46,7 +50,7 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 30.0,
-    ):
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -96,7 +100,11 @@ class ServiceClient:
                 "service closed the connection mid-request"
             )
         try:
-            response = json.loads(line)
+            # Plain response line: `ok`/`error` framing plus loose
+            # per-op fields — there is deliberately no envelope class
+            # for these (only requests and events are typed), so the
+            # framing checks below are the whole validation.
+            response = json.loads(line)  # repro: allow[RPR005]
         except ValueError as error:
             raise ServiceTransportError(
                 f"undecodable service response: {error}"
@@ -265,7 +273,17 @@ class ServiceClient:
                         message = str(response.get("error", message))
                     raise ServiceError(message)
                 if "event" in response:
-                    yield response["event"]
+                    # Validate through the typed envelope before
+                    # handing the record to callers: a server pushing
+                    # malformed events is a protocol error, reported
+                    # here rather than as a KeyError downstream.
+                    try:
+                        event = JobEvent.from_dict(response["event"])
+                    except ConfigurationError as error:
+                        raise ServiceError(
+                            f"malformed event record: {error}"
+                        ) from error
+                    yield event.to_dict()
                     continue
                 if response.get("done"):
                     return

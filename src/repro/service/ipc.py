@@ -274,7 +274,7 @@ class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
 
     def __init__(
         self, address: Tuple[str, int], exploration: ExplorationServer
-    ):
+    ) -> None:
         super().__init__(address, _Handler)
         self.exploration = exploration
 
@@ -304,7 +304,7 @@ class IPCServer:
         exploration: ExplorationServer,
         host: str = "127.0.0.1",
         port: int = 0,
-    ):
+    ) -> None:
         self.exploration = exploration
         self._tcp = _ThreadingTCPServer((host, port), exploration)
         self._thread: Optional[threading.Thread] = None

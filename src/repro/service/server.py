@@ -210,7 +210,7 @@ class ExplorationServer:
         retries: int = 0,
         share_tables: bool = True,
         max_records: Optional[int] = None,
-    ):
+    ) -> None:
         if runner is None:
             runner = BatchRunner(
                 max_workers=max_workers,

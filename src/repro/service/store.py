@@ -69,7 +69,7 @@ class TableStore:
         never narrow an existing record.
     """
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         #: Widths known to be on disk, per fingerprint — a same-process
         #: fast path so repeated saves don't re-parse existing records.
@@ -274,7 +274,7 @@ class GridMemo:
     so serving one costs no object reconstruction.
     """
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
 
     def path_for(self, key: str) -> Path:

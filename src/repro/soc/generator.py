@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from math import exp, log
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.soc.complexity import test_complexity
@@ -117,7 +117,7 @@ class SocSpec:
 class SocGenerator:
     """Deterministic SOC synthesis driven by a :class:`SocSpec`."""
 
-    def __init__(self, spec: SocSpec):
+    def __init__(self, spec: SocSpec) -> None:
         self.spec = spec
 
     # ------------------------------------------------------------------
@@ -391,7 +391,11 @@ class SocGenerator:
             )
         return scaled
 
-    def _bisect_factor(self, complexity_for, target: float) -> float:
+    def _bisect_factor(
+        self,
+        complexity_for: Callable[[float], float],
+        target: float,
+    ) -> float:
         """Find the multiplier whose complexity is closest to target."""
         lo_factor, hi_factor = 1e-3, 1e3
         if complexity_for(hi_factor) < target:
@@ -430,7 +434,9 @@ class SocGenerator:
             if memory and spec.memory else frozenset()
         )
 
-        def soc_complexity(logic_cores, memory_cores) -> float:
+        def soc_complexity(
+            logic_cores: List[Core], memory_cores: List[Core]
+        ) -> float:
             soc = Soc(
                 name=spec.name, cores=tuple(logic_cores + memory_cores)
             )

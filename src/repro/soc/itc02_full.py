@@ -66,7 +66,7 @@ _INT_FIELDS = {
 class _Module:
     """Mutable per-module state while parsing."""
 
-    def __init__(self, index: int):
+    def __init__(self, index: int) -> None:
         self.index = index
         self.level: Optional[int] = None
         self.inputs = 0

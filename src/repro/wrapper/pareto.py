@@ -37,7 +37,7 @@ class TimeTable:
         TAM width W is always sufficient).
     """
 
-    def __init__(self, core: Core, max_width: int):
+    def __init__(self, core: Core, max_width: int) -> None:
         if max_width < 1:
             raise ConfigurationError(
                 f"max_width must be >= 1, got {max_width}"

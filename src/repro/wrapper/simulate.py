@@ -60,7 +60,7 @@ class _Chain:
     """
 
     def __init__(self, num_inputs: int, scan_cells: int,
-                 num_outputs: int):
+                 num_outputs: int) -> None:
         self.num_inputs = num_inputs
         self.scan_cells = scan_cells
         self.num_outputs = num_outputs

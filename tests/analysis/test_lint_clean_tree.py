@@ -1,0 +1,25 @@
+"""The committed tree itself must lint clean — the PR gate, as a test."""
+
+from pathlib import Path
+
+from repro.analysis.lint import all_rules, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_source_lints_clean():
+    report = run_lint(root=REPO_ROOT)
+    assert report.ok, "\n" + "\n".join(
+        violation.render() for violation in report.violations
+    )
+    assert report.files_checked > 50
+
+
+def test_all_project_rules_participate():
+    report = run_lint(root=REPO_ROOT)
+    assert set(report.rules_run) == {
+        rule.code for rule in all_rules()
+    }
+    assert {
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+    } <= set(report.rules_run)

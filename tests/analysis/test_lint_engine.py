@@ -1,0 +1,155 @@
+"""Unit tests for the lint engine: suppression, walking, reporting."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import run_lint
+from repro.analysis.lint.cli import main
+from repro.analysis.lint.engine import (
+    PARSE_ERROR_CODE,
+    Violation,
+    _parse_suppressions,
+)
+from repro.analysis.lint.report import render_json, render_text
+
+
+def write(tree, relpath, text):
+    path = tree / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+class TestSuppressions:
+    def test_single_code(self):
+        table = _parse_suppressions(
+            "x = 1  # repro: allow[RPR006] shared sentinel\n"
+        )
+        assert table == {1: {"RPR006"}}
+
+    def test_multiple_codes_one_comment(self):
+        table = _parse_suppressions(
+            "x = 1  # repro: allow[RPR001, RPR005]\n"
+        )
+        assert table == {1: {"RPR001", "RPR005"}}
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        table = _parse_suppressions(
+            's = "# repro: allow[RPR006]"\n'
+        )
+        assert table == {}
+
+    def test_codes_track_their_line(self):
+        text = "a = 1\nb = 2  # repro: allow[RPR007]\n"
+        assert _parse_suppressions(text) == {2: {"RPR007"}}
+
+
+class TestRunLint:
+    def test_clean_file_reports_ok(self, tmp_path):
+        write(tmp_path, "src/clean.py", "def f(x: int) -> int:\n    return x\n")
+        report = run_lint(root=tmp_path, select={"RPR006", "RPR007"})
+        assert report.ok
+        assert report.files_checked == 1
+
+    def test_violation_found_and_sorted(self, tmp_path):
+        write(
+            tmp_path, "src/bad.py",
+            "def g(x={}):\n    return x\n\n\ndef f(x=[]):\n    return x\n",
+        )
+        report = run_lint(root=tmp_path, select={"RPR006"})
+        assert [v.line for v in report.violations] == [1, 5]
+        assert all(v.rule == "RPR006" for v in report.violations)
+
+    def test_suppressed_violation_is_dropped(self, tmp_path):
+        write(
+            tmp_path, "src/ok.py",
+            "def f(x=[]):  # repro: allow[RPR006] read-only sentinel\n"
+            "    return x\n",
+        )
+        report = run_lint(root=tmp_path, select={"RPR006"})
+        assert report.ok
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        write(
+            tmp_path, "src/bad.py",
+            "def f(x=[]):  # repro: allow[RPR007]\n    return x\n",
+        )
+        report = run_lint(root=tmp_path, select={"RPR006"})
+        assert len(report.violations) == 1
+
+    def test_syntax_error_becomes_parse_error_violation(self, tmp_path):
+        write(tmp_path, "src/broken.py", "def f(:\n")
+        report = run_lint(root=tmp_path, select={"RPR006"})
+        assert [v.rule for v in report.violations] == [PARSE_ERROR_CODE]
+
+    def test_unknown_select_raises(self, tmp_path):
+        write(tmp_path, "src/clean.py", "x = 1\n")
+        with pytest.raises(ValueError, match="RPR999"):
+            run_lint(root=tmp_path, select={"RPR999"})
+
+    def test_explicit_paths_override_default(self, tmp_path):
+        write(tmp_path, "src/bad.py", "def f(x=[]):\n    return x\n")
+        other = write(tmp_path, "elsewhere.py", "x = 1\n")
+        report = run_lint(
+            paths=[other], root=tmp_path, select={"RPR006"}
+        )
+        assert report.ok
+        assert report.files_checked == 1
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        write(tmp_path, "src/bad.py", "def f(x=[]):\n    return x\n")
+        return run_lint(root=tmp_path, select={"RPR006"})
+
+    def test_text_has_location_and_summary(self, tmp_path):
+        text = render_text(self._report(tmp_path))
+        assert "src/bad.py:1:" in text
+        assert "RPR006" in text
+        assert "FAILED" in text
+
+    def test_text_ok_summary(self, tmp_path):
+        write(tmp_path, "src/clean.py", "x = 1\n")
+        report = run_lint(root=tmp_path, select={"RPR006"})
+        assert "ok:" in render_text(report)
+
+    def test_json_round_trips(self, tmp_path):
+        payload = json.loads(render_json(self._report(tmp_path)))
+        assert payload["kind"] == "lint"
+        assert payload["ok"] is False
+        assert payload["violations"][0]["rule"] == "RPR006"
+
+    def test_violation_render(self):
+        violation = Violation("RPR001", "a.py", 3, 7, "boom")
+        assert violation.render() == "a.py:3:7: RPR001 boom"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "src/clean.py", "x = 1\n")
+        assert main(["--root", str(tmp_path), "--select", "RPR006"]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        write(tmp_path, "src/bad.py", "def f(x=[]):\n    return x\n")
+        assert main(["--root", str(tmp_path), "--select", "RPR006"]) == 1
+        assert "RPR006" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "src/clean.py", "x = 1\n")
+        assert main(["--root", str(tmp_path), "--select", "RPR999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR004", "RPR007"):
+            assert code in out
+
+    def test_json_format(self, tmp_path, capsys):
+        write(tmp_path, "src/clean.py", "x = 1\n")
+        assert main([
+            "--root", str(tmp_path), "--select", "RPR006",
+            "--format", "json",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True

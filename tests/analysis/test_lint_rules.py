@@ -1,0 +1,277 @@
+"""Each project rule fires on a seeded violation and stays silent on
+the idiomatic equivalent the codebase actually uses."""
+
+from repro.analysis.lint import run_lint
+
+
+def lint_file(tmp_path, relpath, text, rule):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return run_lint(
+        paths=[path], root=tmp_path, select={rule}
+    ).violations
+
+
+HOT = "src/repro/partition/evaluate.py"
+
+
+class TestDeterminismRule:
+    def test_wall_clock_call_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, HOT,
+            "import time\n\n\ndef f():\n    return time.time()\n",
+            "RPR001",
+        )
+        assert len(found) == 1
+        assert "time.time()" in found[0].message
+
+    def test_monotonic_clock_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, HOT,
+            "import time\n\n\ndef f():\n    return time.monotonic()\n",
+            "RPR001",
+        )
+
+    def test_aliased_time_module_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, HOT,
+            "import time as _time\n\n\ndef f():\n"
+            "    return _time.time()\n",
+            "RPR001",
+        )
+        assert len(found) == 1
+
+    def test_unseeded_random_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, HOT,
+            "import random\n\n\ndef f():\n    return random.random()\n",
+            "RPR001",
+        )
+        assert len(found) == 1
+
+    def test_seeded_random_instance_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, HOT,
+            "import random\n\n\ndef f(seed):\n"
+            "    return random.Random(seed)\n",
+            "RPR001",
+        )
+
+    def test_from_random_import_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, HOT,
+            "from random import shuffle\n", "RPR001",
+        )
+        assert len(found) == 1
+
+    def test_set_iteration_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, HOT,
+            "def f(xs):\n    for x in set(xs):\n        print(x)\n",
+            "RPR001",
+        )
+        assert len(found) == 1
+        assert "sorted" in found[0].message
+
+    def test_sorted_set_iteration_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, HOT,
+            "def f(xs):\n"
+            "    for x in sorted(set(xs)):\n        print(x)\n",
+            "RPR001",
+        )
+
+    def test_sum_over_set_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, HOT,
+            "def f(xs):\n    return sum({x * 0.5 for x in xs})\n",
+            "RPR001",
+        )
+        assert len(found) == 1
+
+    def test_cold_paths_not_patrolled(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/repro/report/tables.py",
+            "import time\n\n\ndef f():\n    return time.time()\n",
+            "RPR001",
+        )
+
+    def test_assign_package_is_hot(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/repro/assign/greedy.py",
+            "import time\n\n\ndef f():\n    return time.time()\n",
+            "RPR001",
+        )
+        assert len(found) == 1
+
+
+class TestShmLifecycleRule:
+    def test_create_without_cleanup_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/leaky.py",
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n\ndef f(n):\n"
+            "    return SharedMemory(create=True, size=n)\n",
+            "RPR002",
+        )
+        assert len(found) == 1
+        assert ".unlink()" in found[0].message
+
+    def test_create_with_cleanup_path_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/tidy.py",
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n\ndef f(n):\n"
+            "    segment = SharedMemory(create=True, size=n)\n"
+            "    try:\n"
+            "        return bytes(segment.buf)\n"
+            "    finally:\n"
+            "        segment.close()\n"
+            "        segment.unlink()\n",
+            "RPR002",
+        )
+
+    def test_attach_without_close_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/leaky.py",
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "\n\ndef f(name):\n"
+            "    return SharedMemory(name=name)\n",
+            "RPR002",
+        )
+        assert len(found) == 1
+        assert ".close()" in found[0].message
+
+
+class TestPicklabilityRule:
+    def test_lambda_payload_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/jobs.py",
+            "def f(pool, xs):\n"
+            "    return pool.submit(lambda: xs)\n",
+            "RPR003",
+        )
+        assert len(found) == 1
+        assert "lambda" in found[0].message
+
+    def test_nested_def_payload_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/jobs.py",
+            "def f(executor, xs):\n"
+            "    def worker():\n"
+            "        return xs\n"
+            "    return executor.submit(worker)\n",
+            "RPR003",
+        )
+        assert len(found) == 1
+        assert "worker" in found[0].message
+
+    def test_module_level_payload_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/jobs.py",
+            "def worker(x):\n    return x\n\n\n"
+            "def f(pool, xs):\n"
+            "    return pool.submit(worker, xs)\n",
+            "RPR003",
+        )
+
+    def test_non_pool_submit_ignored(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/server.py",
+            "def f(exploration, job):\n"
+            "    def decorate():\n"
+            "        return job\n"
+            "    return exploration.submit(decorate)\n",
+            "RPR003",
+        )
+
+    def test_attribute_pool_receiver_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/jobs.py",
+            "def f(self, xs):\n"
+            "    return self._executor.submit(lambda: xs)\n",
+            "RPR003",
+        )
+        assert len(found) == 1
+
+
+WIRE = "src/repro/service/client.py"
+
+
+class TestProtocolDisciplineRule:
+    def test_raw_loads_in_wire_module_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, WIRE,
+            "import json\n\n\ndef decode(line):\n"
+            "    return json.loads(line)\n",
+            "RPR005",
+        )
+        assert len(found) == 1
+        assert "envelope" in found[0].message
+
+    def test_loads_routed_through_envelope_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, WIRE,
+            "import json\n\n"
+            "from repro.api.envelopes import JobRequest\n\n\n"
+            "def decode(line):\n"
+            "    return JobRequest.from_dict(json.loads(line))\n",
+            "RPR005",
+        )
+
+    def test_module_level_loads_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, WIRE,
+            "import json\n\nDEFAULTS = json.loads('{}')\n",
+            "RPR005",
+        )
+        assert len(found) == 1
+
+    def test_store_module_exempt(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/repro/service/store.py",
+            "import json\n\n\ndef load(path):\n"
+            "    return json.loads(path.read_text())\n",
+            "RPR005",
+        )
+
+
+class TestHygieneRules:
+    def test_mutable_default_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/m.py",
+            "def f(x=[], y={}, z=set()):\n    return x, y, z\n",
+            "RPR006",
+        )
+        assert len(found) == 3
+
+    def test_keyword_only_mutable_default_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/m.py",
+            "def f(*, x=[]):\n    return x\n",
+            "RPR006",
+        )
+        assert len(found) == 1
+
+    def test_none_default_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/m.py",
+            "def f(x=None, y=()):\n    return x, y\n",
+            "RPR006",
+        )
+
+    def test_bare_except_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, "src/m.py",
+            "try:\n    pass\nexcept:\n    pass\n",
+            "RPR007",
+        )
+        assert len(found) == 1
+
+    def test_typed_except_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/m.py",
+            "try:\n    pass\nexcept OSError:\n    pass\n",
+            "RPR007",
+        )

@@ -1,0 +1,38 @@
+"""The external static gates (mypy strict core, ruff) when available.
+
+The container may not ship mypy/ruff — CI installs them for the
+``static-analysis`` job — so these tests skip rather than fail when
+the tools are absent.  The project's own linter needs no such guard
+(pure stdlib) and is exercised by tests/analysis/.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _tool_missing(module: str) -> bool:
+    return importlib.util.find_spec(module) is None
+
+
+@pytest.mark.skipif(_tool_missing("mypy"), reason="mypy not installed")
+def test_mypy_strict_over_typed_core():
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert completed.returncode == 0, completed.stdout
+
+
+@pytest.mark.skipif(_tool_missing("ruff"), reason="ruff not installed")
+def test_ruff_check_clean():
+    completed = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert completed.returncode == 0, completed.stdout
