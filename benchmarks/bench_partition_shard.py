@@ -26,10 +26,11 @@ recorded alongside, tagged with ``cpu_count``, and asserted only for
 result identity — never for speed.
 """
 
-import json
 import os
 import time
 from pathlib import Path
+
+from common import append_history, bench_record
 
 from repro.engine.batch import BatchJob, BatchRunner
 from repro.engine.cache import WrapperTableCache
@@ -251,13 +252,21 @@ def test_partition_shard_speedup_and_identity(
     wall = run_pool_wall_clock(p93791)
     cold = run_cold_grid([d695, p21241, p31108])
 
-    BENCH_JSON.write_text(json.dumps({
-        "schema": 1,
-        "kind": "bench_partition_shard",
-        "workers": WORKERS,
-        "num_shards": NUM_SHARDS,
-        "single_job": rows,
-        "pool_wall_clock": wall,
-        "cold_grid": cold,
-    }, indent=2) + "\n")
-    print(f"[written to {BENCH_JSON}]")
+    headline = next(
+        (
+            row["speedup4"] for row in rows
+            if row["W"] == SINGLE_JOBS[0][0]
+            and row["B"] == SINGLE_JOBS[0][1]
+        ),
+        None,
+    )
+    append_history(BENCH_JSON, bench_record(
+        "bench_partition_shard",
+        config={"workers": WORKERS, "num_shards": NUM_SHARDS},
+        samples=rows + [
+            dict(wall, kind="pool_wall_clock"),
+            dict(cold, kind="cold_grid"),
+        ],
+        speedup=headline,
+    ))
+    print(f"[appended to {BENCH_JSON}]")

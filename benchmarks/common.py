@@ -1,0 +1,115 @@
+"""Shared record schema for the ``BENCH_*.json`` perf trajectory.
+
+Every perf-bearing benchmark archives its machine-readable result at
+the repository root in one shape, so the files can be compared across
+benches and across time::
+
+    {
+      "schema": 2,
+      "kind": "<bench name>",
+      "latest": <record>,
+      "history": [<record>, ...]          # oldest first, bounded
+    }
+
+where each ``<record>`` is :func:`bench_record`'s output::
+
+    {
+      "name": "<bench name>",
+      "config": {...},                    # what was measured
+      "samples": [...],                   # the measured rows
+      "speedup": <headline ratio or None>,
+      "cpu_count": <os.cpu_count()>,
+      "timestamp": <unix seconds>
+    }
+
+``append_history`` keeps every previous run in ``history`` (bounded)
+instead of overwriting — the trajectory is the point: a perf
+regression shows up as the newest entry breaking the trend.  A
+pre-existing schema-1 file (the old write-the-dict-wholesale form) is
+preserved verbatim as the first history entry under a ``legacy`` key,
+never dropped.
+
+The ``speedup`` headline is a ratio of two wall-clock times measured
+in the same process on the same inputs, so it transfers across
+machines in a way absolute milliseconds do not; CI floors are set
+against it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: How many history entries a BENCH_*.json retains (oldest dropped).
+HISTORY_LIMIT = 50
+
+BENCH_SCHEMA = 2
+
+
+def bench_record(
+    name: str,
+    config: Dict[str, Any],
+    samples: List[Dict[str, Any]],
+    speedup: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One benchmark run in the shared result shape."""
+    return {
+        "name": name,
+        "config": config,
+        "samples": samples,
+        "speedup": speedup,
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.time(),
+    }
+
+
+def load_bench(path: Path) -> Optional[Dict[str, Any]]:
+    """The parsed ``BENCH_*.json`` document, or ``None`` if absent."""
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def latest_record(path: Path) -> Optional[Dict[str, Any]]:
+    """The newest :func:`bench_record` stored at ``path``, if any.
+
+    Schema-1 files predate the record shape and answer ``None`` —
+    callers that need a baseline out of one read its fields directly.
+    """
+    doc = load_bench(path)
+    if doc is None or doc.get("schema") != BENCH_SCHEMA:
+        return None
+    return doc.get("latest")
+
+
+def append_history(
+    path: Path,
+    record: Dict[str, Any],
+    keep: int = HISTORY_LIMIT,
+) -> Dict[str, Any]:
+    """Append ``record`` to the trajectory at ``path`` and rewrite it.
+
+    Returns the document written.  An existing schema-1 file is
+    migrated: the old document rides on as ``history[0]`` under a
+    ``legacy`` key.
+    """
+    doc = load_bench(path)
+    if doc is None:
+        history: List[Dict[str, Any]] = []
+    elif doc.get("schema") == BENCH_SCHEMA:
+        history = list(doc.get("history", []))
+    else:
+        history = [{"legacy": doc}]
+    history.append(record)
+    history = history[-keep:]
+    document = {
+        "schema": BENCH_SCHEMA,
+        "kind": record["name"],
+        "latest": record,
+        "history": history,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return document

@@ -34,6 +34,8 @@ Layered API (bottom-up, matching the paper's problem progression):
   the batch engine, the exploration service and the CLI.
 """
 
+import logging as _logging
+
 from repro.api import GridSpec, OptimizeSpec
 from repro.soc.core import Core
 from repro.soc.soc import Soc
@@ -50,6 +52,11 @@ from repro.analysis.utilization import analyze_utilization
 from repro.engine import BatchJob, BatchRunner, WrapperTableCache
 from repro.tam.bus import TamArchitecture
 from repro.tam.assignment import AssignmentResult
+
+# Library logging hygiene: the package logs through the standard
+# hierarchy and stays silent unless the application configures
+# handlers (CLI entry points wire basicConfig via --log-level).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

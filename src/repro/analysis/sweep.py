@@ -42,6 +42,8 @@ from repro.analysis.utilization import (
     analyze_utilization,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs import REGISTRY
+from repro.obs import span as _obs_span
 from repro.optimize.co_optimize import co_optimize
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import TimeTable
@@ -96,16 +98,42 @@ def evaluate_point(
     """
     if co_optimize_options.get("sweep_engine", "kernel") == "kernel":
         co_optimize_options.setdefault("prune", "lb")
-    result = co_optimize(soc, total_width, num_tams=num_tams, tables=tables,
-                         dense=dense, **co_optimize_options)
-    tables = result.tables
+    with _obs_span(
+        "evaluate_point", soc=soc.name, W=total_width
+    ) as point_span:
+        with _obs_span("co_optimize"):
+            result = co_optimize(
+                soc, total_width, num_tams=num_tams, tables=tables,
+                dense=dense, **co_optimize_options,
+            )
+        tables = result.tables
+        with _obs_span("certify"):
+            certificate = certify(soc, result.final, tables)
+        with _obs_span("utilization"):
+            utilization = analyze_utilization(soc, result.final, tables)
+        point_span.annotate(
+            B=result.num_tams, T=result.testing_time
+        )
+    # Post-hoc sweep totals from the search stats — observation only,
+    # recorded outside the scored pipeline (RPR001 discipline).
+    REGISTRY.counter("sweep.points").inc()
+    for stats in result.search.stats:
+        REGISTRY.counter("sweep.partitions_enumerated").inc(
+            stats.num_enumerated
+        )
+        REGISTRY.counter("sweep.partitions_completed").inc(
+            stats.num_completed
+        )
+        REGISTRY.counter("sweep.partitions_lb_pruned").inc(
+            stats.num_lb_pruned
+        )
     return SweepPoint(
         total_width=total_width,
         num_tams=result.num_tams,
         partition=result.partition,
         testing_time=result.testing_time,
-        certificate=certify(soc, result.final, tables),
-        utilization=analyze_utilization(soc, result.final, tables),
+        certificate=certificate,
+        utilization=utilization,
     )
 
 

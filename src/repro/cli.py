@@ -9,6 +9,8 @@ from a source checkout runs the identical entry point.  Subcommands::
     repro-tam batch      <sources...> -W 16 24 32 [--jobs N]
     repro-tam serve      [--port 7293] [--jobs N] [--cache-dir DIR]
     repro-tam submit     <sources...> -W 16 24 32 [--port 7293]
+    repro-tam report     [--cache-dir DIR] [--view table|pareto|...]
+    repro-tam tail       <job-id> [--port 7293]
     repro-tam describe   <file.soc | benchmark>
     repro-tam lint       [paths...] [--format json] [--write-schema]
 
@@ -52,6 +54,19 @@ stops paying pool startup and table construction per request::
 ``submit`` sends a batch-identical grid to a running server, waits
 (unless ``--no-wait``), and renders the same table/JSON as ``batch``.
 
+Observability
+-------------
+``repro-tam report`` renders the run warehouse — the SQLite store a
+``--cache-dir`` grid run (batch or service) appends every finished
+grid to — as per-campaign tables: the grid results themselves
+(``--view table``, bit-identical to what the live run printed),
+the width/time Pareto front, the result trend across runs, and the
+span-derived phase breakdown.  ``repro-tam tail JOB_ID`` follows a
+running job's per-point events live (the same v2 stream ``submit
+--stream`` uses).  ``--log-level`` on ``serve``/``batch``/``submit``
+turns on the library's stderr logging; ``REPRO_TRACE=1`` in the
+environment enables span tracing (off by default, no-op cost).
+
 Static analysis
 ---------------
 ``repro-tam lint`` runs the project-invariant linter of
@@ -65,6 +80,8 @@ the identical entry point).  CI gates on it; see DESIGN.md
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 from typing import List, Optional
 
@@ -74,7 +91,7 @@ from repro.api.cli import (
     spec_from_args,
 )
 from repro.engine import BatchRunner, grid_rows
-from repro.engine.batch import BATCH_COLUMNS
+from repro.engine.batch import BATCH_COLUMNS, align_point_telemetry
 from repro.exceptions import ReproError
 from repro.optimize.co_optimize import co_optimize
 from repro.optimize.exhaustive import exhaustive_optimize
@@ -91,6 +108,25 @@ ENTRY_POINT_EPILOG = (
     "`python -m repro` (from a source checkout) — the two entry "
     "points run the identical CLI."
 )
+
+
+def _add_log_level_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="configure stderr logging at this level (the library "
+             "is silent by default: NullHandler on the 'repro' "
+             "logger)",
+    )
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    level = getattr(args, "log_level", None)
+    if level:
+        logging.basicConfig(
+            level=getattr(logging, level.upper()),
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -186,6 +222,31 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         "shm_fallbacks": runner.shm_fallbacks,
         "pools_started": runner.pools_started,
     }
+    if args.cache_dir:
+        # A cached run is also a *recorded* run: append the grid
+        # (results + telemetry) to the warehouse next to the table
+        # store, under the same canonical key the service memo uses.
+        from repro.api.specs import jobs_canonical_key
+        from repro.obs.warehouse import warehouse_for
+        from repro.service.server import grid_payload
+
+        jobs = [job for job, _ in grid]
+        results = [result for _, result in grid]
+        warehouse = warehouse_for(args.cache_dir)
+        assert warehouse is not None  # cache_dir is set
+        warehouse.record_grid(
+            jobs_canonical_key(jobs),
+            grid_payload(jobs, results),
+            source="batch",
+            metrics=(
+                runner.last_run_metrics.to_dict()
+                if runner.last_run_metrics is not None else None
+            ),
+            point_telemetry=align_point_telemetry(
+                results, runner.last_run_telemetry
+            ),
+            run_spans=runner.last_run_spans,
+        )
 
     if args.json:
         from repro.report.serialize import sweep_point_to_dict, to_json
@@ -260,27 +321,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             # dropped connection resumes from the sequence cursor
             # (reconnect=True), so long grids survive transient
             # network hiccups without duplicating or losing points.
+            # One formatter (`format_event_line`) with `tail`, so the
+            # two surfaces narrate a grid identically.
+            from repro.obs.report import format_event_line
+
             for event in client.events(
                 job_id, timeout=args.timeout, reconnect=True,
             ):
-                point = event.get("payload", {})
-                if event.get("kind") == "failed":
-                    print(
-                        f"[{event['index'] + 1}/{event['total']}] "
-                        f"FAILED {point.get('soc', '?')} "
-                        f"W={point.get('total_width', '?')}: "
-                        f"{point.get('error_type', '?')}",
-                        file=sys.stderr,
-                    )
-                else:
-                    print(
-                        f"[{event['index'] + 1}/{event['total']}] "
-                        f"{point.get('soc', '?')} "
-                        f"W={point.get('total_width', '?')} "
-                        f"B={point.get('num_tams', '?')} "
-                        f"T={point.get('testing_time', '?')}",
-                        flush=True,
-                    )
+                line, failed = format_event_line(event)
+                print(
+                    line,
+                    file=sys.stderr if failed else sys.stdout,
+                    flush=True,
+                )
         else:
             record = client.wait(job_id, timeout=args.timeout)
             if record["status"] != "done":
@@ -308,19 +361,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return 0 if not result["failures"] else 1
 
     cached = " (cached)" if record["cached"] else ""
-    table = TextTable(
-        list(BATCH_COLUMNS), title=f"service grid {job_id}{cached}"
+    from repro.obs.report import grid_table
+
+    table = grid_table(
+        result["points"], title=f"service grid {job_id}{cached}"
     )
-    for point in result["points"]:
-        table.add_row([
-            point["soc"],
-            point["total_width"],
-            point["num_tams"],
-            "+".join(map(str, point["partition"])),
-            point["testing_time"],
-            f"{point['gap']:.2%}",
-            f"{point['utilization']:.1%}",
-        ])
     print(table.render())
     for failure in result["failures"]:
         print(
@@ -329,6 +374,63 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if not result["failures"] else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Imported here (not from repro.obs's package root): the report
+    # renderer builds *on* the engine/report layers, unlike the rest
+    # of the obs package, which sits below them.
+    from repro.exceptions import ConfigurationError
+    from repro.obs.report import build_report, render_report
+    from repro.obs.warehouse import RunWarehouse, warehouse_for
+
+    if args.warehouse is not None:
+        warehouse: Optional[RunWarehouse] = RunWarehouse(args.warehouse)
+    else:
+        warehouse = warehouse_for(args.cache_dir)
+    if warehouse is None:
+        raise ConfigurationError(
+            "report needs --cache-dir DIR (the grid run's cache "
+            "directory) or --warehouse FILE"
+        )
+    report = build_report(
+        warehouse,
+        view=args.view,
+        campaign=args.campaign,
+        run_id=args.run,
+        limit=args.limit,
+    )
+    if args.format == "json":
+        from repro.report.serialize import to_json
+        print(to_json(report))
+    else:
+        print(render_report(report))
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.obs.report import format_event_line
+    from repro.service import ServiceClient
+
+    # The same stream `submit --stream` renders, attachable from a
+    # second terminal at any time; --from replays from an event
+    # sequence number (0 = everything the server still holds).
+    any_failed = False
+    with ServiceClient(host=args.host, port=args.port) as client:
+        for event in client.events(
+            args.job,
+            start=args.start,
+            timeout=args.timeout,
+            reconnect=True,
+        ):
+            line, failed = format_event_line(event)
+            any_failed = any_failed or failed
+            print(
+                line,
+                file=sys.stderr if failed else sys.stdout,
+                flush=True,
+            )
+    return 1 if any_failed else 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -420,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-share-tables", action="store_true",
                        help="disable the shared-memory dense-matrix "
                             "transport (workers build private tables)")
+    _add_log_level_argument(batch)
     batch.set_defaults(func=_cmd_batch)
 
     serve = sub.add_parser(
@@ -451,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", default=None,
                        help="write the bound port to this file once "
                             "listening (for scripts and CI)")
+    _add_log_level_argument(serve)
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -476,7 +580,60 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max seconds to wait for completion")
     submit.add_argument("--json", action="store_true",
                         help="emit the grid as a JSON record")
+    _add_log_level_argument(submit)
     submit.set_defaults(func=_cmd_submit)
+
+    # The report/tail choices come from repro.obs.report, imported
+    # lazily in the handlers; the literal tuple here keeps parser
+    # construction free of the engine import chain.
+    report = sub.add_parser(
+        "report",
+        help="render the run warehouse (results, Pareto, trend, "
+             "phase breakdown) recorded by --cache-dir grid runs",
+        epilog=ENTRY_POINT_EPILOG,
+    )
+    report.add_argument("--cache-dir", default=None,
+                        help="the grid runs' cache directory (the "
+                             "warehouse lives next to the table "
+                             "store)")
+    report.add_argument("--warehouse", default=None,
+                        help="path to a warehouse.sqlite file "
+                             "(overrides --cache-dir)")
+    report.add_argument("--campaign", default=None,
+                        help="canonical grid key, or any unambiguous "
+                             "prefix (default: the newest run's)")
+    report.add_argument("--run", type=int, default=None,
+                        help="pin a specific warehouse run id")
+    report.add_argument("--view", default="table",
+                        choices=["table", "pareto", "trend",
+                                 "phases", "runs"],
+                        help="what to render (default: the grid "
+                             "results table)")
+    report.add_argument("--limit", type=int, default=20,
+                        help="max rows for the runs view "
+                             "(default 20)")
+    report.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="output format (default text)")
+    report.set_defaults(func=_cmd_report)
+
+    tail = sub.add_parser(
+        "tail",
+        help="follow a running job's per-point events live",
+        epilog=ENTRY_POINT_EPILOG,
+    )
+    tail.add_argument("job", help="job id (from submit --no-wait)")
+    tail.add_argument("--host", default="127.0.0.1",
+                      help="service address (default 127.0.0.1)")
+    tail.add_argument("--port", type=int, default=7293,
+                      help="service port (default 7293)")
+    tail.add_argument("--from", dest="start", type=int, default=0,
+                      help="replay from this event sequence number "
+                           "(default 0: everything)")
+    tail.add_argument("--timeout", type=float, default=None,
+                      help="max seconds to wait for the job to "
+                           "finish")
+    tail.set_defaults(func=_cmd_tail)
 
     lint = sub.add_parser(
         "lint",
@@ -495,6 +652,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
+    if os.environ.get("REPRO_TRACE", "").strip() not in ("", "0"):
+        # Span tracing is opt-in (the disabled tracer is a no-op
+        # singleton); the flag propagates to pool workers via the
+        # runner's initializer.
+        from repro.obs import TRACER
+        TRACER.enable()
     try:
         return args.func(args)
     except ReproError as error:

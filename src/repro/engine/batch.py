@@ -37,6 +37,7 @@ fresh build exactly.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from time import monotonic as _os_clock
@@ -75,6 +76,17 @@ from repro.engine.shm import (
     parse_design_steps,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs import (
+    REGISTRY,
+    TRACER,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SpanRecord,
+    TaskTelemetry,
+    span,
+    task_begin,
+    task_end,
+)
 from repro.partition.evaluate import (
     PartitionSearchResult,
     partition_evaluate,
@@ -94,6 +106,8 @@ from repro.wrapper.pareto import TimeTable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.specs import GridSpec, OptimizeSpec
     from repro.service.store import TableStore
+
+logger = logging.getLogger(__name__)
 
 #: Valid ``on_error`` policies: abort the grid on the first failing
 #: point, or record it as a :class:`FailedPoint` and keep going.
@@ -256,14 +270,32 @@ def split_results(
     return points, failures
 
 
+def align_point_telemetry(
+    results: Sequence[BatchResult],
+    telemetry: Sequence[Optional[TaskTelemetry]],
+) -> List[Optional[TaskTelemetry]]:
+    """Per-job telemetry re-aligned with a serialized grid's points.
+
+    :func:`repro.service.server.grid_payload` keeps successful points
+    (in job order) separate from failures; the warehouse stores
+    telemetry per *point*, so failed jobs' slots are dropped here.
+    """
+    return [
+        entry for result, entry in zip(results, telemetry)
+        if not isinstance(result, FailedPoint)
+    ]
+
+
 #: Per-worker-process table caches, keyed by SOC name.  Populated only
 #: inside pool workers; each worker builds tables for a SOC at most
 #: once (extending in place when a wider job arrives).
 _WORKER_CACHES: Dict[str, WrapperTableCache] = {}
 
 #: Per-worker-process runtime policy, set by :func:`_init_worker` at
-#: pool start: (on_error, retries, table store or None).
-_WORKER_POLICY: Tuple[str, int, "Optional[TableStore]"] = ("raise", 0, None)
+#: pool start: (on_error, retries, table store or None, tracing on).
+_WORKER_POLICY: Tuple[str, int, "Optional[TableStore]", bool] = (
+    "raise", 0, None, False
+)
 
 
 def _make_store(cache_dir: Union[str, Path, None]) -> "Optional[TableStore]":
@@ -277,11 +309,21 @@ def _make_store(cache_dir: Union[str, Path, None]) -> "Optional[TableStore]":
 
 
 def _init_worker(
-    on_error: str, retries: int, cache_dir: Union[str, None]
+    on_error: str,
+    retries: int,
+    cache_dir: Union[str, None],
+    trace: bool = False,
 ) -> None:
-    """Pool initializer: install the runner's policy in this worker."""
+    """Pool initializer: install the runner's policy in this worker.
+
+    ``trace`` mirrors the parent tracer's state at pool start, so one
+    ``TRACER.enable()`` in the parent traces the whole fleet — each
+    worker's spans ride home in its :class:`TaskTelemetry`.
+    """
     global _WORKER_POLICY
-    _WORKER_POLICY = (on_error, retries, _make_store(cache_dir))
+    _WORKER_POLICY = (on_error, retries, _make_store(cache_dir), trace)
+    if trace:
+        TRACER.enable()
 
 
 def _cache_for(
@@ -392,8 +434,16 @@ def _run_job_safe(
             )
         except Exception as error:  # noqa: BLE001 - policy boundary
             if attempt < attempts:
+                logger.warning(
+                    "job %s failed (attempt %d/%d), retrying: %s",
+                    job.describe(), attempt, attempts, error,
+                )
                 continue
             if on_error == "record":
+                logger.error(
+                    "job %s failed permanently: %s: %s",
+                    job.describe(), type(error).__name__, error,
+                )
                 return FailedPoint(
                     job=job,
                     error_type=type(error).__name__,
@@ -406,14 +456,21 @@ def _run_job_safe(
 
 def _pool_worker(
     item: Tuple[BatchJob, Optional[DenseDescriptor]]
-) -> Tuple[BatchResult, int]:
-    """Pool entry point: evaluate one (job, dense descriptor) item."""
+) -> Tuple[BatchResult, int, TaskTelemetry]:
+    """Pool entry point: evaluate one (job, dense descriptor) item.
+
+    Ships the job's :class:`TaskTelemetry` (its spans plus this
+    worker's metrics delta) back with the result, so the parent's
+    registry covers the whole fleet.
+    """
     job, descriptor = item
-    on_error, retries, store = _WORKER_POLICY
-    return _run_job_safe(
+    on_error, retries, store, _ = _WORKER_POLICY
+    baseline = task_begin()
+    result, fallbacks = _run_job_safe(
         _WORKER_CACHES, job, on_error, retries, store=store,
         descriptor=descriptor,
     )
+    return result, fallbacks, task_end(baseline)
 
 
 def _shard_worker(
@@ -421,7 +478,7 @@ def _shard_worker(
         DenseDescriptor, object, int, Tuple[ShardSpan, ...], Soc,
         int, int, Optional[int], Union[bool, str],
     ]
-) -> Tuple[ShardOutcome, int]:
+) -> Tuple[ShardOutcome, int, TaskTelemetry]:
     """Pool entry point: score one shard of a sharded partition sweep.
 
     Attaches the job's shared dense matrix and the sweep's incumbent
@@ -432,10 +489,15 @@ def _shard_worker(
     """
     (descriptor, board_descriptor, shard_index, spans, soc,
      total_width, keep_top, initial_best, prune) = item
+    baseline = task_begin()
     fallbacks = 0
     matrix = attach(descriptor)
     if matrix is None:
         fallbacks = 1
+        logger.warning(
+            "shard %d: dense segment for %s unavailable; rebuilding "
+            "tables privately", shard_index, soc.name,
+        )
         store = _WORKER_POLICY[2]
         cache = _cache_for(_WORKER_CACHES, soc, store=store)
         matrix = build_dense_matrix(
@@ -443,20 +505,27 @@ def _shard_worker(
         )
     board = IncumbentBoard.attach(board_descriptor)
     try:
-        outcome = sweep_shard(
-            matrix, spans, shard_index, total_width,
-            keep_top=keep_top, initial_best=initial_best,
-            prune=prune, board=board,
-        )
+        with span(
+            "shard_sweep", soc=soc.name, shard=shard_index
+        ) as shard_span:
+            outcome = sweep_shard(
+                matrix, spans, shard_index, total_width,
+                keep_top=keep_top, initial_best=initial_best,
+                prune=prune, board=board,
+            )
+            shard_span.annotate(
+                completions=len(outcome.completions)
+            )
     finally:
         if board is not None:
             board.close()
-    return outcome, fallbacks
+    REGISTRY.counter("shard.shards_run").inc()
+    return outcome, fallbacks, task_end(baseline)
 
 
 def _build_matrix_worker(
     item: Tuple[Soc, int]
-) -> Tuple[bytes, bytes, float]:
+) -> Tuple[bytes, bytes, float, TaskTelemetry]:
     """Pool entry point: build one cold SOC's dense matrix + staircases.
 
     Runs the wrapper designs on a pool worker — through that worker's
@@ -467,15 +536,42 @@ def _build_matrix_worker(
     instead of serializing in the parent.
     """
     soc, total_width = item
+    baseline = task_begin()
     start = _os_clock()
     store = _WORKER_POLICY[2]
-    cache = _cache_for(_WORKER_CACHES, soc, store=store)
-    tables = cache.table_list(total_width)
-    matrix = build_dense_matrix(tables, total_width)
+    with span("build_tables", soc=soc.name, W=total_width):
+        cache = _cache_for(_WORKER_CACHES, soc, store=store)
+        tables = cache.table_list(total_width)
+        matrix = build_dense_matrix(tables, total_width)
     return (
         matrix.to_bytes(),
         design_steps_blob(tables),
         _os_clock() - start,
+        task_end(baseline),
+    )
+
+
+def _merge_task_telemetry(
+    parent: TaskTelemetry, shards: Sequence[TaskTelemetry]
+) -> TaskTelemetry:
+    """One job's telemetry from its parent-side and shard-side parts.
+
+    A sharded job's spans and counters come from two places: the
+    parent (merge, polish, certificate) and each shard worker.  The
+    merged record is what the warehouse stores per point; the caller
+    is responsible for absorbing each part into the runner's registry
+    exactly once.
+    """
+    if not shards:
+        return parent
+    registry = MetricsRegistry()
+    registry.absorb(parent.metrics)
+    merged: List[SpanRecord] = list(parent.spans)
+    for telemetry in shards:
+        registry.absorb(telemetry.metrics)
+        merged.extend(telemetry.spans)
+    return TaskTelemetry(
+        spans=tuple(merged), metrics=registry.snapshot()
     )
 
 
@@ -580,15 +676,25 @@ class BatchRunner:
         self.persistent = persistent
         self.share_tables = share_tables
         self.shard = shard
-        #: Pools started over this runner's lifetime — observable
-        #: evidence that ``persistent=True`` reuses one pool.
-        self.pools_started = 0
-        #: Jobs whose shared dense matrix could not serve a worker,
-        #: which silently rebuilt from a private cache instead — the
-        #: slow path, surfaced for ``--stats``/service monitoring.
-        self.shm_fallbacks = 0
-        #: Jobs that executed via the intra-job sharded sweep.
-        self.jobs_sharded = 0
+        #: This runner's typed instrument namespace: the engine's own
+        #: counters (``engine.pools_started``, ``engine.shm_fallbacks``,
+        #: ``engine.jobs_sharded``, ``shard.shards_planned``) plus
+        #: everything absorbed from job and worker telemetry (cache
+        #: hit/miss counts, sweep prune totals, shard/build timers).
+        self.metrics = MetricsRegistry()
+        #: The *previous* ``run_iter`` consumption's own metrics — the
+        #: registry delta between that run's start and end, so a
+        #: persistent runner reports per-run numbers, not lifetime
+        #: totals.  ``None`` before the first run.
+        self.last_run_metrics: Optional[MetricsSnapshot] = None
+        #: Per-job telemetry of the previous run, in job order
+        #: (``None`` per job when that job shipped none).
+        self.last_run_telemetry: List[Optional[TaskTelemetry]] = []
+        #: Run-level spans of the previous run — parent- and
+        #: pool-side table/matrix builds not attributable to one job.
+        self.last_run_spans: List[SpanRecord] = []
+        #: Shard-worker telemetry of the sharded job in flight.
+        self._shard_telemetry: List[TaskTelemetry] = []
         self._store = _make_store(self.cache_dir)
         self._caches: Dict[str, WrapperTableCache] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
@@ -602,17 +708,39 @@ class BatchRunner:
         #: staircase-backed dense tables when the pool did.
         self._merge_tables: Dict[str, Dict[str, Any]] = {}
 
+    @property
+    def pools_started(self) -> int:
+        """Pools started over this runner's lifetime — observable
+        evidence that ``persistent=True`` reuses one pool."""
+        return self.metrics.counter("engine.pools_started").value
+
+    @property
+    def shm_fallbacks(self) -> int:
+        """Jobs/shards whose shared dense matrix could not serve a
+        worker, which silently rebuilt from a private cache instead —
+        the slow path, surfaced for ``--stats``/service monitoring."""
+        return self.metrics.counter("engine.shm_fallbacks").value
+
+    @property
+    def jobs_sharded(self) -> int:
+        """Jobs that executed via the intra-job sharded sweep."""
+        return self.metrics.counter("engine.jobs_sharded").value
+
     def cache_for(self, soc: Soc) -> WrapperTableCache:
         """This runner's (inline-mode) table cache for ``soc``."""
         return _cache_for(self._caches, soc, store=self._store)
 
     def _new_pool(self, workers: int) -> ProcessPoolExecutor:
         """Start a pool carrying this runner's policy to its workers."""
-        self.pools_started += 1
+        self.metrics.counter("engine.pools_started").inc()
+        logger.debug("starting process pool with %d workers", workers)
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self.on_error, self.retries, self.cache_dir),
+            initargs=(
+                self.on_error, self.retries, self.cache_dir,
+                TRACER.enabled,
+            ),
         )
 
     def _resident_pool(self, workers: int) -> ProcessPoolExecutor:
@@ -708,7 +836,9 @@ class BatchRunner:
                 for fingerprint, soc, width in cold
             ]
             for fingerprint, soc, width, future in futures:
-                data, blob, _ = future.result()
+                data, blob, _, telemetry = future.result()
+                self.metrics.absorb(telemetry.metrics)
+                self.last_run_spans.extend(telemetry.spans)
                 matrix = DenseTimeMatrix.from_buffer(
                     data, len(soc.cores), width
                 )
@@ -799,6 +929,40 @@ class BatchRunner:
         if not jobs:
             return
         shard = normalize_shard_policy(shard)
+        run_start = self.metrics.snapshot()
+        self.last_run_telemetry = [None] * len(jobs)
+        self.last_run_spans = []
+        try:
+            yield from self._run_iter_inner(jobs, shard)
+        finally:
+            # The registry is cumulative (the lifetime counters the
+            # tests and ``info()`` read); the per-run delta is what
+            # one ``run_grid`` call actually did — a persistent
+            # runner's second grid no longer inherits its first
+            # grid's numbers.
+            self.last_run_metrics = (
+                self.metrics.snapshot().delta(run_start)
+            )
+
+    def _fallbacks(self, count: int) -> None:
+        """Count shared-table fallbacks reported by a worker."""
+        if count:
+            self.metrics.counter("engine.shm_fallbacks").inc(count)
+
+    def _absorb_job(
+        self, index: int, telemetry: TaskTelemetry
+    ) -> None:
+        """File one job's telemetry: registry merge + per-job slot."""
+        self.metrics.absorb(telemetry.metrics)
+        if index < len(self.last_run_telemetry):
+            self.last_run_telemetry[index] = telemetry
+
+    def _run_iter_inner(
+        self,
+        jobs: List[BatchJob],
+        shard: Union[int, str, None],
+    ) -> Iterator[BatchResult]:
+        """The dispatch body of :meth:`run_iter` (one run's worth)."""
         requested = self.max_workers
         if requested is None:
             requested = os.cpu_count() or 1
@@ -813,12 +977,14 @@ class BatchRunner:
         if not any(shard_counts) and not self.persistent:
             workers = min(workers, len(jobs))
         if workers == 1:
-            for job in jobs:
+            for index, job in enumerate(jobs):
+                baseline = task_begin()
                 result, fallbacks = _run_job_safe(
                     self._caches, job, self.on_error, self.retries,
                     store=self._store,
                 )
-                self.shm_fallbacks += fallbacks
+                self._fallbacks(fallbacks)
+                self._absorb_job(index, task_end(baseline))
                 yield result
             return
         pool = (
@@ -826,10 +992,15 @@ class BatchRunner:
             else self._new_pool(workers)
         )
         try:
+            build_baseline = task_begin()
             if self.share_tables:
-                descriptors = self._dense_descriptors(jobs, pool)
+                with span("publish_tables", jobs=len(jobs)):
+                    descriptors = self._dense_descriptors(jobs, pool)
             else:
                 descriptors = [None] * len(jobs)
+            build_telemetry = task_end(build_baseline)
+            self.metrics.absorb(build_telemetry.metrics)
+            self.last_run_spans.extend(build_telemetry.spans)
             if any(shard_counts):
                 # Unsharded jobs are submitted up front so they keep
                 # running concurrently; each sharded job saturates
@@ -847,25 +1018,44 @@ class BatchRunner:
                     zip(jobs, descriptors, shard_counts)
                 ):
                     if index in futures:
-                        result, fallbacks = futures[index].result()
-                        self.shm_fallbacks += fallbacks
+                        result, fallbacks, telemetry = (
+                            futures[index].result()
+                        )
+                        self._fallbacks(fallbacks)
+                        self._absorb_job(index, telemetry)
                         yield result
                     else:
-                        yield self._run_sharded_safe(
+                        baseline = task_begin()
+                        result = self._run_sharded_safe(
                             job, descriptor, pool, num_shards
                         )
+                        parent = task_end(baseline)
+                        self.metrics.absorb(parent.metrics)
+                        merged = _merge_task_telemetry(
+                            parent, self._shard_telemetry
+                        )
+                        if index < len(self.last_run_telemetry):
+                            self.last_run_telemetry[index] = merged
+                        yield result
             else:
                 items = list(zip(jobs, descriptors))
-                for result, fallbacks in pool.map(
-                    _pool_worker, items, chunksize=self.chunksize
+                for index, (result, fallbacks, telemetry) in enumerate(
+                    pool.map(
+                        _pool_worker, items, chunksize=self.chunksize
+                    )
                 ):
-                    self.shm_fallbacks += fallbacks
+                    self._fallbacks(fallbacks)
+                    self._absorb_job(index, telemetry)
                     yield result
         except BrokenProcessPool:
             if self.persistent:
                 # A dead worker (OOM-kill, segfault) breaks the whole
                 # executor; discard it so the *next* run gets a fresh
                 # pool instead of this batch's failure forever.
+                logger.error(
+                    "process pool broke mid-grid; discarding the "
+                    "persistent executor"
+                )
                 self._executor = None
                 pool.shutdown(wait=False)
             raise
@@ -897,8 +1087,17 @@ class BatchRunner:
                 raise  # pool-level: the whole batch is over
             except Exception as error:  # noqa: BLE001 - policy boundary
                 if attempt < attempts:
+                    logger.warning(
+                        "sharded job %s failed (attempt %d/%d), "
+                        "retrying: %s",
+                        job.describe(), attempt, attempts, error,
+                    )
                     continue
                 if self.on_error == "record":
+                    logger.error(
+                        "sharded job %s failed permanently: %s: %s",
+                        job.describe(), type(error).__name__, error,
+                    )
                     return FailedPoint(
                         job=job,
                         error_type=type(error).__name__,
@@ -924,6 +1123,7 @@ class BatchRunner:
         accounting run here in the parent over the same matrix.  The
         result is bit-identical to whole-job execution.
         """
+        self._shard_telemetry = []
         matrix = self._matrices[descriptor.fingerprint]
         tables = self._merge_tables[descriptor.fingerprint]
 
@@ -952,6 +1152,9 @@ class BatchRunner:
                 )
 
             def scorer(plan: ShardPlan) -> List[ShardOutcome]:
+                self.metrics.counter("shard.shards_planned").inc(
+                    plan.num_shards
+                )
                 # Unpruned sweeps never read the board; skip it.
                 board = (
                     IncumbentBoard.create(plan.num_shards, keep_top)
@@ -965,15 +1168,20 @@ class BatchRunner:
                     futures = [
                         pool.submit(_shard_worker, (
                             descriptor, board_descriptor, index,
-                            spans, job.soc, total_width, keep_top,
-                            initial_best, prune,
+                            shard_spans, job.soc, total_width,
+                            keep_top, initial_best, prune,
                         ))
-                        for index, spans in enumerate(plan.shards)
+                        for index, shard_spans
+                        in enumerate(plan.shards)
                     ]
                     outcomes = []
                     for future in futures:
-                        outcome, fallbacks = future.result()
-                        self.shm_fallbacks += fallbacks
+                        outcome, fallbacks, telemetry = (
+                            future.result()
+                        )
+                        self._fallbacks(fallbacks)
+                        self.metrics.absorb(telemetry.metrics)
+                        self._shard_telemetry.append(telemetry)
                         outcomes.append(outcome)
                     return outcomes
                 finally:
@@ -986,7 +1194,7 @@ class BatchRunner:
                 keep_top=keep_top, dense=matrix, scorer=scorer,
             )
 
-        self.jobs_sharded += 1
+        self.metrics.counter("engine.jobs_sharded").inc()
         return evaluate_point(
             job.soc,
             job.total_width,

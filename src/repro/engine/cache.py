@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.exceptions import ConfigurationError
+from repro.obs import REGISTRY, span
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import TimeTable
 
@@ -81,20 +82,28 @@ class WrapperTableCache:
                 f"max_width must be >= 1, got {max_width}"
             )
         if not self._tables:
-            for core in self.soc.cores:
-                table = self.store.load(core) if self.store else None
-                if table is None:
-                    table = TimeTable(core, max_width)
-                else:
-                    self._prepaid[core.name] = table.max_width
-                    self._saved[core.name] = table.max_width
-                    table.extend_to(max_width)
-                self._tables[core.name] = table
-            self._persist()
+            with span(
+                "build_wrapper_tables", soc=self.soc.name, W=max_width
+            ):
+                for core in self.soc.cores:
+                    table = (
+                        self.store.load(core) if self.store else None
+                    )
+                    if table is None:
+                        REGISTRY.counter("cache.table_builds").inc()
+                        table = TimeTable(core, max_width)
+                    else:
+                        REGISTRY.counter("cache.table_loads").inc()
+                        self._prepaid[core.name] = table.max_width
+                        self._saved[core.name] = table.max_width
+                        table.extend_to(max_width)
+                    self._tables[core.name] = table
+                self._persist()
             return
         if max_width > self.max_width:
             # Per-table no-op when already covered, so mixed widths
             # (possible after store loads) each pay only their gap.
+            REGISTRY.counter("cache.table_extensions").inc()
             for table in self._tables.values():
                 table.extend_to(max_width)
             self._persist()

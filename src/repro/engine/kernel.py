@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.assign.core_assign import CoreAssignOutcome, reference_buses
 from repro.assign.lower_bounds import column_lower_bound
 from repro.exceptions import ConfigurationError
+from repro.obs import span as _obs_span
 from repro.soc.core import Core
 from repro.tam.assignment import AssignmentResult
 from repro.wrapper.chain import WrapperDesign
@@ -247,15 +248,21 @@ def build_dense_matrix(
     """Assemble the N×W matrix from per-core tables, once per sweep."""
     if not tables:
         raise ConfigurationError("need at least one core time table")
-    flat = array("q")
-    for table in tables:
-        if table.max_width < total_width:
-            raise ConfigurationError(
-                f"time table for {table.core.name!r} covers widths up "
-                f"to {table.max_width} < total width {total_width}"
-            )
-        flat.extend(table.dense_row(total_width))
-    return DenseTimeMatrix(flat, len(tables), total_width)
+    # One coarse span per sweep; the kernel's inner assignment loop
+    # stays instrumentation-free (RPR001's telemetry discipline).
+    with _obs_span(
+        "build_dense_matrix", cores=len(tables), W=total_width
+    ):
+        flat = array("q")
+        for table in tables:
+            if table.max_width < total_width:
+                raise ConfigurationError(
+                    f"time table for {table.core.name!r} covers "
+                    f"widths up to {table.max_width} < total width "
+                    f"{total_width}"
+                )
+            flat.extend(table.dense_row(total_width))
+        return DenseTimeMatrix(flat, len(tables), total_width)
 
 
 class KernelWorkspace:

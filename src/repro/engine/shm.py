@@ -58,6 +58,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.kernel import DenseTimeMatrix
+from repro.obs import REGISTRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.wrapper.pareto import TimeTable
@@ -169,6 +170,7 @@ class SegmentRegistry:
                 }
         segment = self._new_segment(data)
         if segment is not None:
+            REGISTRY.counter("shm.segments_published").inc()
             descriptor = DenseDescriptor(
                 fingerprint=fingerprint,
                 num_cores=matrix.num_cores,
@@ -182,6 +184,7 @@ class SegmentRegistry:
             # re-serializing the matrix each time.  The bytes still
             # ride the pickle channel per job item — the remaining
             # cost of degraded mode.
+            REGISTRY.counter("shm.publish_fallbacks").inc()
             descriptor = DenseDescriptor(
                 fingerprint=fingerprint,
                 num_cores=matrix.num_cores,
@@ -256,6 +259,7 @@ def attach(descriptor: DenseDescriptor) -> Optional[DenseTimeMatrix]:
     if not use_payload and (
         descriptor.shm_name is None or _shared_memory is None
     ):
+        REGISTRY.counter("shm.attach_failures").inc()
         return None
     identity: object = (
         (descriptor.num_cores, descriptor.total_width) if use_payload
@@ -277,10 +281,12 @@ def attach(descriptor: DenseDescriptor) -> Optional[DenseTimeMatrix]:
         try:
             segment = _attach_untracked(descriptor.shm_name)
         except (OSError, ValueError):
+            REGISTRY.counter("shm.attach_failures").inc()
             return None
         expected = descriptor.num_cores * descriptor.total_width * 8
         if segment.size < expected:  # pragma: no cover - size mismatch
             segment.close()
+            REGISTRY.counter("shm.attach_failures").inc()
             return None
         matrix = DenseTimeMatrix.from_buffer(
             segment.buf[:expected],

@@ -1,0 +1,85 @@
+"""repro.obs — the telemetry spine: spans, metrics, run warehouse.
+
+Three small pieces, threaded through every layer of the pipeline:
+
+* :mod:`repro.obs.trace` — hierarchical span tracing (monotonic
+  clocks, no-op when disabled, picklable across pool workers);
+* :mod:`repro.obs.metrics` — typed counters/gauges/timers behind one
+  process-wide :data:`~repro.obs.metrics.REGISTRY`, serialized as
+  :class:`~repro.obs.metrics.MetricsSnapshot`;
+* :mod:`repro.obs.warehouse` — a SQLite store persisting every
+  finished grid point's result row, metrics, and span tree, queried
+  by ``repro-tam report``.
+
+This package imports nothing from the rest of ``repro`` (exceptions
+aside), so any layer — the kernel, the shard workers, the service —
+can instrument without import cycles.  The reporting/rendering side
+(:mod:`repro.obs.report`) builds *on top of* the engine and is
+imported explicitly by its consumers (the CLI), never from here.
+
+The one discipline rule (enforced by RPR001 and the perf smoke
+benchmarks): telemetry observes the deterministic pipeline, it never
+feeds it — no scored value ever depends on a span or a counter, and
+the kernel's inner loop carries no instrumentation at all (sampling
+happens at partition/shard granularity).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Timer,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    TRACER,
+    SpanRecord,
+    TaskTelemetry,
+    Tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "REGISTRY",
+    "SpanRecord",
+    "TaskTelemetry",
+    "Tracer",
+    "TRACER",
+    "NOOP_SPAN",
+    "span",
+    "task_begin",
+    "task_end",
+]
+
+
+def task_begin() -> MetricsSnapshot:
+    """Mark the start of one unit of work (a job, a shard, a build).
+
+    Returns the baseline snapshot :func:`task_end` subtracts.  Also
+    claims any spans a *previous* task left behind, so the telemetry
+    assembled at :func:`task_end` is this task's alone.
+    """
+    TRACER.drain()
+    return REGISTRY.snapshot()
+
+
+def task_end(baseline: MetricsSnapshot) -> TaskTelemetry:
+    """Close one unit of work: its spans plus its metrics delta.
+
+    The returned :class:`TaskTelemetry` is picklable — pool workers
+    return it alongside their result, and the parent absorbs it into
+    the runner's registry.
+    """
+    return TaskTelemetry(
+        spans=tuple(TRACER.drain()),
+        metrics=REGISTRY.snapshot().delta(baseline),
+    )

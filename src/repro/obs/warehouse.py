@@ -1,0 +1,558 @@
+"""The run warehouse: finished grids persisted into SQLite.
+
+Every grid the engine or the service completes can be recorded here —
+one ``runs`` row per execution (keyed by the grid's canonical content
+key, the same :func:`repro.api.specs.jobs_canonical_key` hash the
+memo uses), one ``points`` row per grid point (the *identical*
+serialized payload the IPC ``result`` op returns, so a report
+rendered from SQLite alone reproduces the live table bit for bit),
+and one ``spans`` row per recorded span-tree node.
+
+The store lives next to the :class:`~repro.service.store.TableStore`
+(``<cache_dir>/warehouse.sqlite`` — see :func:`warehouse_for`) and
+follows the same discipline: content-keyed, append-only in normal
+operation, safe to delete wholesale.  ``sqlite3`` is stdlib; one
+short-lived connection per operation keeps the warehouse usable from
+the dispatcher thread, the CLI, and tests concurrently (SQLite's own
+locking arbitrates, with a generous busy timeout).
+
+Unlike the scoring pipeline this module may read the wall clock —
+``created_at`` is real time, because trend reports are *about* time —
+but nothing here ever feeds a scored value (RPR001's telemetry rule:
+the warehouse observes runs, it never participates in them).
+
+Retention is explicit, not automatic: :meth:`RunWarehouse.prune`
+keeps the newest N runs per canonical key and drops the rest
+(points and spans cascade).  Nothing else ever deletes.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from contextlib import closing
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import ValidationError
+from repro.obs.trace import SpanRecord, TaskTelemetry
+
+__all__ = ["RunWarehouse", "WAREHOUSE_FILENAME", "warehouse_for"]
+
+#: The warehouse's file name inside a runner/service ``cache_dir``.
+WAREHOUSE_FILENAME = "warehouse.sqlite"
+
+#: Bump on any table-shape change; the store refuses newer files.
+WAREHOUSE_SCHEMA = 1
+
+_CREATE = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        schema INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+        key TEXT NOT NULL,
+        job_id TEXT,
+        source TEXT NOT NULL,
+        created_at REAL NOT NULL,
+        num_points INTEGER NOT NULL,
+        num_failures INTEGER NOT NULL,
+        metrics TEXT
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS runs_by_key ON runs (key, run_id)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS points (
+        run_id INTEGER NOT NULL,
+        kind TEXT NOT NULL,
+        idx INTEGER NOT NULL,
+        soc TEXT,
+        total_width INTEGER,
+        num_tams INTEGER,
+        partition TEXT,
+        testing_time INTEGER,
+        gap REAL,
+        utilization REAL,
+        payload TEXT NOT NULL,
+        metrics TEXT,
+        PRIMARY KEY (run_id, kind, idx)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS spans (
+        run_id INTEGER NOT NULL,
+        point_idx INTEGER,
+        path TEXT NOT NULL,
+        name TEXT NOT NULL,
+        start_s REAL NOT NULL,
+        elapsed_s REAL NOT NULL,
+        meta TEXT
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS spans_by_run ON spans (run_id)
+    """,
+)
+
+
+class RunWarehouse:
+    """A SQLite store of finished grid runs, points, and spans.
+
+    Parameters
+    ----------
+    path:
+        The database file.  Created (with parent directories) on
+        first write; reads against a missing file simply answer
+        empty.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    def _connect(self, create: bool) -> Optional[sqlite3.Connection]:
+        if not create and not self.path.exists():
+            return None
+        if create:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(str(self.path), timeout=30.0)
+        connection.row_factory = sqlite3.Row
+        if create:
+            with connection:
+                for statement in _CREATE:
+                    connection.execute(statement)
+                row = connection.execute(
+                    "SELECT schema FROM meta"
+                ).fetchone()
+                if row is None:
+                    connection.execute(
+                        "INSERT INTO meta (schema) VALUES (?)",
+                        (WAREHOUSE_SCHEMA,),
+                    )
+                    row = {"schema": WAREHOUSE_SCHEMA}
+        else:
+            try:
+                row = connection.execute(
+                    "SELECT schema FROM meta"
+                ).fetchone()
+            except sqlite3.OperationalError:
+                row = None
+            if row is None:
+                connection.close()
+                raise ValidationError(
+                    f"{self.path} is not a run warehouse"
+                )
+        if row["schema"] != WAREHOUSE_SCHEMA:
+            connection.close()
+            raise ValidationError(
+                f"run warehouse schema {row['schema']} unsupported; "
+                f"this build reads version {WAREHOUSE_SCHEMA}"
+            )
+        return connection
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def record_grid(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        job_id: Optional[str] = None,
+        source: str = "batch",
+        metrics: Optional[Dict[str, Any]] = None,
+        point_telemetry: Optional[
+            Sequence[Optional[TaskTelemetry]]
+        ] = None,
+        run_spans: Sequence[SpanRecord] = (),
+        created_at: Optional[float] = None,
+    ) -> int:
+        """Persist one finished grid; returns its ``run_id``.
+
+        ``payload`` is the serialized grid — the exact
+        ``{"points": [...], "failures": [...]}`` shape of
+        :func:`repro.service.server.grid_payload` — stored verbatim
+        per point, so :meth:`grid_payload` reconstructs it
+        byte-identically.  ``point_telemetry`` aligns with
+        ``payload["points"]`` (``None`` entries allowed);
+        ``run_spans`` carries grid-level spans with no single point
+        to hang on (matrix builds, publishes).
+        """
+        points = list(payload.get("points", []))
+        failures = list(payload.get("failures", []))
+        stamp = time.time() if created_at is None else created_at
+        connection = self._connect(create=True)
+        assert connection is not None
+        with closing(connection), connection:
+            cursor = connection.execute(
+                "INSERT INTO runs (key, job_id, source, created_at,"
+                " num_points, num_failures, metrics)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key, job_id, source, stamp,
+                    len(points), len(failures),
+                    _json_or_none(metrics),
+                ),
+            )
+            run_id = int(cursor.lastrowid or 0)
+            for idx, point in enumerate(points):
+                telemetry = None
+                if point_telemetry is not None \
+                        and idx < len(point_telemetry):
+                    telemetry = point_telemetry[idx]
+                connection.execute(
+                    "INSERT INTO points (run_id, kind, idx, soc,"
+                    " total_width, num_tams, partition, testing_time,"
+                    " gap, utilization, payload, metrics)"
+                    " VALUES (?, 'point', ?, ?, ?, ?, ?, ?, ?, ?,"
+                    " ?, ?)",
+                    (
+                        run_id, idx,
+                        point.get("soc"),
+                        point.get("total_width"),
+                        point.get("num_tams"),
+                        "+".join(
+                            map(str, point.get("partition", []))
+                        ),
+                        point.get("testing_time"),
+                        point.get("gap"),
+                        point.get("utilization"),
+                        json.dumps(point, sort_keys=True),
+                        _json_or_none(
+                            telemetry.metrics.to_dict()
+                            if telemetry is not None else None
+                        ),
+                    ),
+                )
+                if telemetry is not None:
+                    self._insert_spans(
+                        connection, run_id, idx, telemetry.spans
+                    )
+            for idx, failure in enumerate(failures):
+                connection.execute(
+                    "INSERT INTO points (run_id, kind, idx, soc,"
+                    " total_width, payload)"
+                    " VALUES (?, 'failed', ?, ?, ?, ?)",
+                    (
+                        run_id, idx,
+                        failure.get("soc"),
+                        failure.get("total_width"),
+                        json.dumps(failure, sort_keys=True),
+                    ),
+                )
+            self._insert_spans(connection, run_id, None, run_spans)
+        return run_id
+
+    @staticmethod
+    def _insert_spans(
+        connection: sqlite3.Connection,
+        run_id: int,
+        point_idx: Optional[int],
+        spans: Sequence[SpanRecord],
+    ) -> None:
+        for root in spans:
+            for path, record in root.walk():
+                connection.execute(
+                    "INSERT INTO spans (run_id, point_idx, path,"
+                    " name, start_s, elapsed_s, meta)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id, point_idx, path, record.name,
+                        record.start_s, record.elapsed_s,
+                        _json_or_none(
+                            dict(record.meta) if record.meta
+                            else None
+                        ),
+                    ),
+                )
+
+    def prune(self, keep_per_key: int) -> int:
+        """Retention: keep the newest ``keep_per_key`` runs per key.
+
+        Returns how many runs were dropped (their points and spans
+        go with them).  The warehouse never prunes on its own.
+        """
+        if keep_per_key < 1:
+            raise ValidationError(
+                f"keep_per_key must be >= 1, got {keep_per_key}"
+            )
+        connection = self._connect(create=False)
+        if connection is None:
+            return 0
+        with closing(connection), connection:
+            doomed = [
+                int(row["run_id"]) for row in connection.execute(
+                    "SELECT run_id, key,"
+                    " ROW_NUMBER() OVER (PARTITION BY key"
+                    " ORDER BY run_id DESC) AS rank FROM runs"
+                )
+                if row["rank"] > keep_per_key
+            ]
+            for run_id in doomed:
+                connection.execute(
+                    "DELETE FROM spans WHERE run_id = ?", (run_id,)
+                )
+                connection.execute(
+                    "DELETE FROM points WHERE run_id = ?", (run_id,)
+                )
+                connection.execute(
+                    "DELETE FROM runs WHERE run_id = ?", (run_id,)
+                )
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def runs(
+        self,
+        key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run summaries, newest first, optionally for one key."""
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        query = (
+            "SELECT run_id, key, job_id, source, created_at,"
+            " num_points, num_failures, metrics FROM runs"
+        )
+        params: Tuple[Any, ...] = ()
+        if key is not None:
+            query += " WHERE key = ?"
+            params = (key,)
+        query += " ORDER BY run_id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params += (limit,)
+        with closing(connection):
+            return [
+                _run_row(row)
+                for row in connection.execute(query, params)
+            ]
+
+    def latest_run(
+        self, key: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The newest run (optionally of one key), or ``None``."""
+        rows = self.runs(key=key, limit=1)
+        return rows[0] if rows else None
+
+    def resolve_key(self, prefix: str) -> str:
+        """Expand a canonical-key prefix to the full stored key.
+
+        Accepts the full key too; raises
+        :class:`~repro.exceptions.ValidationError` when the prefix
+        matches no stored run or more than one distinct key.
+        """
+        connection = self._connect(create=False)
+        matches: List[str] = []
+        if connection is not None:
+            with closing(connection):
+                matches = [
+                    str(row["key"]) for row in connection.execute(
+                        "SELECT DISTINCT key FROM runs"
+                        " WHERE key LIKE ? ORDER BY key",
+                        (prefix + "%",),
+                    )
+                ]
+        if not matches:
+            raise ValidationError(
+                f"no warehouse runs match campaign {prefix!r}"
+            )
+        if len(matches) > 1:
+            raise ValidationError(
+                f"campaign {prefix!r} is ambiguous: "
+                f"{len(matches)} keys match"
+            )
+        return matches[0]
+
+    def grid_payload(self, run_id: int) -> Dict[str, Any]:
+        """The stored grid, reconstructed in its one wire shape.
+
+        Byte-identical to the ``{"points": ..., "failures": ...}``
+        payload recorded — what lets ``repro-tam report`` reproduce a
+        live grid table from SQLite alone.
+        """
+        connection = self._connect(create=False)
+        if connection is None:
+            raise ValidationError(f"unknown warehouse run {run_id}")
+        payload: Dict[str, Any] = {"points": [], "failures": []}
+        found = False
+        with closing(connection):
+            if connection.execute(
+                "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone() is not None:
+                found = True
+            for row in connection.execute(
+                "SELECT kind, payload FROM points"
+                " WHERE run_id = ? ORDER BY kind DESC, idx",
+                (run_id,),
+            ):
+                bucket = (
+                    "points" if row["kind"] == "point" else "failures"
+                )
+                payload[bucket].append(json.loads(row["payload"]))
+        if not found:
+            raise ValidationError(f"unknown warehouse run {run_id}")
+        return payload
+
+    def point_metrics(
+        self, run_id: int
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Per-point metrics dicts for a run (aligned with points)."""
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        with closing(connection):
+            return [
+                json.loads(row["metrics"])
+                if row["metrics"] is not None else None
+                for row in connection.execute(
+                    "SELECT metrics FROM points"
+                    " WHERE run_id = ? AND kind = 'point'"
+                    " ORDER BY idx",
+                    (run_id,),
+                )
+            ]
+
+    def trend(self, key: str) -> List[Dict[str, Any]]:
+        """Every stored (soc, W, B, T) of ``key``'s runs, oldest first.
+
+        One row per point per run — the raw series behind a
+        per-campaign trend table (is the same grid getting faster or
+        slower over time, did a result ever change).
+        """
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        with closing(connection):
+            return [
+                {
+                    "run_id": int(row["run_id"]),
+                    "created_at": float(row["created_at"]),
+                    "soc": row["soc"],
+                    "total_width": row["total_width"],
+                    "num_tams": row["num_tams"],
+                    "testing_time": row["testing_time"],
+                }
+                for row in connection.execute(
+                    "SELECT r.run_id, r.created_at, p.soc,"
+                    " p.total_width, p.num_tams, p.testing_time"
+                    " FROM runs r JOIN points p"
+                    " ON p.run_id = r.run_id AND p.kind = 'point'"
+                    " WHERE r.key = ?"
+                    " ORDER BY r.run_id, p.idx",
+                    (key,),
+                )
+            ]
+
+    def phase_breakdown(
+        self, run_id: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Span wall time aggregated by path, heaviest first."""
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        query = (
+            "SELECT path, COUNT(*) AS calls,"
+            " SUM(elapsed_s) AS total_s, MAX(elapsed_s) AS max_s"
+            " FROM spans"
+        )
+        params: Tuple[Any, ...] = ()
+        if run_id is not None:
+            query += " WHERE run_id = ?"
+            params = (run_id,)
+        query += " GROUP BY path ORDER BY total_s DESC, path"
+        with closing(connection):
+            return [
+                {
+                    "path": row["path"],
+                    "calls": int(row["calls"]),
+                    "total_s": float(row["total_s"]),
+                    "max_s": float(row["max_s"]),
+                }
+                for row in connection.execute(query, params)
+            ]
+
+    def spans(
+        self, run_id: int, point_idx: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Flattened span rows of one run (optionally one point)."""
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        query = (
+            "SELECT point_idx, path, name, start_s, elapsed_s, meta"
+            " FROM spans WHERE run_id = ?"
+        )
+        params: Tuple[Any, ...] = (run_id,)
+        if point_idx is not None:
+            query += " AND point_idx = ?"
+            params += (point_idx,)
+        query += " ORDER BY point_idx, start_s, path"
+        with closing(connection):
+            return [
+                {
+                    "point_idx": row["point_idx"],
+                    "path": row["path"],
+                    "name": row["name"],
+                    "start_s": float(row["start_s"]),
+                    "elapsed_s": float(row["elapsed_s"]),
+                    "meta": (
+                        json.loads(row["meta"])
+                        if row["meta"] is not None else None
+                    ),
+                }
+                for row in connection.execute(query, params)
+            ]
+
+
+def _run_row(row: sqlite3.Row) -> Dict[str, Any]:
+    return {
+        "run_id": int(row["run_id"]),
+        "key": row["key"],
+        "job_id": row["job_id"],
+        "source": row["source"],
+        "created_at": float(row["created_at"]),
+        "num_points": int(row["num_points"]),
+        "num_failures": int(row["num_failures"]),
+        "metrics": (
+            json.loads(row["metrics"])
+            if row["metrics"] is not None else None
+        ),
+    }
+
+
+def _json_or_none(data: Optional[Dict[str, Any]]) -> Optional[str]:
+    if data is None:
+        return None
+    return json.dumps(data, sort_keys=True)
+
+
+def warehouse_for(
+    cache_dir: Union[str, Path, None]
+) -> Optional[RunWarehouse]:
+    """The warehouse living in ``cache_dir``, or ``None`` without one.
+
+    Placed next to the :class:`~repro.service.store.TableStore` and
+    the grid memo, so one ``--cache-dir`` turns on all three layers
+    of persistence.
+    """
+    if cache_dir is None:
+        return None
+    return RunWarehouse(Path(cache_dir) / WAREHOUSE_FILENAME)

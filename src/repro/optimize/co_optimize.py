@@ -30,6 +30,7 @@ from repro.api.specs import (
 )
 from repro.assign.exact import exact_assign
 from repro.exceptions import ConfigurationError
+from repro.obs import span as _obs_span
 from repro.optimize.result import CoOptimizationResult
 from repro.partition.evaluate import (
     PartitionSearchResult,
@@ -170,23 +171,30 @@ def co_optimize(
 
     start = _time.monotonic()
     if tables is None:
-        tables = build_time_tables(soc, total_width)
+        with _obs_span("build_tables", soc=soc.name, W=total_width):
+            tables = build_time_tables(soc, total_width)
     table_list = [tables[core.name] for core in soc.cores]
 
     search_fn = sweep if sweep is not None else partition_evaluate
-    search = search_fn(
-        table_list,
-        total_width,
-        counts,
-        enumerator=spec.enumerator,
-        # spec.prune None = "surface default", which here is the
-        # paper's best-known-time abort.
-        prune=spec.prune if spec.prune is not None else True,
-        keep_top=spec.polish_top_k if spec.polish else 1,
-        stratify_by_tam_count=spec.polish and spec.polish_per_tam_count,
-        engine=spec.sweep_engine,
-        dense=dense,
-    )
+    with _obs_span(
+        "partition_sweep", soc=soc.name, W=total_width
+    ) as sweep_span:
+        search = search_fn(
+            table_list,
+            total_width,
+            counts,
+            enumerator=spec.enumerator,
+            # spec.prune None = "surface default", which here is the
+            # paper's best-known-time abort.
+            prune=spec.prune if spec.prune is not None else True,
+            keep_top=spec.polish_top_k if spec.polish else 1,
+            stratify_by_tam_count=(
+                spec.polish and spec.polish_per_tam_count
+            ),
+            engine=spec.sweep_engine,
+            dense=dense,
+        )
+        sweep_span.annotate(best_time=search.best.testing_time)
 
     final = search.best
     final_optimal = False
@@ -196,23 +204,24 @@ def co_optimize(
             candidates = candidates[:spec.polish_top_k]
         best_polished = None
         best_optimal = False
-        for candidate in candidates:
-            times = [
-                [table.time(width) for width in candidate.widths]
-                for table in table_list
-            ]
-            exact = exact_assign(
-                times,
-                candidate.widths,
-                incumbent=candidate,
-                node_limit=spec.exact_node_limit,
-                time_limit=spec.exact_time_limit,
-            )
-            if (best_polished is None
-                    or exact.result.testing_time
-                    < best_polished.testing_time):
-                best_polished = exact.result
-                best_optimal = exact.optimal
+        with _obs_span("polish", candidates=len(candidates)):
+            for candidate in candidates:
+                times = [
+                    [table.time(width) for width in candidate.widths]
+                    for table in table_list
+                ]
+                exact = exact_assign(
+                    times,
+                    candidate.widths,
+                    incumbent=candidate,
+                    node_limit=spec.exact_node_limit,
+                    time_limit=spec.exact_time_limit,
+                )
+                if (best_polished is None
+                        or exact.result.testing_time
+                        < best_polished.testing_time):
+                    best_polished = exact.result
+                    best_optimal = exact.optimal
         assert best_polished is not None
         final = best_polished
         final_optimal = best_optimal

@@ -65,6 +65,7 @@ from typing import (
 
 from repro.assign.core_assign import core_assign
 from repro.exceptions import ConfigurationError
+from repro.obs import span as _obs_span
 from repro.partition.count import count_partitions
 from repro.partition.enumerate import increment_partitions, unique_partitions
 from repro.tam.assignment import AssignmentResult
@@ -354,42 +355,52 @@ def partition_evaluate(
         enumerated = 0
         completed = 0
         lb_pruned = 0
-        if count <= total_width:
-            # The abort threshold only moves when a partition
-            # completes and is offered, so it is cached across the
-            # (overwhelmingly aborting) partitions in between.
-            threshold = tracker.threshold() if prune else None
-            for widths in enumerate_fn(total_width, count):
-                enumerated += 1
-                if matrix is not None:
-                    if (
-                        use_lb
-                        and threshold is not None
-                        and matrix.lower_bound(widths) >= threshold
-                    ):
-                        # Admissible bound: this partition could only
-                        # have aborted — skip Core_assign entirely.
-                        lb_pruned += 1
-                        continue
-                    result = sweep_assign(
-                        matrix, widths, best_known=threshold,
-                        workspace=workspace,
-                    )
-                    if result is None:
-                        continue
-                else:
-                    times = _times_for(tables, widths)
-                    outcome = core_assign(
-                        times, widths, best_known=threshold,
-                    )
-                    if not outcome.completed:
-                        continue
-                    assert outcome.result is not None
-                    result = outcome.result
-                completed += 1
-                tracker.offer(result)
-                if prune:
-                    threshold = tracker.threshold()
+        # One span per TAM count (the sweep's natural sampling
+        # granularity); the per-partition loop below carries no
+        # instrumentation at all — RPR001's telemetry discipline.
+        with _obs_span("sweep_count", num_tams=count) as count_span:
+            if count <= total_width:
+                # The abort threshold only moves when a partition
+                # completes and is offered, so it is cached across the
+                # (overwhelmingly aborting) partitions in between.
+                threshold = tracker.threshold() if prune else None
+                for widths in enumerate_fn(total_width, count):
+                    enumerated += 1
+                    if matrix is not None:
+                        if (
+                            use_lb
+                            and threshold is not None
+                            and matrix.lower_bound(widths) >= threshold
+                        ):
+                            # Admissible bound: this partition could
+                            # only have aborted — skip Core_assign
+                            # entirely.
+                            lb_pruned += 1
+                            continue
+                        result = sweep_assign(
+                            matrix, widths, best_known=threshold,
+                            workspace=workspace,
+                        )
+                        if result is None:
+                            continue
+                    else:
+                        times = _times_for(tables, widths)
+                        outcome = core_assign(
+                            times, widths, best_known=threshold,
+                        )
+                        if not outcome.completed:
+                            continue
+                        assert outcome.result is not None
+                        result = outcome.result
+                    completed += 1
+                    tracker.offer(result)
+                    if prune:
+                        threshold = tracker.threshold()
+            count_span.annotate(
+                enumerated=enumerated,
+                completed=completed,
+                lb_pruned=lb_pruned,
+            )
         all_stats.append(
             PartitionStats(
                 num_tams=count,

@@ -18,6 +18,7 @@ thread-safe — use one per thread.
 from __future__ import annotations
 
 import json
+import logging
 import socket
 import time as _time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
@@ -29,6 +30,8 @@ from repro.exceptions import (
     ServiceError,
     ServiceTransportError,
 )
+
+logger = logging.getLogger(__name__)
 
 
 class ServiceClient:
@@ -342,12 +345,17 @@ class ServiceClient:
                     failures = 0
                     yield event
                 return
-            except ServiceTransportError:
+            except ServiceTransportError as error:
                 if not reconnect:
                     raise
                 failures += 1
                 if failures > max_reconnects:
                     raise
+                logger.warning(
+                    "event stream for %s dropped (%s); reconnecting "
+                    "from seq %d (attempt %d/%d)",
+                    job_id, error, next_seq, failures, max_reconnects,
+                )
                 dropped = True
                 if failures > 1:
                     _time.sleep(min(0.1 * (failures - 1), 1.0))

@@ -59,6 +59,7 @@ engineer-facing workstation service, not an internet-facing one.
 from __future__ import annotations
 
 import json
+import logging
 import socketserver
 import threading
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
@@ -69,6 +70,8 @@ from repro.engine.batch import BatchJob
 from repro.exceptions import ReproError
 from repro.service.server import ExplorationServer, grid_payload
 from repro.soc.loader import load_source
+
+logger = logging.getLogger(__name__)
 
 
 def jobs_from_request(request: Dict[str, Any]) -> List[BatchJob]:
@@ -222,6 +225,10 @@ def handle_request(
         # unhashable options, an unreadable/directory .soc path, ...)
         # are the client's fault, not a server bug: answer, don't
         # tear down the connection.
+        logger.warning(
+            "malformed %r request: %s: %s",
+            request.get("op"), type(error).__name__, error,
+        )
         return {
             "ok": False,
             "error": f"malformed request: {type(error).__name__}: {error}",
@@ -243,6 +250,10 @@ class _Handler(socketserver.StreamRequestHandler):
                 if not isinstance(request, dict):
                     raise ValueError("request must be a JSON object")
             except ValueError as error:
+                logger.warning(
+                    "rejected undecodable request from %s: %s",
+                    self.client_address, error,
+                )
                 self._reply({"ok": False, "error": f"bad request: {error}"})
                 continue
             response, stop = handle_request(

@@ -27,6 +27,7 @@ line-oriented JSON socket in front of it and
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -50,14 +51,18 @@ from repro.engine.batch import (
     BatchResult,
     BatchRunner,
     FailedPoint,
+    align_point_telemetry,
     split_results,
 )
 from repro.exceptions import ServiceError
+from repro.obs.warehouse import RunWarehouse, warehouse_for
 from repro.report.serialize import (
     failed_point_to_dict,
     sweep_point_to_dict,
 )
 from repro.service.store import GridMemo
+
+logger = logging.getLogger(__name__)
 
 #: Job lifecycle states, in order of progress.  ``cancelled`` is
 #: reachable only from ``queued`` — a running grid is not interrupted.
@@ -92,9 +97,19 @@ def grid_payload(
 
 
 def _point_event(
-    record: "JobRecord", index: int, total: int, result: BatchResult
+    record: "JobRecord",
+    index: int,
+    total: int,
+    result: BatchResult,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> JobEvent:
-    """One grid point's completion as a streamable :class:`JobEvent`."""
+    """One grid point's completion as a streamable :class:`JobEvent`.
+
+    ``metrics`` (a serialized per-point
+    :class:`~repro.obs.metrics.MetricsSnapshot` delta) rides inside
+    the free-form payload dict — the envelope's locked field set
+    (RPR004) is untouched.
+    """
     if isinstance(result, FailedPoint):
         kind, payload = "failed", failed_point_to_dict(result)
     else:
@@ -102,6 +117,8 @@ def _point_event(
             sweep_point_to_dict(result),
             soc=record.jobs[index].soc.name,
         )
+    if metrics is not None:
+        payload = dict(payload, metrics=metrics)
     return JobEvent(
         job_id=record.job_id,
         seq=index,
@@ -140,6 +157,9 @@ class JobRecord:
     payload: Optional[Dict[str, Any]] = None
     events: List[JobEvent] = field(default_factory=list)
     error: Optional[str] = None
+    #: The run's own serialized metrics delta (what this grid cost,
+    #: not the runner's lifetime totals), set when the grid finishes.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def is_terminal(self) -> bool:
@@ -166,6 +186,8 @@ class JobRecord:
             info["num_failures"] = len(self.payload["failures"])
         if self.error is not None:
             info["error"] = self.error
+        if self.metrics is not None:
+            info["metrics"] = self.metrics
         return info
 
 
@@ -233,6 +255,12 @@ class ExplorationServer:
             self.grid_memo = GridMemo(
                 Path(self.runner.cache_dir) / "grid-memo"
             )
+        #: Run warehouse next to the table store: every grid this
+        #: server finishes lands there with its metrics and spans,
+        #: queryable later by ``repro-tam report``.
+        self.warehouse: Optional[RunWarehouse] = warehouse_for(
+            self.runner.cache_dir
+        )
         self._records: Dict[str, JobRecord] = {}
         self._memo: Dict[str, str] = {}
         self._queue: "queue.Queue[str]" = queue.Queue()
@@ -294,9 +322,11 @@ class ExplorationServer:
                     finished_at=source.finished_at,
                     results=source.results,
                     payload=source.payload,
+                    metrics=source.metrics,
                 )
                 self._records[job_id] = record
                 self.memo_hits += 1
+                self.runner.metrics.counter("service.memo_hits").inc()
                 self._evict_locked(keep=job_id)
                 return record
             payload = (
@@ -316,6 +346,7 @@ class ExplorationServer:
                 self._records[job_id] = record
                 self._memo[key] = job_id
                 self.memo_hits += 1
+                self.runner.metrics.counter("service.memo_hits").inc()
                 self._evict_locked(keep=job_id)
                 return record
             record = JobRecord(
@@ -350,6 +381,9 @@ class ExplorationServer:
         for record in candidates[:excess]:
             del self._records[record.job_id]
             self.records_evicted += 1
+            self.runner.metrics.counter(
+                "service.records_evicted"
+            ).inc()
             stale = [
                 memo_key for memo_key, memo_id in self._memo.items()
                 if memo_id == record.job_id
@@ -526,6 +560,10 @@ class ExplorationServer:
 
     def info(self) -> Dict[str, object]:
         """Server-wide counters for monitoring and tests."""
+        queue_depth = self._queue.qsize()
+        self.runner.metrics.gauge("service.queue_depth").set(
+            queue_depth
+        )
         with self._lock:
             by_status: Dict[str, int] = {}
             for record in self._records.values():
@@ -542,6 +580,9 @@ class ExplorationServer:
                 "max_records": self.max_records,
                 "records_evicted": self.records_evicted,
                 "persistent_memo": self.grid_memo is not None,
+                "queue_depth": queue_depth,
+                "warehouse": self.warehouse is not None,
+                "metrics": self.runner.metrics.snapshot().to_dict(),
             }
 
     # ------------------------------------------------------------------
@@ -601,11 +642,26 @@ class ExplorationServer:
                     )
                 ):
                     results.append(result)
-                    event = _point_event(record, index, total, result)
+                    telemetry = None
+                    if index < len(self.runner.last_run_telemetry):
+                        telemetry = (
+                            self.runner.last_run_telemetry[index]
+                        )
+                    event = _point_event(
+                        record, index, total, result,
+                        metrics=(
+                            telemetry.metrics.to_dict()
+                            if telemetry is not None else None
+                        ),
+                    )
                     with self._done:
                         record.events.append(event)
                         self._done.notify_all()
             except Exception as error:  # noqa: BLE001 - job boundary
+                logger.error(
+                    "grid %s failed: %s: %s",
+                    job_id, type(error).__name__, error,
+                )
                 with self._done:
                     record.status = "failed"
                     record.error = f"{type(error).__name__}: {error}"
@@ -626,8 +682,34 @@ class ExplorationServer:
                     grid_payload(record.jobs, results),
                     num_jobs=total,
                 )
+            run_metrics = (
+                self.runner.last_run_metrics.to_dict()
+                if self.runner.last_run_metrics is not None else None
+            )
+            if self.warehouse is not None and record.key is not None:
+                # Every finished grid lands in the warehouse — clean
+                # or not — with its per-point telemetry and run-level
+                # spans.  A write failure must not fail the job.
+                try:
+                    self.warehouse.record_grid(
+                        record.key,
+                        grid_payload(record.jobs, results),
+                        job_id=job_id,
+                        source="service",
+                        metrics=run_metrics,
+                        point_telemetry=align_point_telemetry(
+                            results, self.runner.last_run_telemetry
+                        ),
+                        run_spans=self.runner.last_run_spans,
+                    )
+                except Exception as error:  # noqa: BLE001 - telemetry
+                    logger.warning(
+                        "warehouse write for %s failed: %s",
+                        job_id, error,
+                    )
             with self._done:
                 record.results = results
+                record.metrics = run_metrics
                 record.status = "done"
                 record.finished_at = time.time()
                 if clean and record.key is not None:

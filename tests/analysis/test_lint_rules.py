@@ -90,6 +90,43 @@ class TestDeterminismRule:
         )
         assert len(found) == 1
 
+    def test_obs_span_instrumentation_allowed(self, tmp_path):
+        # The telemetry spine's no-op fast path is deliberately
+        # legal in hot modules: spans use monotonic clocks only and
+        # never feed a scored value.
+        assert not lint_file(
+            tmp_path, HOT,
+            "from repro.obs import span\n\n\n"
+            "def f(xs):\n"
+            "    with span('sweep_count', n=len(xs)) as live:\n"
+            "        live.annotate(completed=len(xs))\n"
+            "    return sorted(xs)\n",
+            "RPR001",
+        )
+
+    def test_obs_counters_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, HOT,
+            "from repro.obs import REGISTRY\n\n\n"
+            "def f(xs):\n"
+            "    REGISTRY.counter('sweep.points').inc()\n"
+            "    return xs\n",
+            "RPR001",
+        )
+
+    def test_wall_clock_next_to_obs_still_flagged(self, tmp_path):
+        # Instrumentation does not grandfather the module: banned
+        # calls beside a span are still violations.
+        found = lint_file(
+            tmp_path, HOT,
+            "import time\n\nfrom repro.obs import span\n\n\n"
+            "def f():\n"
+            "    with span('x'):\n"
+            "        return time.time()\n",
+            "RPR001",
+        )
+        assert len(found) == 1
+
     def test_cold_paths_not_patrolled(self, tmp_path):
         assert not lint_file(
             tmp_path, "src/repro/report/tables.py",

@@ -1,0 +1,124 @@
+"""The metrics registry: instruments, snapshots, deltas, absorption."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import MetricsRegistry, MetricsSnapshot
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_get_or_create_and_inc(self, registry):
+        registry.counter("cache.hits").inc()
+        registry.counter("cache.hits").inc(4)
+        assert registry.counter("cache.hits").value == 5
+
+    def test_gauge_sets_a_level(self, registry):
+        registry.gauge("queue_depth").set(3)
+        registry.gauge("queue_depth").set(1)
+        assert registry.gauge("queue_depth").value == 1.0
+
+    def test_timer_accumulates(self, registry):
+        timer = registry.timer("phase.sweep")
+        timer.observe(0.5)
+        with timer.time():
+            pass
+        assert timer.count == 2
+        assert timer.total_s >= 0.5
+
+    def test_instruments_lists_every_name(self, registry):
+        registry.counter("b")
+        registry.gauge("a")
+        registry.timer("c")
+        assert list(registry.instruments()) == ["a", "b", "c"]
+
+
+class TestSnapshots:
+    def test_snapshot_is_sorted_and_frozen(self, registry):
+        registry.counter("z").inc()
+        registry.counter("a").inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot.counters == (("a", 2), ("z", 1))
+        with pytest.raises(Exception):
+            snapshot.counters = ()
+
+    def test_named_getters_default_to_zero(self):
+        empty = MetricsSnapshot()
+        assert empty.counter("missing") == 0
+        assert empty.gauge("missing") == 0.0
+        assert empty.timer("missing") == (0, 0.0)
+
+    def test_delta_subtracts_and_drops_unmoved(self, registry):
+        registry.counter("moved").inc(2)
+        registry.counter("still").inc(5)
+        earlier = registry.snapshot()
+        registry.counter("moved").inc(3)
+        delta = registry.snapshot().delta(earlier)
+        assert delta.counter("moved") == 3
+        # An unmoved counter does not appear in the delta at all.
+        assert dict(delta.counters).keys() == {"moved"}
+
+    def test_delta_keeps_the_later_gauge_reading(self, registry):
+        registry.gauge("depth").set(9)
+        earlier = registry.snapshot()
+        registry.gauge("depth").set(2)
+        delta = registry.snapshot().delta(earlier)
+        assert delta.gauge("depth") == 2.0
+
+    def test_delta_subtracts_timers(self, registry):
+        registry.timer("phase").observe(1.0)
+        earlier = registry.snapshot()
+        registry.timer("phase").observe(0.25)
+        delta = registry.snapshot().delta(earlier)
+        assert delta.timer("phase") == (1, pytest.approx(0.25))
+
+    def test_dict_round_trip(self, registry):
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(1.5)
+        registry.timer("phase").observe(0.5)
+        snapshot = registry.snapshot()
+        assert MetricsSnapshot.from_dict(snapshot.to_dict()) == snapshot
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            MetricsSnapshot.from_dict("not an object")
+        with pytest.raises(ValidationError):
+            MetricsSnapshot.from_dict(
+                {"timers": {"phase": {"count": 1}}}  # no total_s
+            )
+
+
+class TestAbsorb:
+    def test_absorb_adds_counters_and_timers(self, registry):
+        registry.counter("hits").inc(1)
+        registry.timer("phase").observe(1.0)
+        worker = MetricsRegistry()
+        worker.counter("hits").inc(4)
+        worker.timer("phase").observe(0.5)
+        worker.gauge("depth").set(7)
+        registry.absorb(worker.snapshot())
+        assert registry.counter("hits").value == 5
+        assert registry.timer("phase").count == 2
+        assert registry.timer("phase").total_s == pytest.approx(1.5)
+        assert registry.gauge("depth").value == 7.0
+
+    def test_absorb_none_is_a_no_op(self, registry):
+        registry.absorb(None)
+        assert registry.snapshot() == MetricsSnapshot()
+
+    def test_worker_delta_merge_equals_direct_counting(self):
+        # The telemetry channel's invariant: parent absorbs each
+        # worker's delta exactly once, so the parent's totals match
+        # what direct counting in one process would have produced.
+        parent = MetricsRegistry()
+        for work in (3, 4):
+            worker = MetricsRegistry()
+            worker.counter("shards").inc(work)
+            baseline = worker.snapshot()
+            worker.counter("shards").inc(1)
+            parent.absorb(worker.snapshot().delta(baseline))
+        assert parent.counter("shards").value == 2

@@ -1,0 +1,164 @@
+"""Warehouse reporting: views, event lines, and the bit-identical
+reproduction of a live grid table from SQLite alone."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.report import (
+    REPORT_VIEWS,
+    build_report,
+    format_event_line,
+    render_report,
+)
+from repro.obs.warehouse import RunWarehouse
+
+KEY = "cafe0123456789abcdef0123"
+
+
+def payload():
+    return {
+        "points": [
+            {
+                "soc": "d695", "total_width": 16, "num_tams": 4,
+                "partition": [3, 3, 5, 5], "testing_time": 42645,
+                "gap": 0.1082, "utilization": 0.985,
+            },
+            {
+                "soc": "d695", "total_width": 24, "num_tams": 3,
+                "partition": [8, 8, 8], "testing_time": 29980,
+                "gap": 0.0, "utilization": 0.987,
+            },
+            # Dominated: wider AND slower than W=24.
+            {
+                "soc": "d695", "total_width": 32, "num_tams": 3,
+                "partition": [10, 11, 11], "testing_time": 31000,
+                "gap": 0.0, "utilization": 0.9,
+            },
+        ],
+        "failures": [],
+    }
+
+
+@pytest.fixture
+def warehouse(tmp_path):
+    store = RunWarehouse(tmp_path / "warehouse.sqlite")
+    store.record_grid(KEY, payload(), source="batch")
+    return store
+
+
+class TestEventLines:
+    def test_point_event_line(self):
+        line, failed = format_event_line({
+            "kind": "point", "index": 0, "total": 2,
+            "payload": {
+                "soc": "d695", "total_width": 16, "num_tams": 4,
+                "testing_time": 42645,
+            },
+        })
+        assert line == "[1/2] d695 W=16 B=4 T=42645"
+        assert failed is False
+
+    def test_failed_event_line(self):
+        line, failed = format_event_line({
+            "kind": "failed", "index": 1, "total": 2,
+            "payload": {
+                "soc": "p93791", "total_width": 8,
+                "error_type": "ConfigurationError",
+            },
+        })
+        assert line == (
+            "[2/2] FAILED p93791 W=8: ConfigurationError"
+        )
+        assert failed is True
+
+
+class TestBuildReport:
+    def test_unknown_view_rejected(self, warehouse):
+        with pytest.raises(ValidationError):
+            build_report(warehouse, view="nope")
+        assert "table" in REPORT_VIEWS
+
+    def test_empty_warehouse_explains_itself(self, tmp_path):
+        empty = RunWarehouse(tmp_path / "none.sqlite")
+        with pytest.raises(ValidationError) as failure:
+            build_report(empty)
+        assert "--cache-dir" in str(failure.value)
+
+    def test_table_view_returns_the_stored_payload(self, warehouse):
+        report = build_report(warehouse, view="table")
+        assert report["campaign"] == KEY
+        assert report["points"] == payload()["points"]
+        assert report["failures"] == []
+
+    def test_campaign_prefix_and_run_pin(self, warehouse):
+        other_payload = payload()
+        other_payload["points"] = other_payload["points"][:1]
+        warehouse.record_grid("ffff" + KEY[4:], other_payload)
+        by_prefix = build_report(warehouse, campaign=KEY[:6])
+        assert len(by_prefix["points"]) == 3
+        pinned = build_report(
+            warehouse, run_id=by_prefix["run"]["run_id"]
+        )
+        assert pinned["points"] == by_prefix["points"]
+        with pytest.raises(ValidationError):
+            build_report(warehouse, run_id=999)
+
+    def test_pareto_view_drops_dominated_points(self, warehouse):
+        report = build_report(warehouse, view="pareto")
+        widths = [p["total_width"] for p in report["pareto"]]
+        assert widths == [16, 24]  # W=32 is dominated by W=24
+
+    def test_trend_and_runs_views(self, warehouse):
+        warehouse.record_grid(KEY, payload())
+        trend = build_report(warehouse, view="trend")
+        assert len(trend["trend"]) == 6  # 3 points x 2 runs
+        runs = build_report(warehouse, view="runs", limit=1)
+        assert len(runs["runs"]) == 1
+
+    def test_report_record_is_json_serializable(self, warehouse):
+        for view in REPORT_VIEWS:
+            record = build_report(warehouse, view=view)
+            assert json.loads(json.dumps(record))["view"] == view
+
+
+class TestRendering:
+    def test_phases_view_hints_when_tracing_was_off(self, warehouse):
+        rendered = render_report(
+            build_report(warehouse, view="phases")
+        )
+        assert "REPRO_TRACE=1" in rendered
+
+    def test_failures_render_after_the_table(self, tmp_path):
+        store = RunWarehouse(tmp_path / "warehouse.sqlite")
+        failing = payload()
+        failing["failures"] = [{
+            "soc": "p93791", "total_width": 8,
+            "error_type": "ConfigurationError",
+            "error_message": "too narrow",
+        }]
+        store.record_grid(KEY, failing)
+        rendered = render_report(build_report(store))
+        assert "FAILED p93791 W=8" in rendered
+        assert "too narrow" in rendered
+
+
+class TestBitIdenticalReproduction:
+    def test_report_reproduces_the_live_batch_table(
+        self, tmp_path, capsys
+    ):
+        """The acceptance property: after a --cache-dir batch run,
+        ``repro-tam report`` rebuilds the live run's best-result
+        table from SQLite alone, byte for byte."""
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "batch", "d695", "-W", "8", "12", "-B", "2",
+            "--jobs", "1", "--cache-dir", cache_dir,
+        ]) == 0
+        live = capsys.readouterr().out
+        assert main(["report", "--cache-dir", cache_dir]) == 0
+        reported = capsys.readouterr().out
+        assert reported == live

@@ -1,0 +1,150 @@
+"""The span tracer: no-op fast path, nesting, and record transport."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import NOOP_SPAN, SpanRecord, TaskTelemetry, Tracer
+from repro.obs import span as module_span
+from repro.obs import trace as trace_module
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestDisabledFastPath:
+    def test_disabled_tracer_hands_out_the_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is NOOP_SPAN
+        assert tracer.span("other", soc="d695") is NOOP_SPAN
+
+    def test_module_span_uses_the_global_tracer(self):
+        assert not trace_module.TRACER.enabled
+        assert module_span("anything") is NOOP_SPAN
+
+    def test_noop_span_is_a_context_manager_and_annotates(self):
+        with NOOP_SPAN as live:
+            live.annotate(anything=1)
+
+    def test_noop_span_swallows_nothing(self):
+        with pytest.raises(RuntimeError):
+            with NOOP_SPAN:
+                raise RuntimeError("propagates")
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("invisible"):
+            pass
+        assert tracer.drain() == []
+
+
+class TestLiveSpans:
+    def test_root_span_recorded_on_exit(self, tracer):
+        with tracer.span("root", soc="d695"):
+            pass
+        (record,) = tracer.drain()
+        assert record.name == "root"
+        assert record.start_s == 0.0
+        assert record.elapsed_s >= 0.0
+        assert dict(record.meta) == {"soc": "d695"}
+        assert record.children == ()
+
+    def test_nesting_builds_a_tree(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        (root,) = tracer.drain()
+        assert [child.name for child in root.children] == [
+            "mid", "sibling",
+        ]
+        assert root.children[0].children[0].name == "inner"
+
+    def test_child_offsets_are_relative_to_the_root(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.drain()
+        inner = root.children[0]
+        assert inner.start_s >= 0.0
+        assert inner.start_s + inner.elapsed_s <= root.elapsed_s + 1e-6
+
+    def test_annotate_lands_in_meta(self, tracer):
+        with tracer.span("sweep") as live:
+            live.annotate(completed=7, lb_pruned=3)
+        (record,) = tracer.drain()
+        assert dict(record.meta) == {"completed": 7, "lb_pruned": 3}
+
+    def test_exception_tags_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = tracer.drain()
+        assert dict(record.meta)["error"] == "ValueError"
+
+    def test_drain_claims_and_clears(self, tracer):
+        with tracer.span("one"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == []
+
+    def test_threads_nest_independently(self, tracer):
+        def worker(name):
+            with tracer.span(name):
+                pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        with tracer.span("main"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        roots = tracer.drain()
+        # Every thread's span is its own root, never a child of the
+        # main thread's open span.
+        assert sorted(r.name for r in roots) == [
+            "main", "t0", "t1", "t2", "t3",
+        ]
+        (main,) = [r for r in roots if r.name == "main"]
+        assert main.children == ()
+
+
+class TestRecordTransport:
+    def _tree(self):
+        return SpanRecord(
+            name="outer", start_s=0.0, elapsed_s=1.5,
+            meta=(("soc", "d695"),),
+            children=(
+                SpanRecord("inner", 0.25, 1.0, (("B", 3),)),
+            ),
+        )
+
+    def test_walk_yields_slash_paths_preorder(self):
+        paths = [path for path, _ in self._tree().walk()]
+        assert paths == ["outer", "outer/inner"]
+
+    def test_dict_round_trip(self):
+        tree = self._tree()
+        assert SpanRecord.from_dict(tree.to_dict()) == tree
+
+    def test_records_pickle(self):
+        tree = self._tree()
+        assert pickle.loads(pickle.dumps(tree)) == tree
+
+    def test_task_telemetry_pickles_and_serializes(self):
+        telemetry = TaskTelemetry(spans=(self._tree(),))
+        clone = pickle.loads(pickle.dumps(telemetry))
+        assert clone == telemetry
+        record = telemetry.to_dict()
+        assert record["spans"][0]["name"] == "outer"
+        assert record["metrics"] == {
+            "counters": {}, "gauges": {}, "timers": {},
+        }

@@ -1,0 +1,204 @@
+"""The run warehouse: persistence, reconstruction, queries, retention."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import MetricsSnapshot, SpanRecord, TaskTelemetry
+from repro.obs.warehouse import (
+    WAREHOUSE_FILENAME,
+    RunWarehouse,
+    warehouse_for,
+)
+
+KEY = "aa11bb22cc33dd44ee55ff66"
+
+PAYLOAD = {
+    "points": [
+        {
+            "soc": "d695", "total_width": 16, "num_tams": 4,
+            "partition": [3, 3, 5, 5], "testing_time": 42645,
+            "gap": 0.1082, "utilization": 0.985,
+        },
+        {
+            "soc": "d695", "total_width": 24, "num_tams": 3,
+            "partition": [8, 8, 8], "testing_time": 29980,
+            "gap": 0.0, "utilization": 0.987,
+        },
+    ],
+    "failures": [
+        {
+            "soc": "p93791", "total_width": 8,
+            "error_type": "ConfigurationError",
+            "error_message": "boom",
+        },
+    ],
+}
+
+
+def telemetry(elapsed=1.0):
+    return TaskTelemetry(
+        spans=(
+            SpanRecord(
+                "evaluate_point", 0.0, elapsed,
+                children=(SpanRecord("co_optimize", 0.1, 0.8),),
+            ),
+        ),
+        metrics=MetricsSnapshot(counters=(("sweep.points", 1),)),
+    )
+
+
+@pytest.fixture
+def warehouse(tmp_path):
+    return RunWarehouse(tmp_path / "warehouse.sqlite")
+
+
+class TestRecordAndReconstruct:
+    def test_missing_file_reads_answer_empty(self, warehouse):
+        assert warehouse.runs() == []
+        assert warehouse.latest_run() is None
+        assert warehouse.phase_breakdown() == []
+        assert not warehouse.path.exists()
+
+    def test_grid_payload_reconstructs_byte_identically(
+        self, warehouse
+    ):
+        run_id = warehouse.record_grid(KEY, PAYLOAD)
+        stored = warehouse.grid_payload(run_id)
+        assert json.dumps(stored, sort_keys=True) == json.dumps(
+            PAYLOAD, sort_keys=True
+        )
+
+    def test_run_row_carries_counts_and_metrics(self, warehouse):
+        run_id = warehouse.record_grid(
+            KEY, PAYLOAD, job_id="job-0007", source="service",
+            metrics={"counters": {"engine.pools_started": 1},
+                     "gauges": {}, "timers": {}},
+            created_at=1700000000.0,
+        )
+        run = warehouse.latest_run()
+        assert run["run_id"] == run_id
+        assert run["key"] == KEY
+        assert run["job_id"] == "job-0007"
+        assert run["source"] == "service"
+        assert run["num_points"] == 2
+        assert run["num_failures"] == 1
+        assert run["created_at"] == 1700000000.0
+        assert run["metrics"]["counters"] == {
+            "engine.pools_started": 1,
+        }
+
+    def test_point_telemetry_lands_per_point(self, warehouse):
+        run_id = warehouse.record_grid(
+            KEY, PAYLOAD,
+            point_telemetry=[telemetry(), None],
+            run_spans=(SpanRecord("publish_tables", 0.0, 0.2),),
+        )
+        metrics = warehouse.point_metrics(run_id)
+        assert metrics[0]["counters"] == {"sweep.points": 1}
+        assert metrics[1] is None
+        spans = warehouse.spans(run_id)
+        paths = {record["path"] for record in spans}
+        assert paths == {
+            "evaluate_point", "evaluate_point/co_optimize",
+            "publish_tables",
+        }
+        (run_level,) = [
+            record for record in spans
+            if record["path"] == "publish_tables"
+        ]
+        assert run_level["point_idx"] is None
+
+    def test_unknown_run_raises(self, warehouse):
+        warehouse.record_grid(KEY, PAYLOAD)
+        with pytest.raises(ValidationError):
+            warehouse.grid_payload(999)
+
+
+class TestQueries:
+    def test_resolve_key_accepts_unambiguous_prefix(self, warehouse):
+        warehouse.record_grid(KEY, PAYLOAD)
+        assert warehouse.resolve_key(KEY[:6]) == KEY
+        assert warehouse.resolve_key(KEY) == KEY
+
+    def test_resolve_key_rejects_missing_and_ambiguous(
+        self, warehouse
+    ):
+        warehouse.record_grid("aa11one", PAYLOAD)
+        warehouse.record_grid("aa11two", PAYLOAD)
+        with pytest.raises(ValidationError):
+            warehouse.resolve_key("zz")
+        with pytest.raises(ValidationError):
+            warehouse.resolve_key("aa11")
+
+    def test_trend_lists_points_across_runs_oldest_first(
+        self, warehouse
+    ):
+        first = warehouse.record_grid(KEY, PAYLOAD)
+        second = warehouse.record_grid(KEY, PAYLOAD)
+        trend = warehouse.trend(KEY)
+        assert [row["run_id"] for row in trend] == [
+            first, first, second, second,
+        ]
+        assert trend[0]["testing_time"] == 42645
+
+    def test_phase_breakdown_aggregates_by_path(self, warehouse):
+        run_id = warehouse.record_grid(
+            KEY, PAYLOAD,
+            point_telemetry=[telemetry(1.0), telemetry(3.0)],
+        )
+        breakdown = warehouse.phase_breakdown(run_id=run_id)
+        by_path = {row["path"]: row for row in breakdown}
+        evaluate = by_path["evaluate_point"]
+        assert evaluate["calls"] == 2
+        assert evaluate["total_s"] == pytest.approx(4.0)
+        assert evaluate["max_s"] == pytest.approx(3.0)
+        # Heaviest phase first.
+        assert breakdown[0]["path"] == "evaluate_point"
+
+
+class TestRetentionAndSchema:
+    def test_prune_keeps_newest_per_key(self, warehouse):
+        for _ in range(3):
+            warehouse.record_grid(KEY, PAYLOAD)
+        other = warehouse.record_grid("other-key", PAYLOAD)
+        dropped = warehouse.prune(keep_per_key=1)
+        assert dropped == 2
+        remaining = [run["run_id"] for run in warehouse.runs()]
+        assert other in remaining
+        assert len(remaining) == 2
+        # Pruned runs take their points and spans with them.
+        kept = max(run_id for run_id in remaining if run_id != other)
+        assert warehouse.grid_payload(kept)["points"]
+        with pytest.raises(ValidationError):
+            warehouse.grid_payload(1)
+
+    def test_prune_validates_keep(self, warehouse):
+        with pytest.raises(ValidationError):
+            warehouse.prune(keep_per_key=0)
+
+    def test_foreign_sqlite_file_is_refused(self, tmp_path):
+        path = tmp_path / "warehouse.sqlite"
+        with sqlite3.connect(str(path)) as connection:
+            connection.execute("CREATE TABLE unrelated (x)")
+        with pytest.raises(ValidationError):
+            RunWarehouse(path).runs()
+
+    def test_newer_schema_is_refused(self, warehouse):
+        warehouse.record_grid(KEY, PAYLOAD)
+        with sqlite3.connect(str(warehouse.path)) as connection:
+            connection.execute("UPDATE meta SET schema = 99")
+        with pytest.raises(ValidationError):
+            warehouse.runs()
+
+
+class TestWarehouseFor:
+    def test_no_cache_dir_means_no_warehouse(self):
+        assert warehouse_for(None) is None
+
+    def test_lives_next_to_the_table_store(self, tmp_path):
+        warehouse = warehouse_for(tmp_path)
+        assert warehouse is not None
+        assert warehouse.path == tmp_path / WAREHOUSE_FILENAME

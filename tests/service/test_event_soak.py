@@ -1,0 +1,95 @@
+"""Event-stream soak: many concurrent consumers, one flaky one.
+
+N consumers follow the same job's v2 ``events`` stream concurrently
+while the grid runs; one of them is deliberately flaky — it kills its
+own socket after every delivered event and relies on
+``reconnect=True`` to resume at the cursor.  Every consumer must see
+the *identical ordered* event sequence, and the finished job must
+publish one final run-level :class:`~repro.obs.MetricsSnapshot`
+covering the whole grid.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.obs import MetricsSnapshot
+from repro.service.client import ServiceClient
+from repro.service.ipc import IPCServer
+from repro.service.server import ExplorationServer
+
+GRID = dict(socs=["d695"], widths=[6, 8, 10, 12], num_tams=2)
+CONSUMERS = 4
+
+
+@pytest.fixture
+def ipc():
+    with ExplorationServer(max_workers=1) as exploration:
+        server = IPCServer(exploration, port=0).start()
+        yield server
+        server.stop()
+
+
+def consume(ipc, job_id, flaky=False):
+    host, port = ipc.address
+    events = []
+    with ServiceClient(host=host, port=port, timeout=120) as client:
+        for event in client.events(
+            job_id, timeout=120, reconnect=flaky
+        ):
+            events.append(event)
+            if flaky:
+                # Injected drop: the reconnect path must resume at
+                # the cursor with no gaps and no replays.
+                try:
+                    client._sock.shutdown(socket.SHUT_RDWR)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+    return events
+
+
+def test_concurrent_consumers_see_one_identical_stream(ipc):
+    host, port = ipc.address
+    with ServiceClient(host=host, port=port, timeout=120) as client:
+        job_id = client.submit(**GRID)
+
+    streams = [None] * CONSUMERS
+
+    def run(slot):
+        streams[slot] = consume(ipc, job_id, flaky=(slot == 0))
+
+    threads = [
+        threading.Thread(target=run, args=(slot,))
+        for slot in range(CONSUMERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+        assert not thread.is_alive()
+
+    reference = streams[0]
+    assert [event["seq"] for event in reference] == [0, 1, 2, 3]
+    assert [event["kind"] for event in reference] == ["point"] * 4
+    for stream in streams[1:]:
+        # Identical ordered sequences — same events, same order,
+        # same payloads, drops or not.
+        assert stream == reference
+
+    # Every point event carries its own metrics delta in the
+    # free-form payload (the envelope field set is untouched).
+    for event in reference:
+        point_metrics = MetricsSnapshot.from_dict(
+            event["payload"]["metrics"]
+        )
+        assert point_metrics.counter("sweep.points") == 1
+
+    # The finished job publishes one final run-level snapshot
+    # covering the whole grid.
+    with ServiceClient(host=host, port=port, timeout=120) as client:
+        status = client.wait(job_id, timeout=120)
+    assert status["status"] == "done"
+    final = MetricsSnapshot.from_dict(status["metrics"])
+    assert final.counter("sweep.points") == 4
+    assert final.counter("sweep.partitions_completed") > 0
