@@ -549,3 +549,110 @@ class BareExceptRule(Rule):
                     "bare 'except:' clause; catch Exception or a "
                     "narrower type",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — retry loops bounded, backoff from the seeded schedule
+# ---------------------------------------------------------------------------
+
+#: The layers whose retry behavior must stay deterministic and
+#: bounded (DESIGN.md §8: every recovery path terminates, and its
+#: delays come from ``repro.retry.backoff_schedule``).
+_RETRY_MODULE = re.compile(
+    r"(^|/)repro/(service|engine)/[^/]+\.py$"
+)
+
+
+def _literal_only(node: ast.expr) -> bool:
+    """An expression built solely from numeric literals.
+
+    ``0.5``, ``-1``, ``0.1 * 3`` count; any name, call or subscript
+    (a schedule lookup) does not.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float))
+    if isinstance(node, ast.UnaryOp):
+        return _literal_only(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _literal_only(node.left) and _literal_only(node.right)
+    return False
+
+
+@register
+class BoundedBackoffRule(Rule):
+    """RPR008: retries are bounded; sleeps come from the schedule."""
+
+    code = "RPR008"
+    name = "bounded-backoff"
+    description = (
+        "Service/engine retry behavior must be deterministic and "
+        "bounded: no sleep() with hard-coded literal delays (derive "
+        "from repro.retry.backoff_schedule so tests can predict "
+        "every delay), and no `while True` loop whose exception "
+        "handler just `continue`s — an unbounded retry that spins "
+        "forever when the failure is permanent."
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """The backoff rule patrols the service and engine layers."""
+        return _RETRY_MODULE.search(relpath) is not None
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Flag literal sleeps and unbounded retry loops."""
+        tree = module.tree
+        assert tree is not None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_sleep(module, node)
+            elif isinstance(node, ast.While):
+                yield from self._check_retry_loop(module, node)
+
+    def _check_sleep(
+        self, module: ModuleSource, node: ast.Call
+    ) -> Iterator[Violation]:
+        if _call_name(node.func) != "sleep":
+            return
+        if node.args and all(
+            _literal_only(arg) for arg in node.args
+        ):
+            yield self.violation(
+                module, node,
+                "sleep() with a hard-coded literal delay; derive "
+                "delays from repro.retry.backoff_schedule so retry "
+                "timing is seeded, bounded and testable",
+            )
+
+    def _check_retry_loop(
+        self, module: ModuleSource, node: ast.While
+    ) -> Iterator[Violation]:
+        # Only unconditional loops can be unbounded by construction;
+        # `while attempt < n` style loops carry their own bound.
+        if not (
+            isinstance(node.test, ast.Constant)
+            and node.test.value is True
+        ):
+            return
+        for statement in node.body:
+            if not isinstance(statement, ast.Try):
+                continue
+            for handler in statement.handlers:
+                if self._swallows_and_continues(handler):
+                    yield self.violation(
+                        module, handler,
+                        "`while True` retry whose except handler "
+                        "continues without a raise or break: "
+                        "unbounded when the failure is permanent — "
+                        "count attempts against a bounded "
+                        "backoff_schedule and re-raise on exhaustion",
+                    )
+
+    @staticmethod
+    def _swallows_and_continues(handler: ast.ExceptHandler) -> bool:
+        """A handler that retries (``continue``) with no escape path."""
+        retries = False
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Continue):
+                retries = True
+            if isinstance(node, (ast.Raise, ast.Break, ast.Return)):
+                return False
+        return retries

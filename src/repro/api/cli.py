@@ -38,6 +38,21 @@ PRUNE_MODES: Dict[str, Union[bool, str]] = {
 }
 
 
+def _point_timeout(value: str) -> float:
+    """Parse ``--point-timeout``: a positive number of seconds."""
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {value!r}"
+        ) from None
+    if timeout <= 0:
+        raise argparse.ArgumentTypeError(
+            f"point timeout must be positive, got {value!r}"
+        )
+    return timeout
+
+
 def _shard_policy(value: str) -> Union[int, str]:
     """Parse ``--shard``: 'auto', 'off' (→ 0), or a shard count."""
     if value == "auto":
@@ -79,6 +94,14 @@ def add_spec_arguments(
                  "space is large), 'off', or an explicit shard "
                  "count.  Results are identical at any setting; "
                  "unset keeps the executing runner's policy",
+        )
+        parser.add_argument(
+            "--point-timeout", type=_point_timeout, default=None,
+            metavar="SECONDS",
+            help="per-point wall-clock deadline (pool mode): a point "
+                 "that exceeds it is recorded/raised as a "
+                 "DeadlineError.  An execution hint like --shard — "
+                 "excluded from the grid's canonical key",
         )
     else:
         parser.add_argument(
@@ -159,14 +182,17 @@ def spec_from_args(
 def grid_spec_from_args(args: argparse.Namespace) -> GridSpec:
     """The :class:`GridSpec` a ``batch``/``submit`` namespace asks for.
 
-    Execution hints (``--shard``) land in the spec's ``runner``
-    mapping — serialized with the grid but excluded from its
-    canonical key, so hints never split the result memo.
+    Execution hints (``--shard``, ``--point-timeout``) land in the
+    spec's ``runner`` mapping — serialized with the grid but excluded
+    from its canonical key, so hints never split the result memo.
     """
     runner: Dict[str, Any] = {}
     shard = getattr(args, "shard", None)
     if shard is not None:
         runner["shard"] = shard
+    point_timeout = getattr(args, "point_timeout", None)
+    if point_timeout is not None:
+        runner["point_timeout"] = point_timeout
     return GridSpec.from_axes(
         args.socs,
         args.widths,

@@ -39,8 +39,10 @@ from __future__ import annotations
 
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from time import monotonic as _os_clock
+from time import sleep as _sleep
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,6 +63,7 @@ from typing import (
 from repro.analysis.sweep import SweepPoint, evaluate_point
 from repro.api.specs import resolved_tam_counts
 from repro.engine.cache import WrapperTableCache
+from repro.engine.faults import FaultPlan
 from repro.engine.kernel import (
     DenseTimeMatrix,
     build_dense_matrix,
@@ -75,7 +78,7 @@ from repro.engine.shm import (
     design_steps_blob,
     parse_design_steps,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DeadlineError
 from repro.obs import (
     REGISTRY,
     TRACER,
@@ -99,6 +102,7 @@ from repro.partition.shard import (
     sharded_partition_evaluate,
     sweep_shard,
 )
+from repro.retry import backoff_schedule
 from repro.soc.fingerprint import soc_fingerprint
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import TimeTable
@@ -256,6 +260,32 @@ def normalize_shard_policy(
     )
 
 
+def normalize_point_timeout(
+    value: Union[int, float, None]
+) -> Optional[float]:
+    """Validate a per-point deadline (runner default, CLI, or hint).
+
+    Accepts ``None`` (no deadline) or a positive number of seconds;
+    anything else — including the untrusted ``runner`` mapping of a
+    submitted :class:`~repro.api.specs.GridSpec` — raises
+    :class:`~repro.exceptions.ConfigurationError`.  Like ``shard``,
+    the deadline is pure execution strategy: excluded from every
+    canonical job key.
+    """
+    if value is None:
+        return None
+    if (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value > 0
+    ):
+        return float(value)
+    raise ConfigurationError(
+        "point_timeout must be a positive number of seconds or "
+        f"None; got {value!r}"
+    )
+
+
 def split_results(
     results: Iterable[BatchResult],
 ) -> Tuple[List[SweepPoint], List[FailedPoint]]:
@@ -297,6 +327,17 @@ _WORKER_POLICY: Tuple[str, int, "Optional[TableStore]", bool] = (
     "raise", 0, None, False
 )
 
+#: The fault-injection plan active in this worker process, parsed
+#: from the plan text the parent threaded through the initializer.
+#: ``None`` (the default, and the only production value) makes every
+#: fault hook a no-op.
+_WORKER_FAULTS: Optional[FaultPlan] = None
+
+#: True only in processes initialized by :func:`_init_worker` — the
+#: guard that keeps crash faults (``os._exit``) from ever firing in
+#: the parent/inline process.
+_IN_POOL_WORKER = False
+
 
 def _make_store(cache_dir: Union[str, Path, None]) -> "Optional[TableStore]":
     """A :class:`TableStore` on ``cache_dir``, or ``None``."""
@@ -313,15 +354,21 @@ def _init_worker(
     retries: int,
     cache_dir: Union[str, None],
     trace: bool = False,
+    faults: Optional[str] = None,
 ) -> None:
     """Pool initializer: install the runner's policy in this worker.
 
     ``trace`` mirrors the parent tracer's state at pool start, so one
     ``TRACER.enable()`` in the parent traces the whole fleet — each
     worker's spans ride home in its :class:`TaskTelemetry`.
+    ``faults`` is the parent's ``REPRO_FAULTS`` plan text at pool
+    start (normally ``None``), re-parsed here so every worker shares
+    the same deterministic chaos plan.
     """
-    global _WORKER_POLICY
+    global _WORKER_POLICY, _WORKER_FAULTS, _IN_POOL_WORKER
     _WORKER_POLICY = (on_error, retries, _make_store(cache_dir), trace)
+    _WORKER_FAULTS = FaultPlan.parse(faults) if faults else None
+    _IN_POOL_WORKER = True
     if trace:
         TRACER.enable()
 
@@ -340,7 +387,10 @@ def _cache_for(
 
 
 def _dense_point(
-    job: BatchJob, descriptor: Optional[DenseDescriptor]
+    job: BatchJob,
+    descriptor: Optional[DenseDescriptor],
+    point_index: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Optional[SweepPoint]:
     """Evaluate ``job`` over a transported dense matrix, if possible.
 
@@ -360,6 +410,12 @@ def _dense_point(
         or descriptor.fingerprint != soc_fingerprint(job.soc)
     ):
         return None
+    if (
+        faults is not None
+        and point_index is not None
+        and faults.take_shm_failure(point_index)
+    ):
+        return None  # injected attach failure: take the fallback path
     matrix = attach(descriptor)
     if matrix is None:
         return None
@@ -381,6 +437,8 @@ def _run_job_tracked(
     job: BatchJob,
     store: "Optional[TableStore]" = None,
     descriptor: Optional[DenseDescriptor] = None,
+    point_index: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[SweepPoint, int]:
     """Evaluate one job; also report whether the dense path was lost.
 
@@ -390,8 +448,14 @@ def _run_job_tracked(
     for a full private cache instead — the slow path the runner now
     surfaces (:attr:`BatchRunner.shm_fallbacks`) instead of hiding.
     """
+    if faults is not None and point_index is not None:
+        delay = faults.slow_delay(point_index)
+        if delay:
+            _sleep(delay)  # injected stall; delay comes from the plan
     if descriptor is not None:
-        point = _dense_point(job, descriptor)
+        point = _dense_point(
+            job, descriptor, point_index=point_index, faults=faults
+        )
         if point is not None:
             return point, 0
     cache = _cache_for(caches, job.soc, store=store)
@@ -424,13 +488,16 @@ def _run_job_safe(
     retries: int,
     store: "Optional[TableStore]" = None,
     descriptor: Optional[DenseDescriptor] = None,
+    point_index: Optional[int] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[BatchResult, int]:
     """Evaluate one job under the runner's failure policy."""
     attempts = retries + 1
     for attempt in range(1, attempts + 1):
         try:
             return _run_job_tracked(
-                caches, job, store=store, descriptor=descriptor
+                caches, job, store=store, descriptor=descriptor,
+                point_index=point_index, faults=faults,
             )
         except Exception as error:  # noqa: BLE001 - policy boundary
             if attempt < attempts:
@@ -455,20 +522,32 @@ def _run_job_safe(
 
 
 def _pool_worker(
-    item: Tuple[BatchJob, Optional[DenseDescriptor]]
+    item: Tuple[Any, ...]
 ) -> Tuple[BatchResult, int, TaskTelemetry]:
-    """Pool entry point: evaluate one (job, dense descriptor) item.
+    """Pool entry point: evaluate one (job, descriptor, index) item.
 
     Ships the job's :class:`TaskTelemetry` (its spans plus this
     worker's metrics delta) back with the result, so the parent's
-    registry covers the whole fleet.
+    registry covers the whole fleet.  The grid-point index keys the
+    fault-injection hooks (and older two-element items still work).
     """
-    job, descriptor = item
+    job, descriptor = item[0], item[1]
+    point_index: Optional[int] = item[2] if len(item) > 2 else None
     on_error, retries, store, _ = _WORKER_POLICY
+    faults = _WORKER_FAULTS
+    if (
+        faults is not None
+        and point_index is not None
+        and _IN_POOL_WORKER
+        and faults.take_crash(point_index)
+    ):
+        # Injected worker death: surfaces in the parent as a
+        # BrokenProcessPool, exercising the pool-rebuild recovery.
+        os._exit(1)
     baseline = task_begin()
     result, fallbacks = _run_job_safe(
         _WORKER_CACHES, job, on_error, retries, store=store,
-        descriptor=descriptor,
+        descriptor=descriptor, point_index=point_index, faults=faults,
     )
     return result, fallbacks, task_end(baseline)
 
@@ -489,9 +568,23 @@ def _shard_worker(
     """
     (descriptor, board_descriptor, shard_index, spans, soc,
      total_width, keep_top, initial_best, prune) = item
+    faults = _WORKER_FAULTS
+    if (
+        faults is not None and _IN_POOL_WORKER
+        and faults.take_crash(shard_index)
+    ):
+        os._exit(1)  # injected shard-worker death
     baseline = task_begin()
+    if faults is not None:
+        delay = faults.slow_delay(shard_index)
+        if delay:
+            _sleep(delay)  # injected stall; delay comes from the plan
     fallbacks = 0
-    matrix = attach(descriptor)
+    matrix = (
+        None
+        if faults is not None and faults.take_shm_failure(shard_index)
+        else attach(descriptor)
+    )
     if matrix is None:
         fallbacks = 1
         logger.warning(
@@ -635,7 +728,30 @@ class BatchRunner:
         on the production defaults (canonical ``unique`` enumeration,
         kernel engine, no per-count stratification) shard; others
         fall back to whole-job dispatch.
+    point_timeout:
+        Per-point wall-clock deadline in seconds (pool mode only;
+        inline jobs cannot be interrupted).  A point whose result
+        does not arrive within the deadline counts into
+        ``engine.points_timed_out`` and becomes a
+        :class:`FailedPoint` under ``on_error="record"`` or raises
+        :class:`~repro.exceptions.DeadlineError` under ``"raise"``.
+        Like ``shard``, overridable per call and per submitted
+        :class:`~repro.api.specs.GridSpec` runner hint, and excluded
+        from every canonical job key.
+    pool_restart_retries:
+        How many times a grid survives its process pool breaking
+        (a worker OOM-killed or segfaulting): the pool is rebuilt,
+        already-yielded results are kept, and only the unfinished
+        points re-dispatch — after a deterministic
+        :func:`repro.retry.backoff_schedule` delay.  ``0`` restores
+        the historical fail-fast behavior.
     """
+
+    #: Extra attempts a failed *shard task* gets (at shard
+    #: granularity, before the job-level retry policy even engages);
+    #: re-running a shard is deterministic, so one retry only pays
+    #: off for environmental failures.
+    SHARD_RETRY_ATTEMPTS = 2
 
     def __init__(
         self,
@@ -647,6 +763,8 @@ class BatchRunner:
         persistent: bool = False,
         share_tables: bool = True,
         shard: Union[int, str, None] = "auto",
+        point_timeout: Union[int, float, None] = None,
+        pool_restart_retries: int = 2,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -666,6 +784,13 @@ class BatchRunner:
                 f"retries must be >= 0, got {retries}"
             )
         normalize_shard_policy(shard)
+        if pool_restart_retries < 0:
+            raise ConfigurationError(
+                "pool_restart_retries must be >= 0, got "
+                f"{pool_restart_retries}"
+            )
+        self.point_timeout = normalize_point_timeout(point_timeout)
+        self.pool_restart_retries = pool_restart_retries
         self.max_workers = max_workers
         self.chunksize = chunksize
         self.on_error = on_error
@@ -726,6 +851,17 @@ class BatchRunner:
         """Jobs that executed via the intra-job sharded sweep."""
         return self.metrics.counter("engine.jobs_sharded").value
 
+    @property
+    def pool_restarts(self) -> int:
+        """Broken process pools rebuilt mid-grid over this runner's
+        lifetime — each one a worker death the grid survived."""
+        return self.metrics.counter("engine.pool_restarts").value
+
+    @property
+    def points_timed_out(self) -> int:
+        """Grid points abandoned at their wall-clock deadline."""
+        return self.metrics.counter("engine.points_timed_out").value
+
     def cache_for(self, soc: Soc) -> WrapperTableCache:
         """This runner's (inline-mode) table cache for ``soc``."""
         return _cache_for(self._caches, soc, store=self._store)
@@ -734,12 +870,17 @@ class BatchRunner:
         """Start a pool carrying this runner's policy to its workers."""
         self.metrics.counter("engine.pools_started").inc()
         logger.debug("starting process pool with %d workers", workers)
+        # Parse (and thereby validate) any active chaos plan here in
+        # the parent — a malformed REPRO_FAULTS fails fast instead of
+        # breaking every worker's initializer.
+        plan = FaultPlan.from_env()
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(
                 self.on_error, self.retries, self.cache_dir,
                 TRACER.enabled,
+                plan.text if plan is not None else None,
             ),
         )
 
@@ -910,6 +1051,7 @@ class BatchRunner:
         self,
         jobs: Sequence[BatchJob],
         shard: Union[int, str, None] = None,
+        point_timeout: Union[int, float, None] = None,
     ) -> Iterator[BatchResult]:
         """Evaluate ``jobs``, yielding one result per job, in order.
 
@@ -921,19 +1063,23 @@ class BatchRunner:
         the batch to complete; abandoning it mid-grid closes the
         underlying ephemeral pool.
 
-        ``shard`` overrides the runner's intra-job sharding policy
-        for this call (the per-submission runner hint); results are
-        identical either way.
+        ``shard`` and ``point_timeout`` override the runner's
+        intra-job sharding policy and per-point deadline for this
+        call (the per-submission runner hints); results are identical
+        either way.
         """
         jobs = list(jobs)
         if not jobs:
             return
         shard = normalize_shard_policy(shard)
+        timeout = normalize_point_timeout(point_timeout)
+        if timeout is None:
+            timeout = self.point_timeout
         run_start = self.metrics.snapshot()
         self.last_run_telemetry = [None] * len(jobs)
         self.last_run_spans = []
         try:
-            yield from self._run_iter_inner(jobs, shard)
+            yield from self._run_iter_inner(jobs, shard, timeout)
         finally:
             # The registry is cumulative (the lifetime counters the
             # tests and ``info()`` read); the per-run delta is what
@@ -961,6 +1107,7 @@ class BatchRunner:
         self,
         jobs: List[BatchJob],
         shard: Union[int, str, None],
+        point_timeout: Optional[float],
     ) -> Iterator[BatchResult]:
         """The dispatch body of :meth:`run_iter` (one run's worth)."""
         requested = self.max_workers
@@ -977,88 +1124,79 @@ class BatchRunner:
         if not any(shard_counts) and not self.persistent:
             workers = min(workers, len(jobs))
         if workers == 1:
+            faults = FaultPlan.from_env()
             for index, job in enumerate(jobs):
                 baseline = task_begin()
                 result, fallbacks = _run_job_safe(
                     self._caches, job, self.on_error, self.retries,
-                    store=self._store,
+                    store=self._store, point_index=index,
+                    faults=faults,
                 )
                 self._fallbacks(fallbacks)
                 self._absorb_job(index, task_end(baseline))
                 yield result
             return
+        # Pool supervision: a BrokenProcessPool (worker OOM-killed,
+        # segfaulted, or chaos-crashed) no longer aborts the grid.
+        # Already-yielded results are kept — both dispatch paths
+        # yield strictly in job order — the pool is rebuilt after a
+        # deterministic backoff, and only jobs[emitted:] re-dispatch.
+        # The published shm segments are parent-owned and survive the
+        # dead pool, so the rebuilt workers re-attach to the same
+        # matrices.
+        emitted = 0
+        restarts = 0
+        delays = backoff_schedule(self.pool_restart_retries)
         pool = (
             self._resident_pool(workers) if self.persistent
             else self._new_pool(workers)
         )
         try:
-            build_baseline = task_begin()
-            if self.share_tables:
-                with span("publish_tables", jobs=len(jobs)):
-                    descriptors = self._dense_descriptors(jobs, pool)
-            else:
-                descriptors = [None] * len(jobs)
-            build_telemetry = task_end(build_baseline)
-            self.metrics.absorb(build_telemetry.metrics)
-            self.last_run_spans.extend(build_telemetry.spans)
-            if any(shard_counts):
-                # Unsharded jobs are submitted up front so they keep
-                # running concurrently; each sharded job saturates
-                # the pool with its own shard tasks at its turn.
-                futures = {
-                    index: pool.submit(_pool_worker, (job, descriptor))
-                    for index, (job, descriptor, num_shards) in
-                    enumerate(zip(jobs, descriptors, shard_counts))
-                    if not (
-                        num_shards >= 2 and descriptor is not None
-                        and descriptor.fingerprint in self._matrices
-                    )
-                }
-                for index, (job, descriptor, num_shards) in enumerate(
-                    zip(jobs, descriptors, shard_counts)
-                ):
-                    if index in futures:
-                        result, fallbacks, telemetry = (
-                            futures[index].result()
-                        )
-                        self._fallbacks(fallbacks)
-                        self._absorb_job(index, telemetry)
+            while True:
+                try:
+                    for result in self._dispatch_pool(
+                        jobs, shard_counts, pool, emitted,
+                        point_timeout,
+                    ):
+                        emitted += 1
                         yield result
-                    else:
-                        baseline = task_begin()
-                        result = self._run_sharded_safe(
-                            job, descriptor, pool, num_shards
+                    return
+                except BrokenProcessPool:
+                    restarts += 1
+                    self.metrics.counter("engine.pool_restarts").inc()
+                    self._executor = None
+                    pool.shutdown(wait=False)
+                    if restarts > self.pool_restart_retries:
+                        logger.error(
+                            "process pool broke after %d/%d results "
+                            "and %d rebuild(s); giving up",
+                            emitted, len(jobs), restarts - 1,
                         )
-                        parent = task_end(baseline)
-                        self.metrics.absorb(parent.metrics)
-                        merged = _merge_task_telemetry(
-                            parent, self._shard_telemetry
-                        )
-                        if index < len(self.last_run_telemetry):
-                            self.last_run_telemetry[index] = merged
-                        yield result
-            else:
-                items = list(zip(jobs, descriptors))
-                for index, (result, fallbacks, telemetry) in enumerate(
-                    pool.map(
-                        _pool_worker, items, chunksize=self.chunksize
+                        if self.on_error == "record":
+                            for job in jobs[emitted:]:
+                                emitted += 1
+                                yield FailedPoint(
+                                    job=job,
+                                    error_type="BrokenProcessPool",
+                                    error_message=(
+                                        "process pool died and could "
+                                        "not be rebuilt"
+                                    ),
+                                    attempts=restarts,
+                                )
+                            return
+                        raise
+                    logger.warning(
+                        "process pool broke after %d/%d results; "
+                        "rebuilding and resuming (restart %d/%d)",
+                        emitted, len(jobs), restarts,
+                        self.pool_restart_retries,
                     )
-                ):
-                    self._fallbacks(fallbacks)
-                    self._absorb_job(index, telemetry)
-                    yield result
-        except BrokenProcessPool:
-            if self.persistent:
-                # A dead worker (OOM-kill, segfault) breaks the whole
-                # executor; discard it so the *next* run gets a fresh
-                # pool instead of this batch's failure forever.
-                logger.error(
-                    "process pool broke mid-grid; discarding the "
-                    "persistent executor"
-                )
-                self._executor = None
-                pool.shutdown(wait=False)
-            raise
+                    _sleep(delays[restarts - 1])
+                    pool = (
+                        self._resident_pool(workers) if self.persistent
+                        else self._new_pool(workers)
+                    )
         finally:
             if not self.persistent:
                 # Ephemeral pool: its workers are gone, so the
@@ -1068,6 +1206,139 @@ class BatchRunner:
                 self._segments.close()
                 self._matrices.clear()
                 self._merge_tables.clear()
+
+    def _await_point(
+        self,
+        future: "Future[Tuple[BatchResult, int, TaskTelemetry]]",
+        job: BatchJob,
+        point_timeout: Optional[float],
+    ) -> Tuple[BatchResult, int, Optional[TaskTelemetry]]:
+        """One submitted point's result, under the deadline policy.
+
+        A point that misses its wall-clock deadline is *abandoned*
+        (its worker cannot be interrupted; the result, if any, is
+        discarded) — counted, then recorded or raised per the
+        ``on_error`` policy.
+        """
+        if point_timeout is None:
+            return future.result()
+        try:
+            return future.result(timeout=point_timeout)
+        except _FuturesTimeout:
+            future.cancel()
+            self.metrics.counter("engine.points_timed_out").inc()
+            message = (
+                f"grid point exceeded its {point_timeout:g}s "
+                "wall-clock deadline"
+            )
+            logger.error("job %s: %s", job.describe(), message)
+            if self.on_error == "record":
+                return FailedPoint(
+                    job=job,
+                    error_type="DeadlineError",
+                    error_message=message,
+                    attempts=1,
+                ), 0, None
+            raise DeadlineError(
+                f"job {job.describe()}: {message}"
+            ) from None
+
+    def _dispatch_pool(
+        self,
+        jobs: List[BatchJob],
+        shard_counts: List[int],
+        pool: ProcessPoolExecutor,
+        skip: int,
+        point_timeout: Optional[float],
+    ) -> Iterator[BatchResult]:
+        """Dispatch ``jobs[skip:]`` over ``pool``, yielding in order.
+
+        One pool's worth of work: descriptors are (re)published —
+        idempotent for segments already wide enough — and results
+        stream back in job order, so the caller can resume from its
+        yield count if this pool breaks mid-grid.
+        """
+        build_baseline = task_begin()
+        if self.share_tables:
+            with span("publish_tables", jobs=len(jobs)):
+                descriptors = self._dense_descriptors(jobs, pool)
+        else:
+            descriptors = [None] * len(jobs)
+        build_telemetry = task_end(build_baseline)
+        self.metrics.absorb(build_telemetry.metrics)
+        self.last_run_spans.extend(build_telemetry.spans)
+        remaining = list(range(skip, len(jobs)))
+        if any(shard_counts):
+            # Unsharded jobs are submitted up front so they keep
+            # running concurrently; each sharded job saturates
+            # the pool with its own shard tasks at its turn.
+            futures = {
+                index: pool.submit(
+                    _pool_worker,
+                    (jobs[index], descriptors[index], index),
+                )
+                for index in remaining
+                if not (
+                    shard_counts[index] >= 2
+                    and descriptors[index] is not None
+                    and descriptors[index].fingerprint
+                    in self._matrices
+                )
+            }
+            for index in remaining:
+                if index in futures:
+                    result, fallbacks, telemetry = self._await_point(
+                        futures[index], jobs[index], point_timeout
+                    )
+                    self._fallbacks(fallbacks)
+                    if telemetry is not None:
+                        self._absorb_job(index, telemetry)
+                    yield result
+                else:
+                    baseline = task_begin()
+                    result = self._run_sharded_safe(
+                        jobs[index], descriptors[index], pool,
+                        shard_counts[index],
+                    )
+                    parent = task_end(baseline)
+                    self.metrics.absorb(parent.metrics)
+                    merged = _merge_task_telemetry(
+                        parent, self._shard_telemetry
+                    )
+                    if index < len(self.last_run_telemetry):
+                        self.last_run_telemetry[index] = merged
+                    yield result
+        elif point_timeout is None:
+            items = [
+                (jobs[index], descriptors[index], index)
+                for index in remaining
+            ]
+            for offset, (result, fallbacks, telemetry) in enumerate(
+                pool.map(
+                    _pool_worker, items, chunksize=self.chunksize
+                )
+            ):
+                self._fallbacks(fallbacks)
+                self._absorb_job(remaining[offset], telemetry)
+                yield result
+        else:
+            # Deadline enforcement needs per-point futures (map has
+            # no per-result timeout); submission order is preserved.
+            submitted = [
+                (index, pool.submit(
+                    _pool_worker,
+                    (jobs[index], descriptors[index], index),
+                ))
+                for index in remaining
+            ]
+            for index, future in submitted:
+                result, fallbacks, telemetry = self._await_point(
+                    future, jobs[index], point_timeout
+                )
+                self._fallbacks(fallbacks)
+                if telemetry is not None:
+                    self._absorb_job(index, telemetry)
+                yield result
 
     def _run_sharded_safe(
         self,
@@ -1165,20 +1436,62 @@ class BatchRunner:
                         board.descriptor()
                         if board is not None else None
                     )
-                    futures = [
-                        pool.submit(_shard_worker, (
+                    tasks = [
+                        (
                             descriptor, board_descriptor, index,
                             shard_spans, job.soc, total_width,
                             keep_top, initial_best, prune,
-                        ))
+                        )
                         for index, shard_spans
                         in enumerate(plan.shards)
                     ]
+                    futures = [
+                        pool.submit(_shard_worker, task)
+                        for task in tasks
+                    ]
+                    retry_delays = backoff_schedule(
+                        self.SHARD_RETRY_ATTEMPTS - 1
+                    )
                     outcomes = []
-                    for future in futures:
-                        outcome, fallbacks, telemetry = (
-                            future.result()
-                        )
+                    for shard_index, future in enumerate(futures):
+                        # Shard-level retry: a shard task that fails
+                        # with an ordinary exception re-runs alone
+                        # (bounded, schedule-backed) instead of
+                        # restarting the whole job.  Re-running is
+                        # deterministic — sweep_shard's completions
+                        # are a pure function of the shard's rank
+                        # range — so the merged result stays
+                        # bit-identical.  Pool-level breakage still
+                        # propagates to the grid supervisor.
+                        for attempt in range(
+                            self.SHARD_RETRY_ATTEMPTS
+                        ):
+                            try:
+                                outcome, fallbacks, telemetry = (
+                                    future.result()
+                                )
+                                break
+                            except BrokenProcessPool:
+                                raise
+                            except Exception as error:  # noqa: BLE001
+                                if (attempt + 1
+                                        >= self.SHARD_RETRY_ATTEMPTS):
+                                    raise
+                                logger.warning(
+                                    "shard %d of %s failed (attempt "
+                                    "%d/%d), re-running: %s",
+                                    shard_index, job.describe(),
+                                    attempt + 1,
+                                    self.SHARD_RETRY_ATTEMPTS, error,
+                                )
+                                self.metrics.counter(
+                                    "engine.shard_retries"
+                                ).inc()
+                                _sleep(retry_delays[attempt])
+                                future = pool.submit(
+                                    _shard_worker,
+                                    tasks[shard_index],
+                                )
                         self._fallbacks(fallbacks)
                         self.metrics.absorb(telemetry.metrics)
                         self._shard_telemetry.append(telemetry)
@@ -1209,6 +1522,7 @@ class BatchRunner:
         self,
         jobs: Sequence[BatchJob],
         shard: Union[int, str, None] = None,
+        point_timeout: Union[int, float, None] = None,
     ) -> List[BatchResult]:
         """Evaluate ``jobs``, returning one result per job, in order.
 
@@ -1220,7 +1534,9 @@ class BatchRunner:
         under the default policy every element is a
         :class:`~repro.analysis.sweep.SweepPoint`.
         """
-        return list(self.run_iter(jobs, shard=shard))
+        return list(self.run_iter(
+            jobs, shard=shard, point_timeout=point_timeout
+        ))
 
     def run_grid(
         self,
@@ -1251,8 +1567,12 @@ class BatchRunner:
             jobs = socs.jobs()
             # Execution hints ride the spec's `runner` mapping —
             # excluded from its canonical key, honored here.
-            shard = socs.runner_options().get("shard")
-            return list(zip(jobs, self.run(jobs, shard=shard)))
+            hints = socs.runner_options()
+            return list(zip(jobs, self.run(
+                jobs,
+                shard=hints.get("shard"),
+                point_timeout=hints.get("point_timeout"),
+            )))
         soc_list = list(socs)
         width_list = list(widths or ())  # survives one-shot iterables
         jobs = [

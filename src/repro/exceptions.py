@@ -51,6 +51,18 @@ class ConfigurationError(ReproError):
     """An algorithm was configured with invalid options."""
 
 
+class DeadlineError(ReproError):
+    """A grid point exceeded its per-point wall-clock deadline.
+
+    Raised by the batch engine (under ``on_error="raise"``) when a
+    pool worker's result does not arrive within the configured
+    ``point_timeout``.  The deadline is execution strategy, not part
+    of any job's canonical identity — re-running the same point with
+    a longer (or no) deadline yields the same result as an
+    uninterrupted run.
+    """
+
+
 class ServiceError(ReproError):
     """An exploration-service request failed.
 

@@ -1,0 +1,83 @@
+"""Deterministic retry backoff schedules.
+
+Every retry loop in the service and engine layers sleeps according to
+a schedule computed here — never an ad-hoc ``time.sleep`` with magic
+literals.  That buys three things:
+
+* **Determinism** — the schedule is a pure function of its arguments
+  (the jitter stream comes from an explicitly seeded
+  :class:`random.Random`), so fault-injection tests can predict and
+  assert every delay, and RPR001 stays green (no global entropy).
+* **Boundedness** — a schedule is a finite tuple; a loop that walks
+  it terminates.  The RPR008 lint rule enforces that service/engine
+  code sleeps only on schedule-derived values.
+* **Cap discipline** — exponential growth is clamped to ``cap`` so a
+  long outage costs bounded per-attempt latency, not runaway waits.
+
+The module deliberately lives at the package root (not under
+``repro.engine``): the service client imports it too, and must not
+pull in the engine's process-pool machinery to compute a sleep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+__all__ = ["backoff_schedule"]
+
+#: Defaults shared by every retry site; chosen so the full default
+#: 5-attempt schedule waits well under 2 s in total.
+DEFAULT_BASE = 0.05
+DEFAULT_FACTOR = 2.0
+DEFAULT_CAP = 1.0
+
+
+def backoff_schedule(
+    attempts: int,
+    *,
+    base: float = DEFAULT_BASE,
+    factor: float = DEFAULT_FACTOR,
+    cap: float = DEFAULT_CAP,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> Tuple[float, ...]:
+    """Return the delays (seconds) before each of ``attempts`` retries.
+
+    Delay ``i`` is ``min(cap, base * factor**i)``, optionally spread
+    by a multiplicative jitter drawn from a :class:`random.Random`
+    seeded with ``seed`` — the same arguments always produce the same
+    schedule, so tests can assert exact sleep sequences.
+
+    Parameters
+    ----------
+    attempts:
+        Number of retries the caller intends to make; also the length
+        of the returned tuple.  ``0`` returns an empty schedule.
+    base / factor / cap:
+        Exponential parameters: first delay ``base``, growing by
+        ``factor`` per attempt, clamped to ``cap``.
+    jitter:
+        Fraction of each delay to spread uniformly (``0.1`` → each
+        delay multiplied by a seeded uniform draw from
+        ``[0.9, 1.1]``).  ``0.0`` (default) disables jitter entirely.
+    seed:
+        Seed for the jitter stream.  Ignored when ``jitter`` is 0.
+    """
+    if attempts < 0:
+        raise ValueError(f"attempts must be >= 0, got {attempts}")
+    if base < 0 or factor < 1.0 or cap < 0:
+        raise ValueError(
+            "backoff needs base >= 0, factor >= 1, cap >= 0 "
+            f"(got base={base}, factor={factor}, cap={cap})"
+        )
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    rng = random.Random(seed)
+    delays = []
+    for attempt in range(attempts):
+        delay = min(cap, base * factor ** attempt)
+        if jitter:
+            delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+        delays.append(delay)
+    return tuple(delays)

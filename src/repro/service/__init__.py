@@ -20,7 +20,10 @@ waste the interactive workload actually pays for:
   :class:`repro.api.GridSpec` submissions and streamed
   :class:`repro.api.JobEvent` progress; v1 still accepted);
 * :mod:`~repro.service.client` — :class:`ServiceClient`, the Python
-  client behind ``repro-tam submit``.
+  client behind ``repro-tam submit``;
+* :mod:`~repro.service.journal` — :class:`JobJournal`, the durable
+  submission journal that makes accepted jobs survive a server
+  crash: replayed (deduplicated by canonical key) on the next start.
 
 Result memoization is keyed by the grid's canonical content hash
 (:meth:`repro.api.GridSpec.canonical_key`) and — when a cache
@@ -31,6 +34,7 @@ server restarts.
 
 from repro.service.client import ServiceClient, run_grid_remotely
 from repro.service.ipc import IPCServer
+from repro.service.journal import JobJournal, JournalEntry
 from repro.service.server import (
     ExplorationServer,
     JobRecord,
@@ -43,6 +47,8 @@ __all__ = [
     "GridMemo",
     "ExplorationServer",
     "JobRecord",
+    "JobJournal",
+    "JournalEntry",
     "grid_payload",
     "IPCServer",
     "ServiceClient",

@@ -30,6 +30,7 @@ from repro.exceptions import (
     ServiceError,
     ServiceTransportError,
 )
+from repro.retry import backoff_schedule
 
 logger = logging.getLogger(__name__)
 
@@ -329,6 +330,10 @@ class ServiceClient:
         next_seq = start
         failures = 0
         dropped = False
+        # Deterministic backoff: the whole delay sequence is fixed up
+        # front (seeded, no wall-clock randomness), so reconnect
+        # timing is reproducible in tests and across runs.
+        delays = backoff_schedule(max_reconnects, base=0.1, cap=1.0)
         while True:
             try:
                 if dropped:
@@ -350,7 +355,11 @@ class ServiceClient:
                     raise
                 failures += 1
                 if failures > max_reconnects:
-                    raise
+                    raise ServiceTransportError(
+                        f"event stream for {job_id} did not recover "
+                        f"after {max_reconnects} reconnect attempts "
+                        f"(last cursor {next_seq}): {error}"
+                    ) from error
                 logger.warning(
                     "event stream for %s dropped (%s); reconnecting "
                     "from seq %d (attempt %d/%d)",
@@ -358,7 +367,7 @@ class ServiceClient:
                 )
                 dropped = True
                 if failures > 1:
-                    _time.sleep(min(0.1 * (failures - 1), 1.0))
+                    _time.sleep(delays[failures - 2])
 
     def result(self, job_id: str) -> Dict[str, Any]:
         """Finished grid of ``job_id``: ``points`` and ``failures``.

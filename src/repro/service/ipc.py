@@ -67,6 +67,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 from repro.api.envelopes import JobRequest
 from repro.api.specs import DEFAULT_MAX_TAMS
 from repro.engine.batch import BatchJob
+from repro.engine.faults import FaultPlan
 from repro.exceptions import ReproError
 from repro.service.server import ExplorationServer, grid_payload
 from repro.soc.loader import load_source
@@ -120,6 +121,16 @@ def result_payload(
     return grid_payload(jobs, results)
 
 
+class _InjectedDisconnect(Exception):
+    """Raised by an ``ipc@K`` fault to sever the whole connection.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: it
+    must escape :func:`_event_stream`'s error handling and reach the
+    connection handler, which drops the socket — exactly what a real
+    network fault looks like from the client's side.
+    """
+
+
 def _event_stream(
     exploration: ExplorationServer,
     job_id: str,
@@ -127,12 +138,34 @@ def _event_stream(
     timeout: Optional[float],
     tag: Dict[str, Any],
 ) -> Iterator[Dict[str, Any]]:
-    """Response lines for one ``events`` stream, errors included."""
+    """Response lines for one ``events`` stream, errors included.
+
+    Fault hook: an ``ipc@K`` directive in ``REPRO_FAULTS`` severs
+    the stream after ``K`` event lines (the generator just stops, so
+    the connection handler moves on and the client sees a mid-stream
+    close) — the injected double of a flaky network.  The reconnect
+    path then resumes from the client's sequence cursor.
+    """
+    drop_after: Optional[int] = None
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        drop_after = plan.take_ipc_drop()
     try:
+        sent = 0
         for event in exploration.events(
             job_id, start=start, timeout=timeout
         ):
+            if drop_after is not None and sent >= drop_after:
+                exploration.runner.metrics.counter(
+                    "faults.injected"
+                ).inc()
+                logger.warning(
+                    "fault injection: severing event stream for %s "
+                    "after %d events", job_id, sent,
+                )
+                raise _InjectedDisconnect(job_id)
             yield {"ok": True, "event": event.to_dict(), **tag}
+            sent += 1
         yield {
             "ok": True,
             "done": True,
@@ -265,8 +298,13 @@ class _Handler(socketserver.StreamRequestHandler):
             else:
                 # Streaming op (`events`): one line per item, flushed
                 # as produced, so clients see progress in real time.
-                for item in response:
-                    self._reply(item)
+                try:
+                    for item in response:
+                        self._reply(item)
+                except _InjectedDisconnect:
+                    # Fault injection: drop the connection without a
+                    # done line, as a network failure would.
+                    return
             if stop:
                 self.server.initiate_shutdown()  # type: ignore[attr-defined]
                 return

@@ -52,14 +52,16 @@ from repro.engine.batch import (
     BatchRunner,
     FailedPoint,
     align_point_telemetry,
+    normalize_point_timeout,
     split_results,
 )
-from repro.exceptions import ServiceError
+from repro.exceptions import ReproError, ServiceError
 from repro.obs.warehouse import RunWarehouse, warehouse_for
 from repro.report.serialize import (
     failed_point_to_dict,
     sweep_point_to_dict,
 )
+from repro.service.journal import JOURNAL_NAME, JobJournal, JournalEntry
 from repro.service.store import GridMemo
 
 logger = logging.getLogger(__name__)
@@ -150,6 +152,10 @@ class JobRecord:
     #: (``None`` = the runner's own policy).  Pure execution
     #: strategy: not part of ``key``, so any setting memo-hits.
     shard: "Union[int, str, None]" = None
+    #: Per-point wall-clock deadline hint (seconds) from the
+    #: submission's runner options; like ``shard``, pure execution
+    #: strategy excluded from ``key``.
+    point_timeout: Optional[float] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -261,6 +267,19 @@ class ExplorationServer:
         self.warehouse: Optional[RunWarehouse] = warehouse_for(
             self.runner.cache_dir
         )
+        #: Durable job journal next to the table store: every
+        #: accepted submission and terminal outcome, replayed on
+        #: startup so a killed server loses no jobs.
+        self.journal: Optional[JobJournal] = None
+        if self.runner.cache_dir is not None:
+            # The table store creates this directory lazily; the
+            # journal cannot — its very first append must succeed.
+            Path(self.runner.cache_dir).mkdir(
+                parents=True, exist_ok=True
+            )
+            self.journal = JobJournal(
+                Path(self.runner.cache_dir) / JOURNAL_NAME
+            )
         self._records: Dict[str, JobRecord] = {}
         self._memo: Dict[str, str] = {}
         self._queue: "queue.Queue[str]" = queue.Queue()
@@ -274,6 +293,11 @@ class ExplorationServer:
             target=self._drain, name="repro-exploration-dispatcher",
             daemon=True,
         )
+        # Replay before the dispatcher starts: recovered jobs enqueue
+        # in their original submission order, ahead of anything a
+        # client submits after startup.
+        if self.journal is not None:
+            self._replay_journal()
         self._dispatcher.start()
 
     # ------------------------------------------------------------------
@@ -298,9 +322,18 @@ class ExplorationServer:
         never touched.
         """
         shard: Union[int, str, None] = None
+        point_timeout: Optional[float] = None
+        spec_dict: Optional[Dict[str, Any]] = None
         if isinstance(jobs, GridSpec):
             job_tuple = tuple(jobs.jobs())
-            shard = jobs.runner_options().get("shard")
+            hints = jobs.runner_options()
+            shard = hints.get("shard")
+            # Validated at the boundary: a bad hint answers the
+            # submitter, instead of failing the job at dispatch.
+            point_timeout = normalize_point_timeout(
+                hints.get("point_timeout")
+            )
+            spec_dict = jobs.to_dict()
         else:
             job_tuple = tuple(jobs)
         if not job_tuple:
@@ -328,6 +361,7 @@ class ExplorationServer:
                 self.memo_hits += 1
                 self.runner.metrics.counter("service.memo_hits").inc()
                 self._evict_locked(keep=job_id)
+                self._journal_closed(record, spec_dict)
                 return record
             payload = (
                 self.grid_memo.load(key)
@@ -348,14 +382,133 @@ class ExplorationServer:
                 self.memo_hits += 1
                 self.runner.metrics.counter("service.memo_hits").inc()
                 self._evict_locked(keep=job_id)
+                self._journal_closed(record, spec_dict)
                 return record
             record = JobRecord(
                 job_id=job_id, jobs=job_tuple, key=key, shard=shard,
+                point_timeout=point_timeout,
             )
             self._records[job_id] = record
             self._evict_locked(keep=job_id)
+            # Durability point: the submission is journaled (and
+            # fsynced) before the caller ever learns the job id, so
+            # an accepted job survives any crash after this line.
+            self._journal_submitted(record, spec_dict)
         self._queue.put(job_id)
         return record
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _journal_submitted(
+        self, record: JobRecord, spec_dict: Optional[Dict[str, Any]]
+    ) -> None:
+        """Append one accepted submission; never fails the submit."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_submitted(JournalEntry(
+                job_id=record.job_id,
+                key=record.key,
+                spec=spec_dict,
+                shard=record.shard,
+                point_timeout=record.point_timeout,
+            ))
+        except OSError as error:
+            self._journal_degraded(record.job_id, error)
+
+    def _journal_closed(
+        self, record: JobRecord, spec_dict: Optional[Dict[str, Any]]
+    ) -> None:
+        """Journal a submission answered instantly from memo."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_submitted(JournalEntry(
+                job_id=record.job_id, key=record.key, spec=spec_dict,
+            ))
+            self.journal.record_terminal(
+                record.job_id, record.status
+            )
+        except OSError as error:
+            self._journal_degraded(record.job_id, error)
+
+    def _journal_terminal(self, job_id: str, status: str) -> None:
+        """Append one terminal transition; never fails the job."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_terminal(job_id, status)
+        except OSError as error:
+            self._journal_degraded(job_id, error)
+
+    def _journal_degraded(self, job_id: str, error: OSError) -> None:
+        """A journal write failed: log, count, keep serving."""
+        logger.warning(
+            "journal write for %s failed (durability degraded): %s",
+            job_id, error,
+        )
+        self.runner.metrics.counter("service.journal_errors").inc()
+
+    def _replay_journal(self) -> None:
+        """Resubmit every journaled job that never reached terminal.
+
+        Runs once at startup, before the dispatcher.  Open entries
+        are deduplicated by canonical key (several crashed
+        submissions of the same grid replay as one job — and if the
+        grid finished before the crash, the persisted
+        :class:`~repro.service.store.GridMemo` answers it instantly),
+        then the journal is compacted to just the still-open work.
+        """
+        assert self.journal is not None
+        entries = self.journal.replay()
+        replayed_keys: Dict[str, str] = {}
+        for entry in entries:
+            if entry.key is not None and entry.key in replayed_keys:
+                self.journal.record_replayed(
+                    entry.job_id, replayed_keys[entry.key]
+                )
+                continue
+            if entry.spec is None:
+                # Raw-job submissions journal without a typed spec —
+                # there is nothing to rebuild them from.
+                logger.warning(
+                    "journaled job %s has no spec; cannot replay",
+                    entry.job_id,
+                )
+                self.runner.metrics.counter(
+                    "service.journal_unreplayable"
+                ).inc()
+                self._journal_terminal(entry.job_id, "lost")
+                continue
+            try:
+                spec = GridSpec.from_dict(entry.spec)
+                record = self.submit(spec)
+            except ReproError as error:
+                logger.warning(
+                    "could not replay journaled job %s: %s",
+                    entry.job_id, error,
+                )
+                self.runner.metrics.counter(
+                    "service.journal_unreplayable"
+                ).inc()
+                self._journal_terminal(entry.job_id, "lost")
+                continue
+            logger.info(
+                "journal replay: %s resubmitted as %s (%s)",
+                entry.job_id, record.job_id, record.status,
+            )
+            self.journal.record_replayed(entry.job_id, record.job_id)
+            self.runner.metrics.counter(
+                "service.journal_replays"
+            ).inc()
+            if entry.key is not None:
+                replayed_keys[entry.key] = record.job_id
+        if entries or self.journal.path.exists():
+            try:
+                self.journal.compact(self.journal.replay())
+            except OSError as error:
+                self._journal_degraded("compact", error)
 
     def _evict_locked(self, keep: Optional[str] = None) -> None:
         """Drop oldest terminal records beyond ``max_records``.
@@ -556,7 +709,8 @@ class ExplorationServer:
             record.status = "cancelled"
             record.finished_at = time.time()
             self._done.notify_all()
-            return True
+        self._journal_terminal(job_id, "cancelled")
+        return True
 
     def info(self) -> Dict[str, object]:
         """Server-wide counters for monitoring and tests."""
@@ -564,6 +718,32 @@ class ExplorationServer:
         self.runner.metrics.gauge("service.queue_depth").set(
             queue_depth
         )
+        snapshot = self.runner.metrics.snapshot()
+        pool_restarts = snapshot.counter("engine.pool_restarts")
+        points_timed_out = snapshot.counter("engine.points_timed_out")
+        journal_errors = snapshot.counter("service.journal_errors")
+        quarantined = snapshot.counter("store.quarantined")
+        degraded = bool(
+            pool_restarts or points_timed_out
+            or journal_errors or quarantined
+        )
+        health = {
+            # "degraded" means the server *recovered* from something
+            # (restarted a pool, quarantined a store entry, timed out
+            # a point) — results stay correct, but an operator should
+            # look at why.
+            "status": "degraded" if degraded else "ok",
+            "journal": self.journal is not None,
+            "pool_restarts": pool_restarts,
+            "points_timed_out": points_timed_out,
+            "shard_retries": snapshot.counter("engine.shard_retries"),
+            "journal_replays": snapshot.counter(
+                "service.journal_replays"
+            ),
+            "journal_errors": journal_errors,
+            "quarantined_entries": quarantined,
+            "faults_injected": snapshot.counter("faults.injected"),
+        }
         with self._lock:
             by_status: Dict[str, int] = {}
             for record in self._records.values():
@@ -582,7 +762,8 @@ class ExplorationServer:
                 "persistent_memo": self.grid_memo is not None,
                 "queue_depth": queue_depth,
                 "warehouse": self.warehouse is not None,
-                "metrics": self.runner.metrics.snapshot().to_dict(),
+                "health": health,
+                "metrics": snapshot.to_dict(),
             }
 
     # ------------------------------------------------------------------
@@ -598,13 +779,19 @@ class ExplorationServer:
         self._stop.set()
         if wait and self._dispatcher.is_alive():
             self._dispatcher.join()
+        cancelled: List[str] = []
         with self._done:
             for record in self._records.values():
                 if record.status == "queued":
                     record.status = "cancelled"
                     record.finished_at = time.time()
+                    cancelled.append(record.job_id)
             self._done.notify_all()
+        for job_id in cancelled:
+            self._journal_terminal(job_id, "cancelled")
         self.runner.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "ExplorationServer":
         """Context-manager entry: the server itself."""
@@ -638,7 +825,8 @@ class ExplorationServer:
                 # the grid progress instead of polling `status`.
                 for index, result in enumerate(
                     self.runner.run_iter(
-                        list(record.jobs), shard=record.shard
+                        list(record.jobs), shard=record.shard,
+                        point_timeout=record.point_timeout,
                     )
                 ):
                     results.append(result)
@@ -667,6 +855,7 @@ class ExplorationServer:
                     record.error = f"{type(error).__name__}: {error}"
                     record.finished_at = time.time()
                     self._done.notify_all()
+                self._journal_terminal(job_id, "failed")
                 continue
             # Only clean grids are memoized: a recorded failure may
             # be transient (killed worker, truncated solve), and
@@ -715,3 +904,4 @@ class ExplorationServer:
                 if clean and record.key is not None:
                     self._memo[record.key] = job_id
                 self._done.notify_all()
+            self._journal_terminal(job_id, "done")

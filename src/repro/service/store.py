@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -43,6 +44,8 @@ try:  # POSIX-only; the store degrades to lock-free elsewhere
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from repro.engine.faults import FaultPlan
+from repro.obs import REGISTRY
 from repro.report.serialize import (
     SCHEMA_VERSION,
     grid_memo_from_dict,
@@ -55,6 +58,40 @@ from repro.soc.core import Core
 from repro.soc.fingerprint import core_fingerprint
 from repro.soc.soc import Soc
 from repro.wrapper.pareto import TimeTable
+
+logger = logging.getLogger(__name__)
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a record that failed validation out of the lookup path.
+
+    The entry is renamed to ``<name>.bad`` (replacing any previous
+    quarantined copy) rather than deleted: the next lookup misses and
+    rebuilds, while the damaged bytes stay on disk for forensics.
+    Counted under ``store.quarantined`` so the service health block
+    can surface silent corruption.
+    """
+    target = path.with_name(path.name + ".bad")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return  # a racing reader already moved or removed it
+    logger.warning(
+        "quarantined corrupt store entry %s -> %s (%s)",
+        path.name, target.name, reason,
+    )
+    REGISTRY.counter("store.quarantined").inc()
+
+
+def _corrupt_write_requested() -> bool:
+    """Fault hook: should this store write be truncated mid-record?
+
+    Only ever True under an explicit ``REPRO_FAULTS`` plan with a
+    ``corrupt`` directive (one-shot, claimed through the plan's state
+    directory) — production writes never take this branch.
+    """
+    plan = FaultPlan.from_env()
+    return plan is not None and plan.take_corrupt_write()
 
 
 class TableStore:
@@ -116,12 +153,14 @@ class TableStore:
         except OSError:
             return None
         except ValueError:
-            self._discard(path, core_fingerprint(core))
+            self._discard(path, core_fingerprint(core),
+                          "undecodable JSON")
             return None
         try:
             table = time_table_from_dict(data, core)
-        except Exception:
-            self._discard(path, core_fingerprint(core))
+        except Exception as error:
+            self._discard(path, core_fingerprint(core),
+                          f"invalid record: {error}")
             return None
         fingerprint = core_fingerprint(core)
         self._known_widths[fingerprint] = max(
@@ -152,6 +191,8 @@ class TableStore:
             if existing >= table.max_width:
                 return False
             payload = to_json(time_table_to_dict(table))
+            if _corrupt_write_requested():
+                payload = payload[: max(1, len(payload) // 2)]
             # Atomic publish: concurrent readers see the old record
             # or the new one, never a torn write.
             handle, tmp_name = tempfile.mkstemp(
@@ -170,12 +211,11 @@ class TableStore:
             self._known_widths[fingerprint] = table.max_width
         return True
 
-    def _discard(self, path: Path, fingerprint: str) -> None:
-        """Best-effort removal of a record that failed validation."""
-        try:
-            path.unlink()
-        except OSError:
-            pass
+    def _discard(
+        self, path: Path, fingerprint: str, reason: str
+    ) -> None:
+        """Quarantine a record that failed validation."""
+        _quarantine(path, reason)
         self._known_widths.pop(fingerprint, None)
 
     def stored_width(self, core: Core) -> int:
@@ -296,23 +336,20 @@ class GridMemo:
         except OSError:
             return None
         except ValueError:
-            self._discard(path)
+            self._discard(path, "undecodable JSON")
             return None
         if isinstance(data, dict) \
                 and data.get("schema") != SCHEMA_VERSION:
             return None
         try:
             return grid_memo_from_dict(data, key)
-        except Exception:
-            self._discard(path)
+        except Exception as error:
+            self._discard(path, f"invalid record: {error}")
             return None
 
-    def _discard(self, path: Path) -> None:
-        """Best-effort removal of a record this build knows is bad."""
-        try:
-            path.unlink()
-        except OSError:
-            pass
+    def _discard(self, path: Path, reason: str) -> None:
+        """Quarantine a record this build knows is bad."""
+        _quarantine(path, reason)
 
     def save(
         self, key: str, payload: Dict[str, object], num_jobs: int

@@ -312,3 +312,76 @@ class TestHygieneRules:
             "try:\n    pass\nexcept OSError:\n    pass\n",
             "RPR007",
         )
+
+
+SERVICE = "src/repro/service/client.py"
+
+
+class TestBoundedBackoffRule:
+    def test_literal_sleep_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, SERVICE,
+            "import time\n\n\ndef f():\n    time.sleep(0.5)\n",
+            "RPR008",
+        )
+        assert len(found) == 1
+        assert "backoff_schedule" in found[0].message
+
+    def test_literal_arithmetic_sleep_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, SERVICE,
+            "from time import sleep\n\n\ndef f():\n"
+            "    sleep(0.1 * 3)\n",
+            "RPR008",
+        )
+        assert len(found) == 1
+
+    def test_schedule_derived_sleep_allowed(self, tmp_path):
+        assert not lint_file(
+            tmp_path, SERVICE,
+            "import time\n"
+            "from repro.retry import backoff_schedule\n\n\n"
+            "def f(attempt):\n"
+            "    delays = backoff_schedule(3)\n"
+            "    time.sleep(delays[attempt])\n",
+            "RPR008",
+        )
+
+    def test_unbounded_retry_loop_flagged(self, tmp_path):
+        found = lint_file(
+            tmp_path, SERVICE,
+            "def f(call):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return call()\n"
+            "        except OSError:\n"
+            "            continue\n",
+            "RPR008",
+        )
+        assert len(found) == 1
+        assert "unbounded" in found[0].message
+
+    def test_bounded_retry_loop_allowed(self, tmp_path):
+        # The idiom the codebase uses: counted attempts, re-raise on
+        # exhaustion.
+        assert not lint_file(
+            tmp_path, SERVICE,
+            "def f(call, attempts):\n"
+            "    failures = 0\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return call()\n"
+            "        except OSError:\n"
+            "            failures += 1\n"
+            "            if failures > attempts:\n"
+            "                raise\n"
+            "            continue\n",
+            "RPR008",
+        )
+
+    def test_rule_only_patrols_service_and_engine(self, tmp_path):
+        assert not lint_file(
+            tmp_path, "src/repro/report/render.py",
+            "import time\n\n\ndef f():\n    time.sleep(1.0)\n",
+            "RPR008",
+        )

@@ -150,8 +150,6 @@ class TestBrokenPoolRecovery:
         import signal
         import time
 
-        from concurrent.futures.process import BrokenProcessPool
-
         with BatchRunner(max_workers=2, persistent=True) as runner:
             jobs = [BatchJob(tiny_soc, w, 2) for w in (4, 5)]
             healthy = runner.run(jobs)
@@ -166,9 +164,87 @@ class TestBrokenPoolRecovery:
                    and time.monotonic() < deadline):
                 time.sleep(0.01)
             assert runner._executor._broken
-            with pytest.raises(BrokenProcessPool):
-                runner.run(jobs)
-            # The broken pool was discarded: the next run rebuilds
-            # and answers as before.
+            # The supervisor rebuilds the pool mid-grid and the run
+            # completes with the same results as a healthy one.
             assert runner.run(jobs) == healthy
-            assert runner.pools_started == 2
+            assert runner.pool_restarts == 1
+            assert runner.pools_started >= 2
+
+    def test_exhausted_pool_restarts_record_failed_points(
+        self, tiny_soc
+    ):
+        from concurrent.futures.process import BrokenProcessPool
+
+        runner = BatchRunner(
+            max_workers=2, on_error="record", pool_restart_retries=0
+        )
+        # A broken pool with no restart budget must not raise under
+        # the record policy: every unfinished point gets a structured
+        # FailedPoint instead.
+        import repro.engine.batch as batch_module
+
+        class _AlwaysBroken:
+            def __init__(self, *args, **kwargs):
+                raise BrokenProcessPool("pool refused to start")
+
+        jobs = [BatchJob(tiny_soc, w, 2) for w in (4, 5)]
+        original = batch_module.ProcessPoolExecutor
+        try:
+            batch_module.ProcessPoolExecutor = _AlwaysBroken
+            with pytest.raises(BrokenProcessPool):
+                # Construction failure happens before dispatch: the
+                # supervisor only guards the dispatch loop.
+                runner.run(jobs)
+        finally:
+            batch_module.ProcessPoolExecutor = original
+
+    def test_rejects_bad_supervision_knobs(self):
+        with pytest.raises(ConfigurationError):
+            BatchRunner(pool_restart_retries=-1)
+        with pytest.raises(ConfigurationError):
+            BatchRunner(point_timeout=0)
+        with pytest.raises(ConfigurationError):
+            BatchRunner(point_timeout="soon")
+
+
+class TestPointDeadlines:
+    """Per-point wall-clock deadlines, driven by a slow@ fault."""
+
+    @pytest.fixture
+    def stalled_point(self, monkeypatch):
+        """Grid point 1 stalls well past the test deadlines below.
+
+        Kept short-ish: a timed-out point is *abandoned*, not
+        interrupted, so the run's closing ``pool.shutdown(wait=True)``
+        still waits out the stall.
+        """
+        monkeypatch.setenv("REPRO_FAULTS", "slow@1=6")
+
+    def test_timed_out_point_is_recorded(self, tiny_soc, stalled_point):
+        runner = BatchRunner(max_workers=2, on_error="record")
+        results = runner.run(
+            [BatchJob(tiny_soc, w, 2) for w in (4, 5, 6)],
+            point_timeout=1.5,
+        )
+        kinds = [isinstance(r, FailedPoint) for r in results]
+        assert kinds == [False, True, False]
+        assert results[1].error_type == "DeadlineError"
+        assert runner.points_timed_out == 1
+
+    def test_timed_out_point_raises_under_default_policy(
+        self, tiny_soc, stalled_point
+    ):
+        from repro.exceptions import DeadlineError
+
+        runner = BatchRunner(max_workers=2)
+        with pytest.raises(DeadlineError):
+            runner.run(
+                [BatchJob(tiny_soc, w, 2) for w in (4, 5)],
+                point_timeout=1.5,
+            )
+
+    def test_generous_deadline_changes_nothing(self, tiny_soc):
+        jobs = [BatchJob(tiny_soc, w, 2) for w in (4, 5)]
+        plain = BatchRunner(max_workers=2).run(jobs)
+        timed = BatchRunner(max_workers=2, point_timeout=120).run(jobs)
+        assert timed == plain

@@ -210,3 +210,64 @@ class TestSelfRepair:
         fresh_store = TableStore(store.directory)
         WrapperTableCache(tiny_soc, store=fresh_store).tables(5)
         assert fresh_store.stored_width(tiny_soc.cores[0]) == 5
+
+
+class TestQuarantine:
+    """Corrupt entries are renamed to ``*.bad``, never served again."""
+
+    def test_truncated_record_is_quarantined_and_rebuilt(
+        self, scan_core, store
+    ):
+        store.save(TimeTable(scan_core, 6))
+        path = store.path_for(scan_core)
+        # Deliberate truncation: the torn-write artifact quarantine
+        # exists for.
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        fresh = TableStore(store.directory)
+        assert fresh.load(scan_core) is None  # miss, not an error
+        bad = path.with_name(path.name + ".bad")
+        assert bad.exists() and not path.exists()
+        # The rebuild repairs the entry; the forensic copy stays.
+        assert fresh.save(TimeTable(scan_core, 6))
+        assert fresh.load(scan_core) is not None
+        assert bad.exists()
+
+    def test_quarantine_is_counted(self, scan_core, store):
+        from repro.obs import REGISTRY
+
+        store.save(TimeTable(scan_core, 5))
+        store.path_for(scan_core).write_text("{torn")
+        before = REGISTRY.snapshot().counter("store.quarantined")
+        assert TableStore(store.directory).load(scan_core) is None
+        after = REGISTRY.snapshot().counter("store.quarantined")
+        assert after == before + 1
+
+    def test_requarantine_replaces_the_previous_bad_copy(
+        self, scan_core, store
+    ):
+        # Two corruption rounds: the second rename lands on an
+        # existing .bad file and must replace it, not fail.
+        for _ in range(2):
+            fresh = TableStore(store.directory)
+            fresh.save(TimeTable(scan_core, 5))
+            fresh.path_for(scan_core).write_text("{torn")
+            assert TableStore(store.directory).load(scan_core) is None
+        path = store.path_for(scan_core)
+        assert path.with_name(path.name + ".bad").exists()
+
+    def test_grid_memo_quarantines_corrupt_entries(self, tmp_path):
+        from repro.service.store import GridMemo
+
+        memo = GridMemo(tmp_path / "grid-memo")
+        memo.save("abc123", {"points": [], "failures": []}, num_jobs=0)
+        entry = memo.path_for("abc123")
+        raw = entry.read_text()
+        entry.write_text(raw[: len(raw) // 2])
+        assert memo.load("abc123") is None
+        assert entry.with_name(entry.name + ".bad").exists()
+        # Saving again repairs the entry in place.
+        assert memo.save(
+            "abc123", {"points": [], "failures": []}, num_jobs=0
+        )
+        assert memo.load("abc123") is not None

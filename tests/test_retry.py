@@ -1,0 +1,41 @@
+"""The seeded backoff schedule every retry loop derives from."""
+
+import pytest
+
+from repro.retry import backoff_schedule
+
+
+class TestBackoffSchedule:
+    def test_geometric_growth_up_to_cap(self):
+        assert backoff_schedule(4, base=0.1, factor=2.0, cap=0.5) == (
+            0.1, 0.2, 0.4, 0.5,
+        )
+
+    def test_zero_attempts_is_empty(self):
+        assert backoff_schedule(0) == ()
+
+    def test_deterministic_across_calls(self):
+        first = backoff_schedule(6, jitter=0.5, seed=42)
+        second = backoff_schedule(6, jitter=0.5, seed=42)
+        assert first == second
+
+    def test_jitter_is_seeded_and_bounded(self):
+        plain = backoff_schedule(5, base=0.1, cap=10.0)
+        jittered = backoff_schedule(5, base=0.1, cap=10.0,
+                                    jitter=0.5, seed=1)
+        assert jittered != backoff_schedule(5, base=0.1, cap=10.0,
+                                            jitter=0.5, seed=2)
+        for exact, fuzzed in zip(plain, jittered):
+            assert exact * 0.5 <= fuzzed <= exact * 1.5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": -1},
+        {"attempts": 2, "base": -0.1},
+        {"attempts": 2, "factor": 0.5},
+        {"attempts": 2, "cap": -1.0},
+        {"attempts": 2, "jitter": 1.5},
+    ])
+    def test_rejects_nonsense_parameters(self, kwargs):
+        attempts = kwargs.pop("attempts")
+        with pytest.raises(ValueError):
+            backoff_schedule(attempts, **kwargs)
