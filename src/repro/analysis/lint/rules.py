@@ -119,6 +119,9 @@ _HOT_PATH_PATTERNS = (
     re.compile(r"(^|/)repro/partition/shard\.py$"),
     re.compile(r"(^|/)repro/partition/evaluate\.py$"),
     re.compile(r"(^|/)repro/assign/[^/]+\.py$"),
+    # The anytime search tier: seeded random.Random only, and a
+    # fixed-seed run must replay bit-identically at any worker count.
+    re.compile(r"(^|/)repro/search/[^/]+\.py$"),
 )
 
 #: module name → banned attributes (wall clock, entropy).  The
@@ -142,9 +145,10 @@ class DeterminismRule(Rule):
     name = "determinism"
     description = (
         "Hot scoring paths (engine/kernel, partition/shard, "
-        "partition/evaluate, assign/*) must be bit-deterministic: no "
-        "wall-clock or entropy calls, no unseeded random, no "
-        "iteration or float accumulation over unordered sets."
+        "partition/evaluate, assign/*, search/*) must be "
+        "bit-deterministic: no wall-clock or entropy calls, no "
+        "unseeded random, no iteration or float accumulation over "
+        "unordered sets."
     )
 
     def applies_to(self, relpath: str) -> bool:

@@ -36,11 +36,16 @@ from typing import (
     Union,
 )
 
-from repro.analysis.certificates import Certificate, certify
+from repro.analysis.certificates import (
+    Certificate,
+    certify,
+    global_lower_bound,
+)
 from repro.analysis.utilization import (
     ArchitectureUtilization,
     analyze_utilization,
 )
+from repro.api.specs import OPTION_DEFAULTS, SEARCH_ONLY_OPTIONS
 from repro.exceptions import ConfigurationError
 from repro.obs import REGISTRY
 from repro.obs import span as _obs_span
@@ -51,11 +56,20 @@ from repro.wrapper.pareto import TimeTable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.batch import BatchRunner
     from repro.engine.kernel import DenseTimeMatrix
+    from repro.search.driver import SearchResult
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated design point."""
+    """One evaluated design point.
+
+    ``mode`` records which tier produced it: ``"exact"`` (the paper's
+    sweep + polish pipeline) or ``"search"`` (the anytime
+    metaheuristic tier), in which case ``seed`` is the result-defining
+    RNG seed and ``search`` the full :class:`repro.search.
+    SearchResult` — islands, trajectory, and the gap-vs-bound
+    certificate the service streams as ``incumbent`` events.
+    """
 
     total_width: int
     num_tams: int
@@ -63,6 +77,9 @@ class SweepPoint:
     testing_time: int
     certificate: Certificate
     utilization: ArchitectureUtilization
+    mode: str = "exact"
+    seed: Optional[int] = None
+    search: "Optional[SearchResult]" = None
 
     @property
     def wire_efficiency(self) -> float:
@@ -95,7 +112,33 @@ def evaluate_point(
     ``prune="lb"`` — outcome-identical to the paper's abort-only
     pruning, just faster; pass ``prune=True`` (or ``False``) in the
     options to override.
+
+    ``mode="search"`` dispatches to the anytime metaheuristic tier
+    instead (:func:`repro.search.search_optimize`); the exact-tier
+    knobs (``polish``, ``prune``, ...) are inert there, and the
+    search-only knobs (``seed``, ``eval_budget``, ...) are rejected
+    here under ``mode="exact"`` — mirroring the spec-layer
+    validation for callers that bypass :class:`~repro.api.specs.
+    OptimizeSpec`.
     """
+    mode = co_optimize_options.pop("mode", "exact")
+    if mode == "search":
+        return _evaluate_search_point(
+            soc, total_width, num_tams, tables, dense,
+            co_optimize_options,
+        )
+    if mode != "exact":
+        raise ConfigurationError(
+            f'mode must be "exact" or "search", got {mode!r}'
+        )
+    for key in SEARCH_ONLY_OPTIONS:
+        if key in co_optimize_options:
+            value = co_optimize_options.pop(key)
+            if value != OPTION_DEFAULTS[key]:
+                raise ConfigurationError(
+                    f'option {key}={value!r} only applies to '
+                    f'mode="search"'
+                )
     if co_optimize_options.get("sweep_engine", "kernel") == "kernel":
         co_optimize_options.setdefault("prune", "lb")
     with _obs_span(
@@ -134,6 +177,106 @@ def evaluate_point(
         testing_time=result.testing_time,
         certificate=certificate,
         utilization=utilization,
+    )
+
+
+#: Exact-tier knobs a ``mode="search"`` point silently ignores (they
+#: configure the sweep/polish pipeline the search tier replaces);
+#: ``sweep``/``polish_runner`` are the batch engine's injected pool
+#: seams.
+_SEARCH_IGNORED_OPTIONS = (
+    "enumerator", "polish", "polish_top_k", "polish_per_tam_count",
+    "exact_node_limit", "exact_time_limit", "prune", "sweep_engine",
+    "sweep", "polish_runner",
+)
+
+
+def _evaluate_search_point(
+    soc: Soc,
+    total_width: int,
+    num_tams: Union[int, Iterable[int], None],
+    tables: Optional[Dict[str, TimeTable]],
+    dense: "Optional[DenseTimeMatrix]",
+    options: Dict[str, Any],
+) -> SweepPoint:
+    """One ``mode="search"`` design point through the anytime tier.
+
+    The certificate folds the search tier's range bound (see
+    :func:`repro.search.range_lower_bound`) into the standard
+    :class:`~repro.analysis.certificates.Certificate` shape —
+    ``architecture_bound`` carries the explored-range bound, so the
+    reported gap is exactly the search certificate's gap.
+    """
+    # Imported lazily: repro.search builds on repro.engine, which
+    # builds on this module.
+    from repro.search import search_optimize
+
+    strategy = options.pop("search_strategy", "sa")
+    seed = options.pop("seed", 0)
+    time_budget = options.pop("time_budget", 5.0)
+    eval_budget = options.pop("eval_budget", 20000)
+    target_gap = options.pop("target_gap", 0.0)
+    islands_runner = options.pop("search_islands", None)
+    for key in _SEARCH_IGNORED_OPTIONS:
+        options.pop(key, None)
+    if options:
+        raise ConfigurationError(
+            f"unknown option(s) for mode=\"search\": "
+            f"{', '.join(sorted(options))}"
+        )
+    with _obs_span(
+        "evaluate_point", soc=soc.name, W=total_width, mode="search"
+    ) as point_span:
+        if tables is None:
+            from repro.wrapper.pareto import build_time_tables
+            tables = build_time_tables(soc, total_width)
+        floor = global_lower_bound(soc, tables, total_width)
+        with _obs_span(
+            "search_optimize", strategy=strategy, seed=seed
+        ):
+            result = search_optimize(
+                tables,
+                total_width,
+                num_tams=num_tams,
+                strategy=strategy,
+                seed=seed,
+                time_budget=time_budget,
+                eval_budget=eval_budget,
+                target_gap=target_gap,
+                matrix=dense,
+                floor_bound=floor,
+                islands_runner=islands_runner,
+                core_order=[core.name for core in soc.cores],
+            )
+        with _obs_span("certify"):
+            certificate = Certificate(
+                testing_time=result.testing_time,
+                architecture_bound=result.certificate.bound,
+                global_bound=floor,
+            )
+        with _obs_span("utilization"):
+            utilization = analyze_utilization(soc, result.best, tables)
+        point_span.annotate(B=result.num_tams, T=result.testing_time)
+    # Post-hoc totals, recorded outside the scored pipeline (RPR001
+    # discipline) — the search-health numbers ``info()`` and the
+    # warehouse surface.
+    REGISTRY.counter("sweep.points").inc()
+    REGISTRY.counter("search.points").inc()
+    REGISTRY.counter("search.evals").inc(result.certificate.evals)
+    REGISTRY.counter("search.improvements").inc(
+        result.certificate.improvements
+    )
+    REGISTRY.gauge("search.gap").set(result.certificate.gap)
+    return SweepPoint(
+        total_width=total_width,
+        num_tams=result.num_tams,
+        partition=result.partition,
+        testing_time=result.testing_time,
+        certificate=certificate,
+        utilization=utilization,
+        mode="search",
+        seed=seed,
+        search=result,
     )
 
 

@@ -133,6 +133,60 @@ def add_spec_arguments(
         )
 
 
+def add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the anytime-search knobs (``repro-tam search``).
+
+    Defaults mirror :data:`repro.api.specs.OPTION_DEFAULTS` so the
+    CLI, the typed spec, and the engine resolve a search identically.
+    """
+    parser.add_argument(
+        "--strategy", choices=("sa", "ga"), default="sa",
+        help="metaheuristic: simulated annealing or the "
+             "steady-state genetic algorithm (default sa)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed — the sole source of randomness; a fixed "
+             "seed is bit-identical at any worker count "
+             "(default 0)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=5.0,
+        help="wall-clock budget in seconds (default 5.0)",
+    )
+    parser.add_argument(
+        "--eval-budget", type=int, default=20000,
+        help="candidate-evaluation budget, split across islands "
+             "(default 20000)",
+    )
+    parser.add_argument(
+        "--target-gap", type=float, default=0.0,
+        help="stop early once the incumbent is within this "
+             "relative gap of the lower bound (default 0.0: only "
+             "a proven optimum stops early)",
+    )
+
+
+def search_spec_from_args(
+    args: argparse.Namespace, width: int,
+) -> OptimizeSpec:
+    """One search point's :class:`OptimizeSpec` at ``width``."""
+    options = optimize_options_from_args(args)
+    options.update(
+        mode="search",
+        search_strategy=args.strategy,
+        seed=args.seed,
+        time_budget=args.time_budget,
+        eval_budget=args.eval_budget,
+        target_gap=args.target_gap,
+    )
+    return OptimizeSpec.from_options(
+        width,
+        num_tams=tam_counts_from_args(args),
+        options=options,
+    )
+
+
 def tam_counts_from_args(
     args: argparse.Namespace,
 ) -> Union[int, Tuple[int, ...]]:

@@ -35,8 +35,14 @@ PROTOCOL_VERSION = 2
 #: ``v`` field are treated as version 1.
 SUPPORTED_PROTOCOL_VERSIONS: Tuple[int, ...] = (1, 2)
 
-#: Event kinds a job stream may carry, one per finished grid point.
-EVENT_KINDS: Tuple[str, ...] = ("point", "failed")
+#: Event kinds a job stream may carry.  ``point``/``failed`` record
+#: one finished grid point each; ``incumbent`` records one strict
+#: improvement of a ``mode="search"`` point's anytime incumbent (the
+#: live-convergence feed), always preceding that point's terminal
+#: event.  Version note: ``incumbent`` is an *additive* v2 extension
+#: — v2 receivers ignore unknown response kinds per the
+#: compatibility policy, so no version bump is needed.
+EVENT_KINDS: Tuple[str, ...] = ("point", "failed", "incumbent")
 
 
 @dataclass(frozen=True)
@@ -140,7 +146,9 @@ class JobEvent:
     cursor for the ``events`` op's ``from`` field); ``index`` is the
     grid-point slot the record fills, ``total`` the grid size, and
     ``payload`` the serialized point — a sweep-point record for
-    ``kind="point"``, a failure record for ``kind="failed"``.
+    ``kind="point"``, a failure record for ``kind="failed"``, an
+    improvement record (``eval``/``island``/``time``/``gap``) for
+    ``kind="incumbent"``.
     """
 
     job_id: str

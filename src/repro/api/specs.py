@@ -63,7 +63,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: the field set or its canonicalization; loaders refuse versions
 #: they do not know, and the canonical key folds the version in so a
 #: schema change can never alias an old memo entry.
-SPEC_SCHEMA_VERSION = 1
+#:
+#: Version history: 1 — the original exact-only option set;
+#: 2 — the ``mode={"exact","search"}`` axis plus the search-tier
+#: options (``search_strategy``/``seed``/``time_budget``/
+#: ``eval_budget``/``target_gap``).
+SPEC_SCHEMA_VERSION = 2
+
+#: Valid ``mode`` values: the paper's exact sweep+polish pipeline,
+#: and the anytime metaheuristic tier of :mod:`repro.search`.
+MODES: Tuple[str, ...] = ("exact", "search")
 
 #: The paper found architectures beyond ten TAMs "less useful for
 #: testing time minimization"; its P_NPAW experiments use this cap.
@@ -87,7 +96,27 @@ OPTION_DEFAULTS: Dict[str, Any] = {
     # honored verbatim, on every surface.
     "prune": None,
     "sweep_engine": "kernel",
+    # -- the heuristic search tier (mode="search") ------------------
+    # The seed is a *result-defining* input (a search outcome is a
+    # pure function of spec + seed), so it lives in the canonical key
+    # like every other option; runs with different seeds are
+    # different grid points, never memo aliases.
+    "mode": "exact",
+    "search_strategy": "sa",
+    "seed": 0,
+    "time_budget": 5.0,
+    "eval_budget": 20000,
+    "target_gap": 0.0,
 }
+
+#: The option fields only meaningful under ``mode="search"``; a spec
+#: that sets any of them away from its default while ``mode`` stays
+#: ``"exact"`` is rejected at construction (the knob would silently
+#: do nothing).
+SEARCH_ONLY_OPTIONS: Tuple[str, ...] = (
+    "search_strategy", "seed", "time_budget", "eval_budget",
+    "target_gap",
+)
 
 
 def _frozen_counts(
@@ -225,6 +254,12 @@ class OptimizeSpec:
     exact_time_limit: float = 30.0
     prune: Union[None, bool, str] = None
     sweep_engine: str = "kernel"
+    mode: str = "exact"
+    search_strategy: str = "sa"
+    seed: int = 0
+    time_budget: float = 5.0
+    eval_budget: int = 20000
+    target_gap: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.total_width, int) or isinstance(
@@ -286,6 +321,55 @@ class OptimizeSpec:
                 f"prune must be None, a bool or a string mode, got "
                 f"{self.prune!r}"
             )
+        # The mode axis is structural: it gates which *other* fields
+        # are legal, so unlike enumerator/sweep_engine it is checked
+        # here rather than per grid point.
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if not isinstance(self.search_strategy, str):
+            raise ConfigurationError(
+                f"search_strategy must be a string, got "
+                f"{self.search_strategy!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be an int >= 0, got {self.seed!r}"
+            )
+        if not isinstance(self.time_budget, (int, float)) \
+                or isinstance(self.time_budget, bool) \
+                or self.time_budget <= 0:
+            raise ConfigurationError(
+                f"time_budget must be > 0, got {self.time_budget!r}"
+            )
+        object.__setattr__(self, "time_budget", float(self.time_budget))
+        if not isinstance(self.eval_budget, int) \
+                or isinstance(self.eval_budget, bool) \
+                or self.eval_budget < 1:
+            raise ConfigurationError(
+                f"eval_budget must be an int >= 1, got "
+                f"{self.eval_budget!r}"
+            )
+        if not isinstance(self.target_gap, (int, float)) \
+                or isinstance(self.target_gap, bool) \
+                or self.target_gap < 0:
+            raise ConfigurationError(
+                f"target_gap must be >= 0, got {self.target_gap!r}"
+            )
+        object.__setattr__(self, "target_gap", float(self.target_gap))
+        if self.mode != "search":
+            stray = [
+                key for key in SEARCH_ONLY_OPTIONS
+                if getattr(self, key) != OPTION_DEFAULTS[key]
+            ]
+            if stray:
+                raise ConfigurationError(
+                    f"option(s) {', '.join(stray)} only apply to "
+                    f'mode="search" (this spec has mode='
+                    f"{self.mode!r})"
+                )
 
     @classmethod
     def from_options(

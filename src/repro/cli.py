@@ -4,6 +4,7 @@ Installed as the ``repro-tam`` console script; ``python -m repro``
 from a source checkout runs the identical entry point.  Subcommands::
 
     repro-tam cooptimize <file.soc | benchmark> -W 32 [--bmax 10]
+    repro-tam search     <file.soc | benchmark> -W 32 [--strategy ga]
     repro-tam exhaustive <file.soc | benchmark> -W 32 -B 2
     repro-tam analyze    <file.soc | benchmark> -W 32
     repro-tam batch      <sources...> -W 16 24 32 [--jobs N]
@@ -174,6 +175,49 @@ def _cmd_cooptimize(args: argparse.Namespace) -> int:
                 f"{stats.efficiency:.4f}",
             ])
         print(table.render())
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import evaluate_point
+    from repro.api.cli import search_spec_from_args
+
+    soc = _load(args.soc)
+    spec = search_spec_from_args(args, args.width)
+    point = evaluate_point(
+        soc, spec.total_width, num_tams=spec.num_tams,
+        **spec.engine_options(),
+    )
+    if args.json:
+        from repro.report.serialize import sweep_point_to_dict, to_json
+        print(to_json(dict(sweep_point_to_dict(point), soc=soc.name)))
+        return 0
+    search = point.search
+    assert search is not None  # mode="search" always attaches one
+    certificate = search.certificate
+    print(
+        f"{soc.name} W={spec.total_width}: "
+        f"T={point.testing_time} at B={point.num_tams} "
+        f"partition {'+'.join(map(str, point.partition))}"
+    )
+    proven = " (proven optimal)" if certificate.is_provably_optimal \
+        else ""
+    print(
+        f"certificate: bound={certificate.bound} "
+        f"gap={certificate.gap:.2%}{proven} — "
+        f"{certificate.evals} evals, "
+        f"{certificate.improvements} improvements, "
+        f"terminated by {certificate.terminated_by} "
+        f"({certificate.elapsed_seconds:.2f}s, "
+        f"strategy {search.strategy}, seed {search.seed})"
+    )
+    if args.trajectory:
+        for eval_index, island_index, testing_time in search.trajectory:
+            gap = testing_time / certificate.bound - 1.0
+            print(
+                f"  eval {eval_index} island {island_index}: "
+                f"T={testing_time} gap={gap:.2%}"
+            )
     return 0
 
 
@@ -479,6 +523,23 @@ def build_parser() -> argparse.ArgumentParser:
     coopt.add_argument("--json", action="store_true",
                        help="emit the result record as JSON")
     coopt.set_defaults(func=_cmd_cooptimize)
+
+    search = sub.add_parser(
+        "search",
+        help="run the anytime metaheuristic tier (SA/GA islands "
+             "with a gap-vs-bound certificate)",
+        epilog=ENTRY_POINT_EPILOG,
+    )
+    search.add_argument("soc", help=".soc file or benchmark name")
+    add_spec_arguments(search, knobs=False)
+    from repro.api.cli import add_search_arguments
+    add_search_arguments(search)
+    search.add_argument("--trajectory", action="store_true",
+                        help="print the merged incumbent-improvement "
+                             "trail after the certificate")
+    search.add_argument("--json", action="store_true",
+                        help="emit the result record as JSON")
+    search.set_defaults(func=_cmd_search)
 
     exhaustive = sub.add_parser(
         "exhaustive", help="run the [8]-style exhaustive baseline",

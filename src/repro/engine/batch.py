@@ -616,6 +616,100 @@ def _shard_worker(
     return outcome, fallbacks, task_end(baseline)
 
 
+def _search_worker(
+    item: Tuple[DenseDescriptor, object, Any, Soc, int]
+) -> Tuple[Any, int, TaskTelemetry]:
+    """Pool entry point: run one island of a ``mode="search"`` point.
+
+    Attaches the job's shared dense matrix and the search's incumbent
+    board, runs the island to budget exhaustion, and ships its
+    :class:`~repro.search.IslandResult` back for the parent-side
+    deterministic merge.  Publication to the board is write-only —
+    the island never reads other islands' incumbents — so the result
+    is bit-identical to inline execution.  A worker that cannot
+    attach the matrix rebuilds privately from its cache — same
+    outcome, counted as a shared-table fallback.
+    """
+    (descriptor, board_descriptor, plan, soc, total_width) = item
+    # Imported lazily: repro.search builds on repro.engine.kernel,
+    # whose package import lands back in this module.
+    from repro.search.driver import run_island
+
+    faults = _WORKER_FAULTS
+    if (
+        faults is not None and _IN_POOL_WORKER
+        and faults.take_crash(plan.island_index)
+    ):
+        os._exit(1)  # injected island-worker death
+    baseline = task_begin()
+    if faults is not None:
+        delay = faults.slow_delay(plan.island_index)
+        if delay:
+            _sleep(delay)  # injected stall; delay comes from the plan
+    fallbacks = 0
+    matrix = (
+        None
+        if faults is not None
+        and faults.take_shm_failure(plan.island_index)
+        else attach(descriptor)
+    )
+    if matrix is None:
+        fallbacks = 1
+        logger.warning(
+            "island %d: dense segment for %s unavailable; rebuilding "
+            "tables privately", plan.island_index, soc.name,
+        )
+        store = _WORKER_POLICY[2]
+        cache = _cache_for(_WORKER_CACHES, soc, store=store)
+        matrix = build_dense_matrix(
+            cache.table_list(total_width), total_width
+        )
+    board = (
+        IncumbentBoard.attach(board_descriptor)
+        if board_descriptor is not None else None
+    )
+    publish = None
+    if board is not None:
+        def publish(
+            time: int, _board: IncumbentBoard = board,
+            _slot: int = plan.island_index,
+        ) -> None:
+            _board.publish(_slot, (time,))
+    try:
+        with span(
+            "search_island", soc=soc.name, island=plan.island_index,
+            strategy=plan.strategy,
+        ) as island_span:
+            result = run_island(matrix, plan, publish=publish)
+            island_span.annotate(evals=result.evals)
+    finally:
+        if board is not None:
+            board.close()
+    REGISTRY.counter("search.islands_run").inc()
+    return result, fallbacks, task_end(baseline)
+
+
+def _polish_worker(
+    item: Tuple[Any, ...]
+) -> Tuple[Any, TaskTelemetry]:
+    """Pool entry point: solve one exact-polish candidate.
+
+    Executes one :data:`repro.optimize.co_optimize.PolishTask` — an
+    independent, picklable exact ``P_AW`` solve — so a sharded job's
+    top-k polish steps run across the pool instead of serially in the
+    parent.  The parent reduces the returned
+    :class:`~repro.assign.exact.ExactResult` s in candidate order,
+    which is exactly the serial loop's reduction.
+    """
+    from repro.optimize.co_optimize import run_polish_task
+
+    baseline = task_begin()
+    with span("polish_candidate", widths=str(item[1].widths)):
+        exact = run_polish_task(item)
+    REGISTRY.counter("engine.polish_tasks_run").inc()
+    return exact, task_end(baseline)
+
+
 def _build_matrix_worker(
     item: Tuple[Soc, int]
 ) -> Tuple[bytes, bytes, float, TaskTelemetry]:
@@ -1015,10 +1109,16 @@ class BatchRunner:
         """True when the shard protocol's determinism argument applies."""
         options = job.options_dict()
         return (
-            options.get("enumerator", "unique") == "unique"
+            options.get("mode", "exact") == "exact"
+            and options.get("enumerator", "unique") == "unique"
             and options.get("sweep_engine", "kernel") == "kernel"
             and not options.get("polish_per_tam_count", False)
         )
+
+    @staticmethod
+    def _job_search_mode(job: BatchJob) -> bool:
+        """True for ``mode="search"`` jobs (the anytime tier)."""
+        return job.options_dict().get("mode", "exact") == "search"
 
     def _shard_count(
         self,
@@ -1120,8 +1220,20 @@ class BatchRunner:
             ]
             if requested > 1 else [0] * len(jobs)
         )
+        # mode="search" jobs fan their islands across the pool under
+        # the same policy as auto-sharding: only when jobs are scarcer
+        # than workers (otherwise job-level parallelism already
+        # saturates the pool).  Island results are bit-identical to
+        # inline execution, so this is pure execution strategy.
+        search_fan = [
+            requested > 1 and self.share_tables
+            and len(jobs) < requested
+            and self._job_search_mode(job)
+            for job in jobs
+        ]
         workers = requested
-        if not any(shard_counts) and not self.persistent:
+        if not any(shard_counts) and not any(search_fan) \
+                and not self.persistent:
             workers = min(workers, len(jobs))
         if workers == 1:
             faults = FaultPlan.from_env()
@@ -1155,7 +1267,7 @@ class BatchRunner:
             while True:
                 try:
                     for result in self._dispatch_pool(
-                        jobs, shard_counts, pool, emitted,
+                        jobs, shard_counts, search_fan, pool, emitted,
                         point_timeout,
                     ):
                         emitted += 1
@@ -1247,6 +1359,7 @@ class BatchRunner:
         self,
         jobs: List[BatchJob],
         shard_counts: List[int],
+        search_fan: List[bool],
         pool: ProcessPoolExecutor,
         skip: int,
         point_timeout: Optional[float],
@@ -1268,10 +1381,11 @@ class BatchRunner:
         self.metrics.absorb(build_telemetry.metrics)
         self.last_run_spans.extend(build_telemetry.spans)
         remaining = list(range(skip, len(jobs)))
-        if any(shard_counts):
-            # Unsharded jobs are submitted up front so they keep
-            # running concurrently; each sharded job saturates
-            # the pool with its own shard tasks at its turn.
+        if any(shard_counts) or any(search_fan):
+            # Unsharded/unfanned jobs are submitted up front so they
+            # keep running concurrently; each sharded (or
+            # island-fanned search) job saturates the pool with its
+            # own tasks at its turn.
             futures = {
                 index: pool.submit(
                     _pool_worker,
@@ -1279,7 +1393,7 @@ class BatchRunner:
                 )
                 for index in remaining
                 if not (
-                    shard_counts[index] >= 2
+                    (shard_counts[index] >= 2 or search_fan[index])
                     and descriptors[index] is not None
                     and descriptors[index].fingerprint
                     in self._matrices
@@ -1296,10 +1410,15 @@ class BatchRunner:
                     yield result
                 else:
                     baseline = task_begin()
-                    result = self._run_sharded_safe(
-                        jobs[index], descriptors[index], pool,
-                        shard_counts[index],
-                    )
+                    if search_fan[index]:
+                        result = self._run_search_safe(
+                            jobs[index], descriptors[index], pool
+                        )
+                    else:
+                        result = self._run_sharded_safe(
+                            jobs[index], descriptors[index], pool,
+                            shard_counts[index],
+                        )
                     parent = task_end(baseline)
                     self.metrics.absorb(parent.metrics)
                     merged = _merge_task_telemetry(
@@ -1377,6 +1496,136 @@ class BatchRunner:
                     )
                 raise
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _run_search_safe(
+        self,
+        job: BatchJob,
+        descriptor: DenseDescriptor,
+        pool: ProcessPoolExecutor,
+    ) -> BatchResult:
+        """The island-fanned search job under the failure policy."""
+        attempts = self.retries + 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return self._run_search(job, descriptor, pool)
+            except BrokenProcessPool:
+                raise  # pool-level: the whole batch is over
+            except Exception as error:  # noqa: BLE001 - policy boundary
+                if attempt < attempts:
+                    logger.warning(
+                        "search job %s failed (attempt %d/%d), "
+                        "retrying: %s",
+                        job.describe(), attempt, attempts, error,
+                    )
+                    continue
+                if self.on_error == "record":
+                    logger.error(
+                        "search job %s failed permanently: %s: %s",
+                        job.describe(), type(error).__name__, error,
+                    )
+                    return FailedPoint(
+                        job=job,
+                        error_type=type(error).__name__,
+                        error_message=str(error),
+                        attempts=attempt,
+                    )
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _run_search(
+        self,
+        job: BatchJob,
+        descriptor: DenseDescriptor,
+        pool: ProcessPoolExecutor,
+    ) -> SweepPoint:
+        """Run one search job with its islands fanned across the pool.
+
+        The fixed :data:`repro.search.NUM_ISLANDS` island runs
+        execute as worker tasks over the already-shared dense matrix,
+        publishing incumbent improvements through a shared-memory
+        board; the deterministic merge, the exact polish, and the
+        certificate/utilization accounting run here in the parent
+        over the same matrix.  The result is bit-identical to inline
+        execution — island seeds and eval shares derive from the
+        fixed island count, never from the worker count.
+        """
+        self._shard_telemetry = []
+        matrix = self._matrices[descriptor.fingerprint]
+        tables = self._merge_tables[descriptor.fingerprint]
+
+        def islands(plans: Sequence[Any]) -> List[Any]:
+            self.metrics.counter("search.islands_planned").inc(
+                len(plans)
+            )
+            board = IncumbentBoard.create(len(plans), 1)
+            try:
+                board_descriptor = (
+                    board.descriptor() if board is not None else None
+                )
+                tasks = [
+                    (
+                        descriptor, board_descriptor, plan, job.soc,
+                        job.total_width,
+                    )
+                    for plan in plans
+                ]
+                futures = [
+                    pool.submit(_search_worker, task)
+                    for task in tasks
+                ]
+                retry_delays = backoff_schedule(
+                    self.SHARD_RETRY_ATTEMPTS - 1
+                )
+                results = []
+                for island_index, future in enumerate(futures):
+                    # Island-level retry: re-running an island is
+                    # deterministic (a pure function of its plan and
+                    # seed), so the merged result stays bit-identical.
+                    for attempt in range(self.SHARD_RETRY_ATTEMPTS):
+                        try:
+                            result, fallbacks, telemetry = (
+                                future.result()
+                            )
+                            break
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as error:  # noqa: BLE001
+                            if (attempt + 1
+                                    >= self.SHARD_RETRY_ATTEMPTS):
+                                raise
+                            logger.warning(
+                                "island %d of %s failed (attempt "
+                                "%d/%d), re-running: %s",
+                                island_index, job.describe(),
+                                attempt + 1,
+                                self.SHARD_RETRY_ATTEMPTS, error,
+                            )
+                            self.metrics.counter(
+                                "engine.island_retries"
+                            ).inc()
+                            _sleep(retry_delays[attempt])
+                            future = pool.submit(
+                                _search_worker, tasks[island_index]
+                            )
+                    self._fallbacks(fallbacks)
+                    self.metrics.absorb(telemetry.metrics)
+                    self._shard_telemetry.append(telemetry)
+                    results.append(result)
+                return results
+            finally:
+                if board is not None:
+                    board.close()
+
+        self.metrics.counter("engine.jobs_search_fanned").inc()
+        return evaluate_point(
+            job.soc,
+            job.total_width,
+            num_tams=job.num_tams,
+            tables=tables,
+            dense=matrix,
+            search_islands=islands,
+            **job.options_dict(),
+        )
 
     def _run_sharded(
         self,
@@ -1507,6 +1756,53 @@ class BatchRunner:
                 keep_top=keep_top, dense=matrix, scorer=scorer,
             )
 
+        def polish_runner(tasks: Sequence[Any]) -> List[Any]:
+            """Fan the top-k exact-polish solves across the pool.
+
+            Each task is independent (the serial loop never threads
+            one candidate's solution into the next solve), so results
+            come back in candidate order and the caller's first-
+            strict-minimum reduction matches the serial polish
+            bit for bit.
+            """
+            self.metrics.counter("engine.polish_tasks_fanned").inc(
+                len(tasks)
+            )
+            futures = [
+                pool.submit(_polish_worker, task) for task in tasks
+            ]
+            retry_delays = backoff_schedule(
+                self.SHARD_RETRY_ATTEMPTS - 1
+            )
+            exacts = []
+            for task_index, future in enumerate(futures):
+                for attempt in range(self.SHARD_RETRY_ATTEMPTS):
+                    try:
+                        exact, telemetry = future.result()
+                        break
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as error:  # noqa: BLE001
+                        if attempt + 1 >= self.SHARD_RETRY_ATTEMPTS:
+                            raise
+                        logger.warning(
+                            "polish task %d of %s failed (attempt "
+                            "%d/%d), re-running: %s",
+                            task_index, job.describe(), attempt + 1,
+                            self.SHARD_RETRY_ATTEMPTS, error,
+                        )
+                        self.metrics.counter(
+                            "engine.polish_retries"
+                        ).inc()
+                        _sleep(retry_delays[attempt])
+                        future = pool.submit(
+                            _polish_worker, tasks[task_index]
+                        )
+                self.metrics.absorb(telemetry.metrics)
+                self._shard_telemetry.append(telemetry)
+                exacts.append(exact)
+            return exacts
+
         self.metrics.counter("engine.jobs_sharded").inc()
         return evaluate_point(
             job.soc,
@@ -1515,6 +1811,7 @@ class BatchRunner:
             tables=tables,
             dense=matrix,
             sweep=sweep,
+            polish_runner=polish_runner,
             **job.options_dict(),
         )
 

@@ -90,6 +90,16 @@ def format_event_line(event: Dict[str, Any]) -> Tuple[str, bool]:
             f"{point.get('error_type', '?')}",
             True,
         )
+    if event.get("kind") == "incumbent":
+        gap = point.get("gap")
+        gap_text = "?" if gap is None else f"{gap:.2%}"
+        return (
+            f"{position} {point.get('soc', '?')} incumbent "
+            f"T={point.get('time', '?')} gap={gap_text} "
+            f"(island {point.get('island', '?')}, "
+            f"eval {point.get('eval', '?')})",
+            False,
+        )
     return (
         f"{position} {point.get('soc', '?')} "
         f"W={point.get('total_width', '?')} "
@@ -209,16 +219,21 @@ def render_report(report: Dict[str, Any]) -> str:
     view = report["view"]
     if view == "runs":
         table = TextTable(
-            ["run", "campaign", "source", "job", "points",
-             "failures", "recorded"],
+            ["run", "campaign", "source", "job", "mode", "gap",
+             "seed", "points", "failures", "recorded"],
             title="warehouse runs",
         )
         for run in report["runs"]:
+            worst_gap = run.get("worst_gap")
+            seeds = run.get("seeds") or []
             table.add_row([
                 run["run_id"],
                 _short(run["key"]),
                 run["source"],
                 run["job_id"] or "-",
+                run.get("mode", "-"),
+                "-" if worst_gap is None else f"{worst_gap:.2%}",
+                ",".join(map(str, seeds)) or "-",
                 run["num_points"],
                 run["num_failures"],
                 _stamp(run["created_at"]),

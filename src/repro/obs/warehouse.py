@@ -340,10 +340,53 @@ class RunWarehouse:
             query += " LIMIT ?"
             params += (limit,)
         with closing(connection):
-            return [
+            rows = [
                 _run_row(row)
                 for row in connection.execute(query, params)
             ]
+            for run in rows:
+                run.update(self._point_summary(
+                    connection, run["run_id"]
+                ))
+            return rows
+
+    @staticmethod
+    def _point_summary(
+        connection: sqlite3.Connection, run_id: int
+    ) -> Dict[str, Any]:
+        """Mode/gap/seed roll-up of one run's points.
+
+        Feeds the ``runs`` report view: which tier produced the run
+        (``exact``, ``search``, or ``mixed``), the worst certificate
+        gap across its points, and the distinct search seeds used.
+        """
+        modes = set()
+        seeds = set()
+        worst: Optional[float] = None
+        for row in connection.execute(
+            "SELECT gap, payload FROM points"
+            " WHERE run_id = ? AND kind = 'point'",
+            (run_id,),
+        ):
+            payload = json.loads(row["payload"])
+            modes.add(payload.get("mode", "exact"))
+            seed = payload.get("seed")
+            if seed is not None:
+                seeds.add(int(seed))
+            if row["gap"] is not None:
+                gap = float(row["gap"])
+                worst = gap if worst is None else max(worst, gap)
+        if not modes:
+            mode = "-"
+        elif len(modes) == 1:
+            mode = next(iter(modes))
+        else:
+            mode = "mixed"
+        return {
+            "mode": mode,
+            "worst_gap": worst,
+            "seeds": sorted(seeds),
+        }
 
     def latest_run(
         self, key: Optional[str] = None

@@ -21,14 +21,24 @@ anomaly is reproduced — and tested — rather than papered over.
 from __future__ import annotations
 
 import time as _time
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.specs import (
     DEFAULT_MAX_TAMS,
     OptimizeSpec,
     resolved_tam_counts,
 )
-from repro.assign.exact import exact_assign
+from repro.assign.exact import ExactResult, exact_assign
 from repro.exceptions import ConfigurationError
 from repro.obs import span as _obs_span
 from repro.optimize.result import CoOptimizationResult
@@ -37,12 +47,46 @@ from repro.partition.evaluate import (
     partition_evaluate,
 )
 from repro.soc.soc import Soc
+from repro.tam.assignment import AssignmentResult
 from repro.wrapper.pareto import TimeTable, build_time_tables
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.kernel import DenseTimeMatrix
 
-__all__ = ["DEFAULT_MAX_TAMS", "co_optimize"]
+__all__ = [
+    "DEFAULT_MAX_TAMS",
+    "PolishTask",
+    "co_optimize",
+    "run_polish_task",
+]
+
+#: One exact-polish solve, fully described and picklable: the
+#: candidate's per-core times at its widths, the candidate itself
+#: (widths + warm-start assignment), and the solve budgets.  The unit
+#: a ``polish_runner`` dispatches to pool workers.
+PolishTask = Tuple[
+    List[List[int]], AssignmentResult, int, float
+]
+
+#: The polish fan-out seam: called with every candidate's task, must
+#: return their :class:`~repro.assign.exact.ExactResult` s *in task
+#: order* — the order the parent's first-strict-minimum reduction
+#: assumes.  Tasks are independent (the serial loop never threads one
+#: candidate's solution into the next solve), so any execution
+#: placement reproduces the serial result bit for bit.
+PolishRunner = Callable[[Sequence[PolishTask]], List[ExactResult]]
+
+
+def run_polish_task(task: PolishTask) -> ExactResult:
+    """Execute one polish task — the worker side of the seam."""
+    times, candidate, node_limit, time_limit = task
+    return exact_assign(
+        times,
+        candidate.widths,
+        incumbent=candidate,
+        node_limit=node_limit,
+        time_limit=time_limit,
+    )
 
 
 def co_optimize(
@@ -61,6 +105,7 @@ def co_optimize(
     dense: "Optional[DenseTimeMatrix]" = None,
     spec: Optional[OptimizeSpec] = None,
     sweep: Optional[Callable[..., "PartitionSearchResult"]] = None,
+    polish_runner: Optional[PolishRunner] = None,
 ) -> CoOptimizationResult:
     """Co-optimize the wrapper/TAM architecture of ``soc``.
 
@@ -137,6 +182,14 @@ def co_optimize(
         the pool, while step 2 (the exact polish) and the result
         assembly stay right here.  An execution hint, not part of the
         job's canonical content.
+    polish_runner:
+        Optional executor for step 2's per-candidate exact solves
+        (:data:`PolishTask` in, :class:`~repro.assign.exact.
+        ExactResult` out, task order preserved) — the seam the batch
+        engine uses to fan a ``polish_top_k > 1`` polish across its
+        pool.  Only consulted when there are two or more candidates;
+        like ``sweep``, an execution hint with a bit-identical
+        result.
 
     Returns
     -------
@@ -202,26 +255,33 @@ def co_optimize(
         candidates = (search.best,) + search.runners_up
         if not spec.polish_per_tam_count:
             candidates = candidates[:spec.polish_top_k]
-        best_polished = None
-        best_optimal = False
-        with _obs_span("polish", candidates=len(candidates)):
-            for candidate in candidates:
-                times = [
+        tasks: List[PolishTask] = [
+            (
+                [
                     [table.time(width) for width in candidate.widths]
                     for table in table_list
-                ]
-                exact = exact_assign(
-                    times,
-                    candidate.widths,
-                    incumbent=candidate,
-                    node_limit=spec.exact_node_limit,
-                    time_limit=spec.exact_time_limit,
-                )
-                if (best_polished is None
-                        or exact.result.testing_time
-                        < best_polished.testing_time):
-                    best_polished = exact.result
-                    best_optimal = exact.optimal
+                ],
+                candidate,
+                spec.exact_node_limit,
+                spec.exact_time_limit,
+            )
+            for candidate in candidates
+        ]
+        with _obs_span("polish", candidates=len(candidates)):
+            if polish_runner is not None and len(tasks) > 1:
+                exacts = polish_runner(tasks)
+            else:
+                exacts = [run_polish_task(task) for task in tasks]
+        # First strict minimum in candidate order — identical whether
+        # the tasks ran serially here or through a polish runner.
+        best_polished = None
+        best_optimal = False
+        for exact in exacts:
+            if (best_polished is None
+                    or exact.result.testing_time
+                    < best_polished.testing_time):
+                best_polished = exact.result
+                best_optimal = exact.optimal
         assert best_polished is not None
         final = best_polished
         final_optimal = best_optimal

@@ -89,8 +89,16 @@ def co_optimization_to_dict(
 
 
 def sweep_point_to_dict(point: SweepPoint) -> Dict[str, Any]:
-    """Plain-data form of one design-space sweep point."""
-    return {
+    """Plain-data form of one design-space sweep point.
+
+    Exact-tier points serialize exactly as they always have; a
+    ``mode="search"`` point additively carries its provenance
+    (``mode``/``seed``) and a ``search`` summary — strategy, the
+    anytime certificate, and the merged improvement trajectory — so
+    archived runs record how the incumbent was found, not just what
+    it is.
+    """
+    record = {
         "schema": SCHEMA_VERSION,
         "kind": "sweep_point",
         "total_width": point.total_width,
@@ -103,6 +111,22 @@ def sweep_point_to_dict(point: SweepPoint) -> Dict[str, Any]:
         "utilization": point.utilization.utilization,
         "idle_wire_cycles": point.utilization.idle_wire_cycles,
     }
+    if point.mode != "exact":
+        record["mode"] = point.mode
+        record["seed"] = point.seed
+        search = point.search
+        if search is not None:
+            record["search"] = {
+                "strategy": search.strategy,
+                "evals": search.certificate.evals,
+                "improvements": search.certificate.improvements,
+                "terminated_by": search.certificate.terminated_by,
+                "islands": len(search.islands),
+                "trajectory": [
+                    list(step) for step in search.trajectory
+                ],
+            }
+    return record
 
 
 def exhaustive_to_dict(result: ExhaustiveResult) -> Dict[str, Any]:

@@ -1,0 +1,66 @@
+"""repro.search — the anytime metaheuristic optimizer tier.
+
+The exact pipeline (``Partition_evaluate`` + branch-and-bound polish)
+enumerates every width partition, so its cost explodes with the TAM
+budget and count; this package is the third answer tier for
+instances where exhaustion is unaffordable: a seeded, deterministic
+anytime search over (partition, core→TAM assignment) that scores on
+the same dense kernel, runs as islands under the batch engine's
+process pool, and — crucially — reports a *certificate* (gap against
+an admissible lower bound) rather than a bare incumbent.
+
+Layering: this package sits on ``repro.engine.kernel`` and
+``repro.api`` only; the batch engine, the analysis layer, and the
+service integrate *it*, never the reverse.  See DESIGN.md §9 for the
+architecture and the seed/determinism contract.
+"""
+
+from __future__ import annotations
+
+from repro.search.certificate import (
+    TERMINATIONS,
+    SearchCertificate,
+    range_lower_bound,
+)
+from repro.search.driver import (
+    KEEP_TOP,
+    NUM_ISLANDS,
+    IslandPlan,
+    IslandResult,
+    IslandsRunner,
+    SearchResult,
+    island_plans,
+    island_seed,
+    merge_islands,
+    polish_candidates,
+    run_island,
+    search_optimize,
+)
+from repro.search.strategies import (
+    STRATEGIES,
+    crossover,
+    mutate,
+    random_partition,
+)
+
+__all__ = [
+    "TERMINATIONS",
+    "SearchCertificate",
+    "range_lower_bound",
+    "KEEP_TOP",
+    "NUM_ISLANDS",
+    "IslandPlan",
+    "IslandResult",
+    "IslandsRunner",
+    "SearchResult",
+    "island_plans",
+    "island_seed",
+    "merge_islands",
+    "polish_candidates",
+    "run_island",
+    "search_optimize",
+    "STRATEGIES",
+    "crossover",
+    "mutate",
+    "random_partition",
+]

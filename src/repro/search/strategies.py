@@ -1,0 +1,251 @@
+"""Pluggable metaheuristics over width partitions.
+
+Two strategies, both operating directly on the paper's decision
+variable — a width partition of the TAM budget ``W`` into ``B``
+buses — with the core→bus assignment delegated to the dense kernel's
+``Core_assign`` (:func:`repro.engine.kernel.sweep_assign`) at scoring
+time:
+
+* ``"sa"`` — simulated annealing with a geometric reheat schedule
+  over the partition-move neighborhood (shift a wire between buses,
+  split a bus, merge two buses — the moves that connect the whole
+  partition space while staying inside the explored TAM-count range);
+* ``"ga"`` — a steady-state genetic algorithm whose crossover is
+  partition-aware: children inherit whole *parts* (bus widths) from
+  both parents and are repaired to the exact budget, so building
+  blocks are the bus widths themselves rather than bit positions.
+
+Determinism contract (enforced by RPR001 on this package): every
+stochastic choice draws from the caller's seeded ``random.Random``
+instance; there is no wall-clock, no global ``random``, and no set
+iteration in here.  A strategy run is a pure function of
+(seed, instance, budget).
+
+Strategies never terminate on their own: they loop until the
+evaluator raises the driver's termination signal (the anytime budget
+contract lives in :mod:`repro.search.driver`, not here).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: A candidate: bus widths, sorted descending, summing to ``W``.
+Partition = Tuple[int, ...]
+
+#: Scores one candidate (SOC testing time, cycles).  Raises the
+#: driver's termination signal when the anytime budget expires.
+Evaluator = Callable[[Partition], int]
+
+#: SA cooling: temperature decays geometrically and reheats every
+#: ``SA_REHEAT_PERIOD`` steps, so long runs keep escaping basins.
+SA_COOLING = 0.99
+SA_REHEAT_PERIOD = 400
+#: Initial temperature as a fraction of the first candidate's time.
+SA_INITIAL_TEMP_FRACTION = 0.05
+
+#: Steady-state GA shape.
+GA_POPULATION = 12
+GA_TOURNAMENT = 3
+GA_CROSSOVER_RATE = 0.9
+GA_MUTATION_RATE = 0.6
+
+
+def random_partition(
+    rng: random.Random, total_width: int, count: int
+) -> Partition:
+    """A uniform-ish random partition of ``total_width`` into ``count``.
+
+    Starts every bus at one wire and scatters the remaining
+    ``W - B`` wires one at a time — every partition of the count is
+    reachable, narrow-part-heavy ones slightly favored (fine for a
+    seed population).
+    """
+    if not 1 <= count <= total_width:
+        raise ConfigurationError(
+            f"cannot split width {total_width} into {count} buses"
+        )
+    parts = [1] * count
+    for _ in range(total_width - count):
+        parts[rng.randrange(count)] += 1
+    parts.sort(reverse=True)
+    return tuple(parts)
+
+
+def _repair(parts: List[int], total_width: int) -> Partition:
+    """Adjust ``parts`` to sum exactly ``total_width``, each >= 1.
+
+    Shrinks the widest part while over budget, widens the narrowest
+    while under — deterministic, so crossover outcomes depend only on
+    the sampled parts.
+    """
+    parts = sorted(parts, reverse=True)
+    total = sum(parts)
+    while total > total_width:
+        parts[0] -= 1
+        total -= 1
+        parts.sort(reverse=True)
+    while total < total_width:
+        parts[-1] += 1
+        total += 1
+        parts.sort(reverse=True)
+    return tuple(parts)
+
+
+def mutate(
+    rng: random.Random,
+    widths: Partition,
+    total_width: int,
+    tam_counts: Sequence[int],
+) -> Partition:
+    """One partition-aware move; stays inside the explored counts.
+
+    ``shift`` moves wires between two buses (count unchanged);
+    ``split`` cuts one bus in two (count + 1); ``merge`` fuses two
+    buses (count - 1).  Split/merge are only offered when the
+    resulting count is itself in ``tam_counts``, so the certificate's
+    range bound keeps covering everything the search can visit.
+    """
+    count = len(widths)
+    moves = []
+    donors = [index for index, part in enumerate(widths) if part > 1]
+    if count > 1 and donors:
+        moves.append("shift")
+    if count + 1 in tam_counts and donors:
+        moves.append("split")
+    if count - 1 in tam_counts and count > 1:
+        moves.append("merge")
+    if not moves:
+        return widths
+    move = rng.choice(moves)
+    parts = list(widths)
+    if move == "shift":
+        donor = rng.choice(donors)
+        recipient = rng.randrange(count - 1)
+        if recipient >= donor:
+            recipient += 1
+        amount = rng.randint(1, parts[donor] - 1)
+        parts[donor] -= amount
+        parts[recipient] += amount
+    elif move == "split":
+        donor = rng.choice(donors)
+        cut = rng.randint(1, parts[donor] - 1)
+        parts[donor] -= cut
+        parts.append(cut)
+    else:  # merge
+        first, second = rng.sample(range(count), 2)
+        parts[first] += parts[second]
+        del parts[second]
+    parts.sort(reverse=True)
+    return tuple(parts)
+
+
+def crossover(
+    rng: random.Random,
+    first: Partition,
+    second: Partition,
+    total_width: int,
+) -> Partition:
+    """Partition-aware recombination: inherit whole parts, then repair.
+
+    The child takes one parent's bus count, samples that many parts
+    from the pooled parts of *both* parents, and is repaired to the
+    exact budget — bus widths (the building blocks the kernel scores)
+    survive recombination intact wherever the budget allows.
+    """
+    count = len(first) if rng.random() < 0.5 else len(second)
+    pool = list(first) + list(second)
+    picks = rng.sample(range(len(pool)), count)
+    return _repair([pool[index] for index in picks], total_width)
+
+
+def run_sa(
+    rng: random.Random,
+    evaluate: Evaluator,
+    total_width: int,
+    tam_counts: Sequence[int],
+) -> None:
+    """Simulated annealing over the partition-move neighborhood."""
+    current = random_partition(
+        rng, total_width, rng.choice(list(tam_counts))
+    )
+    current_time = evaluate(current)
+    initial_temp = max(
+        1.0, current_time * SA_INITIAL_TEMP_FRACTION
+    )
+    step = 0
+    while True:
+        neighbor = mutate(rng, current, total_width, tam_counts)
+        neighbor_time = evaluate(neighbor)
+        delta = neighbor_time - current_time
+        temperature = initial_temp * (
+            SA_COOLING ** (step % SA_REHEAT_PERIOD)
+        )
+        if delta <= 0 or rng.random() < math.exp(
+            -delta / max(temperature, 1e-9)
+        ):
+            current = neighbor
+            current_time = neighbor_time
+        step += 1
+
+
+def _tournament(
+    rng: random.Random, population: List[Tuple[int, Partition]]
+) -> Tuple[int, Partition]:
+    """Best of ``GA_TOURNAMENT`` sampled members (ties by widths)."""
+    contenders = rng.sample(
+        range(len(population)), min(GA_TOURNAMENT, len(population))
+    )
+    best = contenders[0]
+    for index in contenders[1:]:
+        if population[index] < population[best]:
+            best = index
+    return population[best]
+
+
+def run_ga(
+    rng: random.Random,
+    evaluate: Evaluator,
+    total_width: int,
+    tam_counts: Sequence[int],
+) -> None:
+    """Steady-state GA: one child per step replaces the current worst."""
+    counts = list(tam_counts)
+    population: List[Tuple[int, Partition]] = []
+    for slot in range(GA_POPULATION):
+        candidate = random_partition(
+            rng, total_width, counts[slot % len(counts)]
+        )
+        population.append((evaluate(candidate), candidate))
+    while True:
+        if rng.random() < GA_CROSSOVER_RATE:
+            _, first = _tournament(rng, population)
+            _, second = _tournament(rng, population)
+            child = crossover(rng, first, second, total_width)
+        else:
+            _, child = _tournament(rng, population)
+        if rng.random() < GA_MUTATION_RATE:
+            child = mutate(rng, child, total_width, tam_counts)
+        child_time = evaluate(child)
+        worst = 0
+        for index in range(1, len(population)):
+            if population[index] > population[worst]:
+                worst = index
+        if (child_time, child) < population[worst]:
+            population[worst] = (child_time, child)
+
+
+#: The pluggable strategy registry; ``OptimizeSpec.search_strategy``
+#: values resolve here (unknown names fail per grid point, like
+#: ``enumerator``).
+StrategyFn = Callable[
+    [random.Random, Evaluator, int, Sequence[int]], None
+]
+STRATEGIES: Dict[str, StrategyFn] = {
+    "sa": run_sa,
+    "ga": run_ga,
+}

@@ -104,13 +104,17 @@ def _point_event(
     total: int,
     result: BatchResult,
     metrics: Optional[Dict[str, Any]] = None,
+    seq: Optional[int] = None,
 ) -> JobEvent:
     """One grid point's completion as a streamable :class:`JobEvent`.
 
     ``metrics`` (a serialized per-point
     :class:`~repro.obs.metrics.MetricsSnapshot` delta) rides inside
     the free-form payload dict — the envelope's locked field set
-    (RPR004) is untouched.
+    (RPR004) is untouched.  ``seq`` is the event's position in the
+    stream; it equals ``index`` only while every event is a point
+    event (``mode="search"`` points interleave ``incumbent`` events,
+    so the live stream passes the append position explicitly).
     """
     if isinstance(result, FailedPoint):
         kind, payload = "failed", failed_point_to_dict(result)
@@ -123,12 +127,40 @@ def _point_event(
         payload = dict(payload, metrics=metrics)
     return JobEvent(
         job_id=record.job_id,
-        seq=index,
+        seq=index if seq is None else seq,
         kind=kind,
         index=index,
         total=total,
         payload=payload,
     )
+
+
+def _incumbent_payloads(
+    soc_name: str, search: Any
+) -> List[Dict[str, Any]]:
+    """The ``incumbent`` event payloads of one finished search point.
+
+    One record per strict improvement in the merged island
+    trajectory, in interleave order — what ``submit --stream`` and
+    ``tail`` render as the live convergence trail.  ``search`` is the
+    point's :class:`repro.search.SearchResult` (or ``None`` for
+    exact-tier and failed points, yielding no events).
+    """
+    if search is None:
+        return []
+    bound = search.certificate.bound
+    return [
+        {
+            "soc": soc_name,
+            "eval": eval_index,
+            "island": island_index,
+            "time": testing_time,
+            "bound": bound,
+            "gap": testing_time / bound - 1.0,
+        }
+        for eval_index, island_index, testing_time
+        in search.trajectory
+    ]
 
 
 @dataclass
@@ -612,8 +644,11 @@ class ExplorationServer:
         terminal record with no recorded events (a memo hit, or a
         grid restored from the persisted memo), events are
         synthesized from the stored results so consumers see the
-        same per-point stream either way.  A ``timeout`` (seconds)
-        bounds the total wait; expiry simply ends the stream.
+        same per-point stream either way (synthetic streams carry
+        only terminal point events — a ``mode="search"`` point's
+        ``incumbent`` trail exists live but is not reconstructed
+        from the memo).  A ``timeout`` (seconds) bounds the total
+        wait; expiry simply ends the stream.
         """
         deadline = (
             None if timeout is None else time.monotonic() + timeout
@@ -763,6 +798,20 @@ class ExplorationServer:
                 "queue_depth": queue_depth,
                 "warehouse": self.warehouse is not None,
                 "health": health,
+                "search": {
+                    "points": snapshot.counter("search.points"),
+                    "evals": snapshot.counter("search.evals"),
+                    "improvements": snapshot.counter(
+                        "search.improvements"
+                    ),
+                    "islands_run": snapshot.counter(
+                        "search.islands_run"
+                    ),
+                    "jobs_fanned": snapshot.counter(
+                        "engine.jobs_search_fanned"
+                    ),
+                    "last_gap": snapshot.gauge("search.gap"),
+                },
                 "metrics": snapshot.to_dict(),
             }
 
@@ -835,15 +884,32 @@ class ExplorationServer:
                         telemetry = (
                             self.runner.last_run_telemetry[index]
                         )
-                    event = _point_event(
-                        record, index, total, result,
-                        metrics=(
-                            telemetry.metrics.to_dict()
-                            if telemetry is not None else None
-                        ),
+                    incumbents = _incumbent_payloads(
+                        record.jobs[index].soc.name,
+                        getattr(result, "search", None),
                     )
                     with self._done:
-                        record.events.append(event)
+                        # The convergence trail precedes its point's
+                        # terminal event; every seq is the append
+                        # position, which is what the `events` op's
+                        # `from` cursor slices by.
+                        for payload in incumbents:
+                            record.events.append(JobEvent(
+                                job_id=record.job_id,
+                                seq=len(record.events),
+                                kind="incumbent",
+                                index=index,
+                                total=total,
+                                payload=payload,
+                            ))
+                        record.events.append(_point_event(
+                            record, index, total, result,
+                            metrics=(
+                                telemetry.metrics.to_dict()
+                                if telemetry is not None else None
+                            ),
+                            seq=len(record.events),
+                        ))
                         self._done.notify_all()
             except Exception as error:  # noqa: BLE001 - job boundary
                 logger.error(

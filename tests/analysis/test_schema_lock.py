@@ -22,7 +22,7 @@ class TestCurrentSchema:
 
     def test_carries_every_version_constant(self):
         schema = current_schema()
-        assert schema["spec_schema_version"] == 1
+        assert schema["spec_schema_version"] == 2
         assert schema["protocol_version"] == 2
         assert schema["supported_protocol_versions"] == [1, 2]
 
@@ -70,7 +70,7 @@ class TestCheckDrift:
     def test_version_move_alone_is_still_drift(self):
         golden = current_schema()
         live = copy.deepcopy(golden)
-        live["spec_schema_version"] = 2
+        live["spec_schema_version"] = golden["spec_schema_version"] + 1
         assert check_drift(live, golden)
         assert _versions_bumped(live, golden)
 

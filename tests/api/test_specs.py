@@ -182,3 +182,55 @@ class TestBatchJobBridge:
         job = BatchJob(d695, 8, 2, options={"bogus_knob": 1})
         with pytest.raises(ConfigurationError):
             job.spec()
+
+
+class TestSearchMode:
+    """The v2 mode axis and its search-only options."""
+
+    def search_spec(self, **overrides):
+        options = dict(
+            mode="search", search_strategy="ga", seed=11,
+            time_budget=2.5, eval_budget=500, target_gap=0.05,
+        )
+        options.update(overrides)
+        return OptimizeSpec(total_width=16, **options)
+
+    def test_search_spec_round_trips(self):
+        spec = self.search_spec()
+        assert OptimizeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            OptimizeSpec(total_width=16, mode="quantum")
+
+    @pytest.mark.parametrize("option, value", [
+        ("search_strategy", "ga"),
+        ("seed", 3),
+        ("time_budget", 1.0),
+        ("eval_budget", 100),
+        ("target_gap", 0.1),
+    ])
+    def test_search_options_rejected_under_exact(self, option, value):
+        with pytest.raises(ConfigurationError, match=option):
+            OptimizeSpec(total_width=16, **{option: value})
+
+    def test_search_knob_validation(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            self.search_spec(seed=-1)
+        with pytest.raises(ConfigurationError, match="eval_budget"):
+            self.search_spec(eval_budget=0)
+        with pytest.raises(ConfigurationError, match="time_budget"):
+            self.search_spec(time_budget=0)
+        with pytest.raises(ConfigurationError, match="target_gap"):
+            self.search_spec(target_gap=-0.5)
+
+    def test_seed_splits_the_canonical_key(self):
+        # The seed is result-defining for a search, so two seeds must
+        # never share a memo entry.
+        assert self.search_spec(seed=1).canonical_key() != \
+            self.search_spec(seed=2).canonical_key()
+
+    def test_mode_splits_the_canonical_key(self):
+        exact = OptimizeSpec(total_width=16)
+        search = OptimizeSpec(total_width=16, mode="search")
+        assert exact.canonical_key() != search.canonical_key()

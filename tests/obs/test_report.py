@@ -162,3 +162,43 @@ class TestBitIdenticalReproduction:
         assert main(["report", "--cache-dir", cache_dir]) == 0
         reported = capsys.readouterr().out
         assert reported == live
+
+
+class TestSearchProvenance:
+    """The runs view's mode/gap/seed roll-up of stored points."""
+
+    def search_payload(self):
+        record = payload()
+        for point in record["points"]:
+            point.update(mode="search", seed=7)
+        return record
+
+    def test_exact_run_summary(self, warehouse):
+        (run,) = warehouse.runs()
+        assert run["mode"] == "exact"
+        assert run["seeds"] == []
+        assert run["worst_gap"] == pytest.approx(0.1082)
+
+    def test_search_run_summary(self, tmp_path):
+        store = RunWarehouse(tmp_path / "warehouse.sqlite")
+        store.record_grid(KEY, self.search_payload())
+        (run,) = store.runs()
+        assert run["mode"] == "search"
+        assert run["seeds"] == [7]
+
+    def test_mixed_run_summary(self, tmp_path):
+        store = RunWarehouse(tmp_path / "warehouse.sqlite")
+        mixed = self.search_payload()
+        del mixed["points"][0]["mode"]
+        store.record_grid(KEY, mixed)
+        (run,) = store.runs()
+        assert run["mode"] == "mixed"
+
+    def test_runs_view_renders_the_new_columns(self, tmp_path):
+        store = RunWarehouse(tmp_path / "warehouse.sqlite")
+        store.record_grid(KEY, self.search_payload())
+        rendered = render_report(build_report(store, view="runs"))
+        header = rendered.splitlines()[1]
+        for column in ("mode", "gap", "seed"):
+            assert column in header
+        assert "search" in rendered

@@ -1,0 +1,86 @@
+"""Unit tests for the gap-vs-bound search certificate."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.search.certificate import (
+    TERMINATIONS,
+    SearchCertificate,
+    range_lower_bound,
+)
+from repro.engine.kernel import build_dense_matrix
+from repro.wrapper.pareto import build_time_tables
+
+
+def make(testing_time=100, bound=80, terminated_by="eval_budget"):
+    return SearchCertificate(
+        testing_time=testing_time,
+        bound=bound,
+        evals=10,
+        improvements=2,
+        elapsed_seconds=0.01,
+        terminated_by=terminated_by,
+    )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises((ConfigurationError, ValidationError)):
+            make(bound=0)
+
+    def test_rejects_incumbent_below_bound(self):
+        # A certificate claiming T < bound would be unsound: the
+        # bound is admissible, so no solution can beat it.
+        with pytest.raises((ConfigurationError, ValidationError)):
+            make(testing_time=79, bound=80)
+
+    def test_rejects_unknown_termination(self):
+        with pytest.raises((ConfigurationError, ValidationError)):
+            make(terminated_by="gave_up")
+
+    def test_termination_vocabulary(self):
+        for reason in TERMINATIONS:
+            assert make(terminated_by=reason).terminated_by == reason
+
+
+class TestGap:
+    def test_gap_is_relative_excess_over_bound(self):
+        assert make(testing_time=100, bound=80).gap == pytest.approx(
+            0.25
+        )
+
+    def test_gap_zero_is_proven_optimal(self):
+        certificate = make(testing_time=80, bound=80)
+        assert certificate.gap == 0.0
+        assert certificate.is_provably_optimal
+
+    def test_positive_gap_is_not_proven(self):
+        assert not make(testing_time=81, bound=80).is_provably_optimal
+
+
+class TestRangeLowerBound:
+    @pytest.fixture(scope="class")
+    def matrix(self, d695):
+        tables = build_time_tables(d695, 16)
+        return build_dense_matrix(
+            [tables[core.name] for core in d695.cores], 16
+        )
+
+    def test_single_count_matches_column_bound(self, matrix, d695):
+        # At B=1 the one bus gets the full width; the range bound is
+        # exactly the dense kernel's column bound there.
+        bound = range_lower_bound(matrix, 16, (1,))
+        assert bound == matrix.lower_bound_for_max(16, 1)
+
+    def test_range_takes_the_weakest_count(self, matrix):
+        # More feasible counts can only lower (never raise) the
+        # admissible range bound.
+        wide = range_lower_bound(matrix, 16, (1, 2, 3))
+        narrow = range_lower_bound(matrix, 16, (1,))
+        assert wide <= narrow
+
+    def test_floor_raises_the_bound(self, matrix):
+        base = range_lower_bound(matrix, 16, (1, 2, 3))
+        assert range_lower_bound(
+            matrix, 16, (1, 2, 3), floor=base + 7
+        ) == base + 7

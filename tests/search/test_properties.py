@@ -1,0 +1,77 @@
+"""Property tests over seeds: the search tier's invariants.
+
+Satellite contract: for any seed and strategy, (1) the merged
+incumbent trajectory is monotone non-increasing, (2) the certificate
+gap is never negative, (3) gap 0 implies proven optimality, and
+(4) a fixed seed replays bit-identically.
+"""
+
+import pytest
+
+from repro.search import search_optimize
+
+SEEDS = (0, 1, 7, 42, 1337)
+
+
+@pytest.fixture(scope="module")
+def d695_tables(d695):
+    from repro.wrapper.pareto import build_time_tables
+
+    tables = build_time_tables(d695, 12)
+    return {core.name: tables[core.name] for core in d695.cores}
+
+
+def run(d695, d695_tables, seed, strategy):
+    return search_optimize(
+        d695_tables, 12,
+        num_tams=(1, 2, 3),
+        strategy=strategy,
+        seed=seed,
+        eval_budget=500,
+        core_order=[core.name for core in d695.cores],
+    )
+
+
+@pytest.mark.parametrize("strategy", ["sa", "ga"])
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSearchInvariants:
+    def test_trajectory_monotone_non_increasing(
+        self, d695, d695_tables, seed, strategy
+    ):
+        result = run(d695, d695_tables, seed, strategy)
+        times = [time for _, _, time in result.trajectory]
+        assert times, "every search records at least one incumbent"
+        assert all(
+            later < earlier
+            for earlier, later in zip(times, times[1:])
+        )
+
+    def test_gap_is_never_negative(
+        self, d695, d695_tables, seed, strategy
+    ):
+        certificate = run(
+            d695, d695_tables, seed, strategy
+        ).certificate
+        assert certificate.gap >= 0.0
+        assert certificate.testing_time >= certificate.bound
+
+    def test_gap_zero_implies_proven_optimal(
+        self, d695, d695_tables, seed, strategy
+    ):
+        certificate = run(
+            d695, d695_tables, seed, strategy
+        ).certificate
+        if certificate.gap == 0.0:
+            assert certificate.is_provably_optimal
+        else:
+            assert not certificate.is_provably_optimal
+
+    def test_fixed_seed_replays_bit_identically(
+        self, d695, d695_tables, seed, strategy
+    ):
+        first = run(d695, d695_tables, seed, strategy)
+        second = run(d695, d695_tables, seed, strategy)
+        assert first.testing_time == second.testing_time
+        assert first.partition == second.partition
+        assert first.trajectory == second.trajectory
+        assert first.certificate.evals == second.certificate.evals
