@@ -1,0 +1,191 @@
+"""Tenancy smoke — authenticated serve, quotas, crash recovery.
+
+Starts `repro-tam serve --auth` as a real subprocess and walks the
+multi-tenant acceptance path end to end:
+
+1. an authorized client submits and reads back a grid;
+2. an unauthenticated client and an over-quota submission each get a
+   *typed* rejection envelope (``code: unauthorized`` /
+   ``code: over_quota``) — never a dropped connection or traceback;
+3. another tenant cannot read the first tenant's job;
+4. the server is SIGKILL'd with a client's job still queued (under a
+   seeded ``REPRO_FAULTS`` crash plan stressing the workers too),
+   restarted on the same cache dir, and must replay the journal with
+   the per-client attribution intact.
+
+Exits non-zero on any mismatch — this is the script the CI
+tenancy-smoke job runs.
+
+Run:  PYTHONPATH=src python examples/tenancy_smoke.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.exceptions import QuotaExceededError, UnauthorizedError
+from repro.service.client import ServiceClient
+
+ALICE = "alice-token-0123456789abcdef"
+BOB = "bob-token-fedcba9876543210"
+
+TOKENS = {
+    "clients": {
+        "alice": {
+            "token": ALICE,
+            "priority": "high",
+            "quota": {"max_queued_jobs": 8, "max_grid_size": 4},
+        },
+        "bob": {"token": BOB, "priority": "low"},
+    }
+}
+
+
+def start_server(
+    port_file: Path, cache_dir: Path, extra_env=None
+) -> subprocess.Popen:
+    """Spawn an authenticated `repro-tam serve`; wait for its port."""
+    env = dict(os.environ)
+    env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--jobs", "1",
+            "--port-file", str(port_file),
+            "--cache-dir", str(cache_dir),
+            "--auth", "--max-queue", "16",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while not port_file.exists():
+        if proc.poll() is not None:
+            sys.exit(f"serve exited early:\n{proc.stdout.read()}")
+        if time.monotonic() > deadline:
+            proc.terminate()
+            sys.exit("serve never published its port")
+        time.sleep(0.05)
+    return proc
+
+
+def expect(exc_type, call, what):
+    try:
+        call()
+    except exc_type as error:
+        print(f"{what}: rejected as expected ({error})")
+        return
+    sys.exit(f"{what}: expected {exc_type.__name__}, got none")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "tokens.json").write_text(json.dumps(TOKENS))
+
+        proc = start_server(tmp_path / "port-1", cache_dir)
+        try:
+            port = int((tmp_path / "port-1").read_text().strip())
+
+            # -- authorized path -------------------------------------
+            with ServiceClient(
+                port=port, timeout=300, token=ALICE,
+            ) as alice:
+                assert alice.ping()["auth"], "auth flag not reported"
+                job = alice.submit(["d695"], [8, 12], num_tams=2)
+                assert alice.wait(job, timeout=300)["status"] == "done"
+                assert not alice.result(job)["failures"]
+                print("authorized client: submit/wait/result OK")
+
+                # -- typed rejections --------------------------------
+                with ServiceClient(port=port, timeout=60) as anon:
+                    assert anon.ping()["pong"], "ping must stay open"
+                    expect(
+                        UnauthorizedError,
+                        lambda: anon.submit(
+                            ["d695"], [8], num_tams=2
+                        ),
+                        "unauthenticated submit",
+                    )
+                expect(
+                    QuotaExceededError,
+                    lambda: alice.submit(
+                        ["d695"], [4, 5, 6, 7, 8], num_tams=2
+                    ),
+                    "over-quota submit (grid size 5 > 4)",
+                )
+                with ServiceClient(
+                    port=port, timeout=60, token=BOB,
+                ) as bob:
+                    expect(
+                        UnauthorizedError,
+                        lambda: bob.status(job),
+                        "cross-tenant status",
+                    )
+                info = alice.ping()
+                account = info["clients"]["alice"]
+                assert account["done"] >= 1, account
+                assert account["rejected"]["over_quota"] == 1, account
+                print("per-client accounting visible in ping")
+
+                # Leave a *distinct* alice job queued for the crash:
+                # journaled, but the server dies before it finishes.
+                victim = alice.submit(["d695"], [16, 20], num_tams=2)
+                assert victim, "victim submission not accepted"
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        print("server SIGKILL'd with a tenant job in flight")
+
+        # -- crash recovery of per-client accounting -----------------
+        # The reborn server replays the journal under a seeded fault
+        # plan (a worker crash mid-grid) — recovery must neither lose
+        # the job nor its owner.
+        state = tmp_path / "fault-state"
+        proc = start_server(
+            tmp_path / "port-2", cache_dir,
+            extra_env={"REPRO_FAULTS": f"seed=1,state={state},crash@0"},
+        )
+        try:
+            port = int((tmp_path / "port-2").read_text().strip())
+            with ServiceClient(
+                port=port, timeout=300, token=ALICE,
+            ) as alice:
+                info = alice.ping()
+                assert info["health"]["journal_replays"] >= 1, (
+                    info["health"]
+                )
+                account = info["clients"].get("alice")
+                assert account is not None, sorted(info["clients"])
+                assert account["submitted"] >= 1, account
+                # The replayed job (fresh id on the reborn server)
+                # still belongs to alice and still completes.
+                record = alice.wait("job-0001", timeout=300)
+                assert record["status"] == "done", record
+                assert record["client"] == "alice", record
+                assert alice.ping()["clients"]["alice"]["done"] >= 1
+                print(
+                    "journal replay restored alice's job and "
+                    "accounting through a worker-crash fault plan"
+                )
+                alice.shutdown()
+            code = proc.wait(timeout=30)
+            assert code == 0, f"serve exited with {code}"
+            print("tenancy smoke: OK")
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    main()

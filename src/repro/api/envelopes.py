@@ -29,11 +29,17 @@ from repro.api.specs import GridSpec
 from repro.exceptions import ConfigurationError
 
 #: The newest protocol version this build speaks.
-PROTOCOL_VERSION = 2
+#:
+#: Version history: 1 — the legacy loose-field dicts; 2 — typed
+#: ``spec`` submissions and the streaming ``events`` op; 3 — the
+#: tenancy fields (``token`` bearer auth and ``priority``) on the
+#: request envelope.  v3 is additive: v1/v2 request dicts are
+#: accepted byte-compatible and run as the anonymous client.
+PROTOCOL_VERSION = 3
 
 #: Every protocol version this build accepts.  Requests without a
 #: ``v`` field are treated as version 1.
-SUPPORTED_PROTOCOL_VERSIONS: Tuple[int, ...] = (1, 2)
+SUPPORTED_PROTOCOL_VERSIONS: Tuple[int, ...] = (1, 2, 3)
 
 #: Event kinds a job stream may carry.  ``point``/``failed`` record
 #: one finished grid point each; ``incumbent`` records one strict
@@ -61,6 +67,13 @@ class JobRequest:
     job_id: Optional[str] = None
     timeout: Optional[float] = None
     start: int = 0
+    #: v3 tenancy fields.  ``token`` is the bearer credential the
+    #: server resolves to a client identity (never echoed back);
+    #: ``priority`` optionally *lowers* a submission below the
+    #: client's class.  Both decode from v1/v2 dicts too (harmlessly
+    #: absent there), so old clients stay byte-compatible.
+    token: Optional[str] = None
+    priority: Optional[str] = None
     extra: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -91,6 +104,10 @@ class JobRequest:
             record["timeout"] = self.timeout
         if self.start:
             record["from"] = self.start
+        if self.token is not None:
+            record["token"] = self.token
+        if self.priority is not None:
+            record["priority"] = self.priority
         record.update(self.extra_dict())
         return record
 
@@ -123,9 +140,24 @@ class JobRequest:
                 f"'from' must be a non-negative int, got {start!r}"
             )
         job_id = data.get("job")
+        token = data.get("token")
+        if token is not None and (
+            not isinstance(token, str) or not token
+        ):
+            raise ConfigurationError(
+                f"'token' must be a non-empty string, got {token!r}"
+            )
+        priority = data.get("priority")
+        if priority is not None and not isinstance(priority, str):
+            raise ConfigurationError(
+                f"'priority' must be a string, got {priority!r}"
+            )
         extra = tuple(sorted(
             (key, value) for key, value in data.items()
-            if key not in ("v", "op", "spec", "job", "timeout", "from")
+            if key not in (
+                "v", "op", "spec", "job", "timeout", "from",
+                "token", "priority",
+            )
         ))
         return cls(
             op=op,
@@ -134,6 +166,8 @@ class JobRequest:
             job_id=None if job_id is None else str(job_id),
             timeout=None if timeout is None else float(timeout),
             start=start,
+            token=token,
+            priority=priority,
             extra=extra,
         )
 

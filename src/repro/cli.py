@@ -55,6 +55,17 @@ stops paying pool startup and table construction per request::
 ``submit`` sends a batch-identical grid to a running server, waits
 (unless ``--no-wait``), and renders the same table/JSON as ``batch``.
 
+Multi-tenant serving: ``serve --auth`` requires every request (except
+``ping``) to carry a bearer token registered in ``tokens.json``
+(``--tokens-file`` overrides the path, default next to the table
+store in ``--cache-dir``); clients pass ``--token`` on ``submit`` and
+``tail`` and may request a ``--priority`` class no higher than their
+registered one.  ``--max-queue`` bounds the admission queue — under
+overload the server sheds the lowest-priority queued work first, and
+when nothing cheaper can be shed it rejects with a typed
+``overloaded`` error carrying a ``retry_after`` hint the client
+honours transparently.
+
 Observability
 -------------
 ``repro-tam report`` renders the run warehouse — the SQLite store a
@@ -331,6 +342,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         share_tables=not args.no_share_tables,
         max_records=args.max_records,
+        require_auth=args.auth,
+        tokens_path=args.tokens_file,
+        max_queue_depth=args.max_queue,
     )
     server = IPCServer(exploration, host=args.host, port=args.port)
     host, port = server.address
@@ -354,7 +368,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     # over protocol v2 — so the server's (persisted) memo answers
     # either surface.
     grid_spec = grid_spec_from_args(args)
-    with ServiceClient(host=args.host, port=args.port) as client:
+    with ServiceClient(
+        host=args.host,
+        port=args.port,
+        token=args.token,
+        priority=args.priority,
+    ) as client:
         job_id = client.submit_grid(grid_spec)
         if args.no_wait:
             print(job_id)
@@ -460,7 +479,9 @@ def _cmd_tail(args: argparse.Namespace) -> int:
     # second terminal at any time; --from replays from an event
     # sequence number (0 = everything the server still holds).
     any_failed = False
-    with ServiceClient(host=args.host, port=args.port) as client:
+    with ServiceClient(
+        host=args.host, port=args.port, token=args.token,
+    ) as client:
         for event in client.events(
             args.job,
             start=args.start,
@@ -612,6 +633,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-share-tables", action="store_true",
                        help="disable the shared-memory dense-matrix "
                             "transport (workers build private tables)")
+    serve.add_argument("--auth", action="store_true",
+                       help="require bearer tokens: reject requests "
+                            "whose token is not in the token file "
+                            "(default: anonymous access)")
+    serve.add_argument("--tokens-file", default=None,
+                       help="token registry JSON (default: "
+                            "tokens.json inside --cache-dir)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="bound the admission queue: beyond this "
+                            "many queued jobs the server sheds "
+                            "lower-priority work or rejects with a "
+                            "retry-after hint (default: unbounded)")
     serve.add_argument("--port-file", default=None,
                        help="write the bound port to this file once "
                             "listening (for scripts and CI)")
@@ -639,6 +672,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "while the grid runs (protocol v2)")
     submit.add_argument("--timeout", type=float, default=None,
                         help="max seconds to wait for completion")
+    submit.add_argument("--token", default=None,
+                        help="bearer token for servers running with "
+                             "--auth")
+    submit.add_argument("--priority", default=None,
+                        choices=["high", "normal", "low"],
+                        help="scheduling class for this job (capped "
+                             "at the client's registered class)")
     submit.add_argument("--json", action="store_true",
                         help="emit the grid as a JSON record")
     _add_log_level_argument(submit)
@@ -694,6 +734,9 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("--timeout", type=float, default=None,
                       help="max seconds to wait for the job to "
                            "finish")
+    tail.add_argument("--token", default=None,
+                      help="bearer token for servers running with "
+                           "--auth")
     tail.set_defaults(func=_cmd_tail)
 
     lint = sub.add_parser(

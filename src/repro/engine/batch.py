@@ -286,6 +286,28 @@ def normalize_point_timeout(
     )
 
 
+def normalize_max_concurrent(
+    value: Union[int, None]
+) -> Optional[int]:
+    """Validate a concurrent-point ceiling (quota or runner hint).
+
+    Accepts ``None`` (uncapped) or an int >= 1 — the most grid
+    points of one job kept in flight on the pool at once, the
+    fairness knob a multi-tenant server derives from the client's
+    ``max_concurrent_points`` quota.  Pure execution strategy:
+    excluded from every canonical job key, results bit-identical at
+    any setting.
+    """
+    if value is None:
+        return None
+    if isinstance(value, int) and not isinstance(value, bool) \
+            and value >= 1:
+        return value
+    raise ConfigurationError(
+        f"max_concurrent must be an int >= 1 or None; got {value!r}"
+    )
+
+
 def split_results(
     results: Iterable[BatchResult],
 ) -> Tuple[List[SweepPoint], List[FailedPoint]]:
@@ -1152,6 +1174,7 @@ class BatchRunner:
         jobs: Sequence[BatchJob],
         shard: Union[int, str, None] = None,
         point_timeout: Union[int, float, None] = None,
+        max_concurrent: Optional[int] = None,
     ) -> Iterator[BatchResult]:
         """Evaluate ``jobs``, yielding one result per job, in order.
 
@@ -1166,7 +1189,11 @@ class BatchRunner:
         ``shard`` and ``point_timeout`` override the runner's
         intra-job sharding policy and per-point deadline for this
         call (the per-submission runner hints); results are identical
-        either way.
+        either way.  ``max_concurrent`` caps how many of this call's
+        grid points are in flight on the pool at once (windowed
+        submission) — the multi-tenant fairness knob; it also
+        disables intra-job sharding and search island fan-out, which
+        would otherwise let a single point occupy every worker.
         """
         jobs = list(jobs)
         if not jobs:
@@ -1175,11 +1202,12 @@ class BatchRunner:
         timeout = normalize_point_timeout(point_timeout)
         if timeout is None:
             timeout = self.point_timeout
+        cap = normalize_max_concurrent(max_concurrent)
         run_start = self.metrics.snapshot()
         self.last_run_telemetry = [None] * len(jobs)
         self.last_run_spans = []
         try:
-            yield from self._run_iter_inner(jobs, shard, timeout)
+            yield from self._run_iter_inner(jobs, shard, timeout, cap)
         finally:
             # The registry is cumulative (the lifetime counters the
             # tests and ``info()`` read); the per-run delta is what
@@ -1208,6 +1236,7 @@ class BatchRunner:
         jobs: List[BatchJob],
         shard: Union[int, str, None],
         point_timeout: Optional[float],
+        max_concurrent: Optional[int] = None,
     ) -> Iterator[BatchResult]:
         """The dispatch body of :meth:`run_iter` (one run's worth)."""
         requested = self.max_workers
@@ -1218,15 +1247,20 @@ class BatchRunner:
                 self._shard_count(job, shard, requested, len(jobs))
                 for job in jobs
             ]
-            if requested > 1 else [0] * len(jobs)
+            if requested > 1 and max_concurrent is None
+            else [0] * len(jobs)
         )
         # mode="search" jobs fan their islands across the pool under
         # the same policy as auto-sharding: only when jobs are scarcer
         # than workers (otherwise job-level parallelism already
         # saturates the pool).  Island results are bit-identical to
         # inline execution, so this is pure execution strategy.
+        # A max_concurrent cap suppresses both fan-outs: one point
+        # spraying shard/island tasks across the pool is exactly the
+        # monopolisation the cap exists to prevent.
         search_fan = [
             requested > 1 and self.share_tables
+            and max_concurrent is None
             and len(jobs) < requested
             and self._job_search_mode(job)
             for job in jobs
@@ -1268,7 +1302,7 @@ class BatchRunner:
                 try:
                     for result in self._dispatch_pool(
                         jobs, shard_counts, search_fan, pool, emitted,
-                        point_timeout,
+                        point_timeout, max_concurrent,
                     ):
                         emitted += 1
                         yield result
@@ -1363,6 +1397,7 @@ class BatchRunner:
         pool: ProcessPoolExecutor,
         skip: int,
         point_timeout: Optional[float],
+        max_concurrent: Optional[int] = None,
     ) -> Iterator[BatchResult]:
         """Dispatch ``jobs[skip:]`` over ``pool``, yielding in order.
 
@@ -1427,7 +1462,7 @@ class BatchRunner:
                     if index < len(self.last_run_telemetry):
                         self.last_run_telemetry[index] = merged
                     yield result
-        elif point_timeout is None:
+        elif point_timeout is None and max_concurrent is None:
             items = [
                 (jobs[index], descriptors[index], index)
                 for index in remaining
@@ -1442,18 +1477,34 @@ class BatchRunner:
                 yield result
         else:
             # Deadline enforcement needs per-point futures (map has
-            # no per-result timeout); submission order is preserved.
-            submitted = [
-                (index, pool.submit(
-                    _pool_worker,
-                    (jobs[index], descriptors[index], index),
-                ))
-                for index in remaining
-            ]
-            for index, future in submitted:
+            # no per-result timeout), and a concurrency cap needs
+            # windowed submission; both keep results in job order.
+            # An uncapped window equals the old submit-all path.
+            window = (
+                len(remaining) if max_concurrent is None
+                else max_concurrent
+            )
+            pending: List[Tuple[int, "Future[Any]"]] = []
+            cursor = 0
+
+            def _fill() -> None:
+                nonlocal cursor
+                while len(pending) < window \
+                        and cursor < len(remaining):
+                    index = remaining[cursor]
+                    cursor += 1
+                    pending.append((index, pool.submit(
+                        _pool_worker,
+                        (jobs[index], descriptors[index], index),
+                    )))
+
+            _fill()
+            while pending:
+                index, future = pending.pop(0)
                 result, fallbacks, telemetry = self._await_point(
                     future, jobs[index], point_timeout
                 )
+                _fill()
                 self._fallbacks(fallbacks)
                 if telemetry is not None:
                     self._absorb_job(index, telemetry)
@@ -1820,6 +1871,7 @@ class BatchRunner:
         jobs: Sequence[BatchJob],
         shard: Union[int, str, None] = None,
         point_timeout: Union[int, float, None] = None,
+        max_concurrent: Optional[int] = None,
     ) -> List[BatchResult]:
         """Evaluate ``jobs``, returning one result per job, in order.
 
@@ -1832,7 +1884,8 @@ class BatchRunner:
         :class:`~repro.analysis.sweep.SweepPoint`.
         """
         return list(self.run_iter(
-            jobs, shard=shard, point_timeout=point_timeout
+            jobs, shard=shard, point_timeout=point_timeout,
+            max_concurrent=max_concurrent,
         ))
 
     def run_grid(

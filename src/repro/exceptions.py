@@ -72,6 +72,50 @@ class ServiceError(ReproError):
     """
 
 
+class ServiceRejectionError(ServiceError):
+    """A request was *refused by policy*, not failed by a bug.
+
+    The typed rejection family of the multi-tenant service: every
+    subclass carries a stable machine-readable ``code`` (what the IPC
+    layer puts in the response's ``code`` field) and an optional
+    ``retry_after`` hint in seconds.  Rejections are deliberate,
+    deterministic answers — never dropped connections, never
+    tracebacks — so clients can distinguish "fix your credentials"
+    (:class:`UnauthorizedError`), "you are over *your* limit"
+    (:class:`QuotaExceededError`, retrying later helps once your own
+    jobs drain) and "the *server* is saturated"
+    (:class:`OverloadedError`, back off for ``retry_after``).
+    """
+
+    code = "rejected"
+
+    def __init__(
+        self, message: str, retry_after: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class UnauthorizedError(ServiceRejectionError):
+    """The request's bearer token is missing, unknown, or names a
+    client that may not touch the addressed job."""
+
+    code = "unauthorized"
+
+
+class QuotaExceededError(ServiceRejectionError):
+    """The client's own quota (queued jobs, grid size) is exhausted."""
+
+    code = "over_quota"
+
+
+class OverloadedError(ServiceRejectionError):
+    """The server's bounded admission queue is full and the request
+    lost the shedding decision; retry after ``retry_after`` seconds."""
+
+    code = "overloaded"
+
+
 class ServiceTransportError(ServiceError):
     """The service *connection* failed, not the request.
 

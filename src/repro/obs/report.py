@@ -219,7 +219,7 @@ def render_report(report: Dict[str, Any]) -> str:
     view = report["view"]
     if view == "runs":
         table = TextTable(
-            ["run", "campaign", "source", "job", "mode", "gap",
+            ["run", "campaign", "source", "client", "job", "mode", "gap",
              "seed", "points", "failures", "recorded"],
             title="warehouse runs",
         )
@@ -230,6 +230,7 @@ def render_report(report: Dict[str, Any]) -> str:
                 run["run_id"],
                 _short(run["key"]),
                 run["source"],
+                run.get("client") or "-",
                 run["job_id"] or "-",
                 run.get("mode", "-"),
                 "-" if worst_gap is None else f"{worst_gap:.2%}",

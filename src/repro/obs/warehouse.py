@@ -52,7 +52,11 @@ __all__ = ["RunWarehouse", "WAREHOUSE_FILENAME", "warehouse_for"]
 WAREHOUSE_FILENAME = "warehouse.sqlite"
 
 #: Bump on any table-shape change; the store refuses newer files.
-WAREHOUSE_SCHEMA = 1
+#: Version history: 1 — runs/points/spans; 2 — ``runs.client`` (the
+#: submitting tenant, multi-tenant serving).  v1 files are migrated
+#: in place on first v2 write (additive ``ALTER TABLE``, old rows
+#: read back with ``client = NULL``).
+WAREHOUSE_SCHEMA = 2
 
 _CREATE = (
     """
@@ -66,6 +70,7 @@ _CREATE = (
         key TEXT NOT NULL,
         job_id TEXT,
         source TEXT NOT NULL,
+        client TEXT,
         created_at REAL NOT NULL,
         num_points INTEGER NOT NULL,
         num_failures INTEGER NOT NULL,
@@ -146,6 +151,8 @@ class RunWarehouse:
                         (WAREHOUSE_SCHEMA,),
                     )
                     row = {"schema": WAREHOUSE_SCHEMA}
+                elif row["schema"] == 1:
+                    row = {"schema": self._migrate_v1(connection)}
         else:
             try:
                 row = connection.execute(
@@ -158,6 +165,12 @@ class RunWarehouse:
                 raise ValidationError(
                     f"{self.path} is not a run warehouse"
                 )
+            if row["schema"] == 1:
+                # A v1 file is still fully readable by v2 queries
+                # once the additive column exists; migrate in place
+                # even on the read path so one code path serves both.
+                with connection:
+                    row = {"schema": self._migrate_v1(connection)}
         if row["schema"] != WAREHOUSE_SCHEMA:
             connection.close()
             raise ValidationError(
@@ -165,6 +178,29 @@ class RunWarehouse:
                 f"this build reads version {WAREHOUSE_SCHEMA}"
             )
         return connection
+
+    @staticmethod
+    def _migrate_v1(connection: sqlite3.Connection) -> int:
+        """Upgrade a schema-1 file in place: add ``runs.client``.
+
+        Purely additive — every existing row keeps its bytes, old
+        runs read back with ``client = NULL`` ("recorded before
+        tenancy"), and the file is never copied.  Caller holds a
+        transaction.
+        """
+        columns = {
+            row["name"] for row in connection.execute(
+                "PRAGMA table_info(runs)"
+            )
+        }
+        if "client" not in columns:
+            connection.execute(
+                "ALTER TABLE runs ADD COLUMN client TEXT"
+            )
+        connection.execute(
+            "UPDATE meta SET schema = ?", (WAREHOUSE_SCHEMA,)
+        )
+        return WAREHOUSE_SCHEMA
 
     # ------------------------------------------------------------------
     # Writes
@@ -175,6 +211,7 @@ class RunWarehouse:
         payload: Dict[str, Any],
         job_id: Optional[str] = None,
         source: str = "batch",
+        client: Optional[str] = None,
         metrics: Optional[Dict[str, Any]] = None,
         point_telemetry: Optional[
             Sequence[Optional[TaskTelemetry]]
@@ -191,7 +228,9 @@ class RunWarehouse:
         byte-identically.  ``point_telemetry`` aligns with
         ``payload["points"]`` (``None`` entries allowed);
         ``run_spans`` carries grid-level spans with no single point
-        to hang on (matrix builds, publishes).
+        to hang on (matrix builds, publishes).  ``client`` is the
+        submitting tenant (multi-tenant service runs); ``None`` for
+        local batch runs and pre-tenancy writers.
         """
         points = list(payload.get("points", []))
         failures = list(payload.get("failures", []))
@@ -200,11 +239,11 @@ class RunWarehouse:
         assert connection is not None
         with closing(connection), connection:
             cursor = connection.execute(
-                "INSERT INTO runs (key, job_id, source, created_at,"
-                " num_points, num_failures, metrics)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO runs (key, job_id, source, client,"
+                " created_at, num_points, num_failures, metrics)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 (
-                    key, job_id, source, stamp,
+                    key, job_id, source, client, stamp,
                     len(points), len(failures),
                     _json_or_none(metrics),
                 ),
@@ -328,7 +367,7 @@ class RunWarehouse:
         if connection is None:
             return []
         query = (
-            "SELECT run_id, key, job_id, source, created_at,"
+            "SELECT run_id, key, job_id, source, client, created_at,"
             " num_points, num_failures, metrics FROM runs"
         )
         params: Tuple[Any, ...] = ()
@@ -571,6 +610,7 @@ def _run_row(row: sqlite3.Row) -> Dict[str, Any]:
         "key": row["key"],
         "job_id": row["job_id"],
         "source": row["source"],
+        "client": row["client"],
         "created_at": float(row["created_at"]),
         "num_points": int(row["num_points"]),
         "num_failures": int(row["num_failures"]),

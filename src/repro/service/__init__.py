@@ -23,7 +23,12 @@ waste the interactive workload actually pays for:
   client behind ``repro-tam submit``;
 * :mod:`~repro.service.journal` — :class:`JobJournal`, the durable
   submission journal that makes accepted jobs survive a server
-  crash: replayed (deduplicated by canonical key) on the next start.
+  crash: replayed (deduplicated by canonical key) on the next start;
+* :mod:`~repro.service.tenancy` — the multi-tenant layer: bearer
+  :class:`TokenRegistry` (``tokens.json``), per-client
+  :class:`QuotaPolicy` and :class:`ClientIdentity`, and the
+  priority-aware bounded :class:`AdmissionQueue` the server drains
+  with weighted-fair scheduling and sheds under overload.
 
 Result memoization is keyed by the grid's canonical content hash
 (:meth:`repro.api.GridSpec.canonical_key`) and — when a cache
@@ -41,6 +46,14 @@ from repro.service.server import (
     grid_payload,
 )
 from repro.service.store import GridMemo, TableStore
+from repro.service.tenancy import (
+    ANONYMOUS_CLIENT,
+    AdmissionQueue,
+    ClientAccount,
+    ClientIdentity,
+    QuotaPolicy,
+    TokenRegistry,
+)
 
 __all__ = [
     "TableStore",
@@ -53,4 +66,10 @@ __all__ = [
     "IPCServer",
     "ServiceClient",
     "run_grid_remotely",
+    "TokenRegistry",
+    "QuotaPolicy",
+    "ClientIdentity",
+    "ClientAccount",
+    "AdmissionQueue",
+    "ANONYMOUS_CLIENT",
 ]

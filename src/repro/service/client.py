@@ -27,12 +27,42 @@ from repro.api.envelopes import PROTOCOL_VERSION, JobEvent
 from repro.api.specs import DEFAULT_MAX_TAMS, GridSpec
 from repro.exceptions import (
     ConfigurationError,
+    OverloadedError,
+    QuotaExceededError,
     ServiceError,
     ServiceTransportError,
+    UnauthorizedError,
 )
 from repro.retry import backoff_schedule
 
 logger = logging.getLogger(__name__)
+
+#: Typed rejection classes by the machine-readable ``code`` field a
+#: server puts on policy refusals; anything else stays a plain
+#: :class:`~repro.exceptions.ServiceError`.
+_REJECTION_TYPES = {
+    "unauthorized": UnauthorizedError,
+    "over_quota": QuotaExceededError,
+    "overloaded": OverloadedError,
+}
+
+
+def _response_error(response: Any) -> ServiceError:
+    """The exception an ``ok: false`` response line decodes to."""
+    message = "request failed"
+    code: Optional[str] = None
+    retry_after: Optional[float] = None
+    if isinstance(response, dict):
+        message = str(response.get("error", message))
+        code = response.get("code")
+        raw_retry = response.get("retry_after")
+        if isinstance(raw_retry, (int, float)) \
+                and not isinstance(raw_retry, bool):
+            retry_after = float(raw_retry)
+    rejection = _REJECTION_TYPES.get(code or "")
+    if rejection is not None:
+        return rejection(message, retry_after=retry_after)
+    return ServiceError(message)
 
 
 class ServiceClient:
@@ -47,6 +77,19 @@ class ServiceClient:
         Socket timeout in seconds for connect and for each response.
         Blocking ``wait`` calls bump it by their own timeout so the
         socket never fires first.
+    token:
+        Bearer token attached to every request — required when the
+        server runs with ``--auth``.  The server resolves it to a
+        client identity with a priority class and quota.
+    priority:
+        Default priority class for submissions (``high`` / ``normal``
+        / ``low``); a client may lower, never raise, its registered
+        class.  ``None`` submits at the registered class.
+    overload_retries:
+        How many times :meth:`submit_grid` transparently retries a
+        typed ``overloaded`` rejection, honoring the server's
+        ``retry_after`` hint between attempts.  ``0`` surfaces the
+        first :class:`~repro.exceptions.OverloadedError` directly.
     """
 
     def __init__(
@@ -54,10 +97,16 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float = 30.0,
+        token: Optional[str] = None,
+        priority: Optional[str] = None,
+        overload_retries: int = 3,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.token = token
+        self.priority = priority
+        self.overload_retries = max(0, int(overload_retries))
         self._connect()
 
     def _connect(self) -> None:
@@ -89,8 +138,14 @@ class ServiceClient:
 
         The raw escape hatch the typed methods build on; raises
         :class:`~repro.exceptions.ServiceError` on transport failure,
-        undecodable responses, or an ``ok: false`` answer.
+        undecodable responses, or an ``ok: false`` answer — typed
+        rejections (``unauthorized`` / ``over_quota`` /
+        ``overloaded``) decode to their
+        :class:`~repro.exceptions.ServiceRejectionError` subclasses.
+        The client's bearer token, when set, rides on every request.
         """
+        if self.token is not None and "token" not in request:
+            request = dict(request, token=self.token)
         payload = json.dumps(request) + "\n"
         try:
             self._sock.sendall(payload.encode("utf-8"))
@@ -114,10 +169,7 @@ class ServiceClient:
                 f"undecodable service response: {error}"
             ) from error
         if not isinstance(response, dict) or not response.get("ok"):
-            message = "request failed"
-            if isinstance(response, dict):
-                message = str(response.get("error", message))
-            raise ServiceError(message)
+            raise _response_error(response)
         return response
 
     def close(self) -> None:
@@ -142,22 +194,58 @@ class ServiceClient:
         """Liveness check; returns the server's counters."""
         return self.call({"op": "ping"})
 
-    def submit_grid(self, grid: GridSpec) -> str:
+    def submit_grid(
+        self, grid: GridSpec, priority: Optional[str] = None
+    ) -> str:
         """Submit one typed :class:`repro.api.GridSpec`; returns the
         job ID.
 
-        The protocol-v2 canonical submission: the spec serializes
+        The protocol canonical submission: the spec serializes
         through its schema-versioned ``to_dict`` and is re-validated
         server-side, and its canonical content key is what the
         server memoizes on — in memory and, with a ``--cache-dir``,
-        across restarts.
+        across restarts.  ``priority`` (default: the client's
+        configured class) may lower the submission below the
+        client's registered priority.
+
+        A typed ``overloaded`` rejection is retried transparently up
+        to ``overload_retries`` times, sleeping the server's
+        ``retry_after`` hint between attempts — callers see either a
+        job id or the final :class:`~repro.exceptions.
+        OverloadedError`, never the intermediate ones.
         """
-        request = {
+        request: Dict[str, Any] = {
             "v": PROTOCOL_VERSION,
             "op": "submit",
             "spec": grid.to_dict(),
         }
-        return str(self.call(request)["job"])
+        if priority is None:
+            priority = self.priority
+        if priority is not None:
+            request["priority"] = priority
+        # Deterministic fallback delays for overloaded servers that
+        # (version skew) sent no retry_after hint.
+        fallback = backoff_schedule(
+            max(1, self.overload_retries), base=0.25, cap=5.0
+        )
+        attempts = self.overload_retries + 1
+        for attempt in range(attempts):
+            try:
+                return str(self.call(request)["job"])
+            except OverloadedError as error:
+                if attempt + 1 >= attempts:
+                    raise
+                delay = (
+                    error.retry_after
+                    if error.retry_after is not None
+                    else fallback[attempt % len(fallback)]
+                )
+                logger.warning(
+                    "server overloaded; retrying submit in %.2fs "
+                    "(attempt %d/%d)", delay, attempt + 1, attempts,
+                )
+                _time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def submit(
         self,
@@ -167,6 +255,7 @@ class ServiceClient:
         bmax: Optional[int] = None,
         options: Optional[Dict[str, Any]] = None,
         shard: Union[int, str, None] = None,
+        priority: Optional[str] = None,
     ) -> str:
         """Submit a SOCs × widths grid; returns the job ID.
 
@@ -195,7 +284,7 @@ class ServiceClient:
         return self.submit_grid(GridSpec.from_axes(
             socs, widths, num_tams=num_tams, options=options,
             runner=runner,
-        ))
+        ), priority=priority)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """Status snapshot of ``job_id``."""
@@ -235,6 +324,8 @@ class ServiceClient:
             "op": "events",
             "job": job_id,
         }
+        if self.token is not None:
+            request["token"] = self.token
         if start:
             request["from"] = int(start)
         if timeout is not None:
@@ -272,10 +363,7 @@ class ServiceClient:
                     ) from error
                 if not isinstance(response, dict) \
                         or not response.get("ok"):
-                    message = "request failed"
-                    if isinstance(response, dict):
-                        message = str(response.get("error", message))
-                    raise ServiceError(message)
+                    raise _response_error(response)
                 if "event" in response:
                     # Validate through the typed envelope before
                     # handing the record to callers: a server pushing

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import json
 import logging
+import socket
 import socketserver
 import threading
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
@@ -68,11 +69,29 @@ from repro.api.envelopes import JobRequest
 from repro.api.specs import DEFAULT_MAX_TAMS
 from repro.engine.batch import BatchJob
 from repro.engine.faults import FaultPlan
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    ReproError,
+    ServiceRejectionError,
+    UnauthorizedError,
+)
 from repro.service.server import ExplorationServer, grid_payload
+from repro.service.tenancy import ClientIdentity
 from repro.soc.loader import load_source
 
 logger = logging.getLogger(__name__)
+
+#: Hard cap on one request line (bytes).  A line-oriented protocol
+#: read unbounded is a trivial memory DoS — one peer streaming a
+#: newline-free gigabyte used to buffer forever.  1 MiB comfortably
+#: holds the largest real submission (a v2 spec with hundreds of
+#: sources) while bounding the worst case.
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
+
+#: Per-connection read deadline (seconds): a peer that opens a
+#: connection and never finishes a line is answered with a typed
+#: ``stalled`` error and dropped, instead of pinning a handler
+#: thread forever.
+DEFAULT_READ_TIMEOUT = 600.0
 
 
 def jobs_from_request(request: Dict[str, Any]) -> List[BatchJob]:
@@ -176,6 +195,31 @@ def _event_stream(
         yield {"ok": False, "error": str(error), **tag}
 
 
+def _check_job_access(
+    exploration: ExplorationServer,
+    client: ClientIdentity,
+    job_id: str,
+) -> None:
+    """Job-scoped ops touch only the caller's own jobs under auth.
+
+    With auth off every identity is anonymous and every job is
+    anonymous-owned, so this never fires — the open single-trust
+    service is unchanged.  Unknown job ids raise the usual
+    :class:`~repro.exceptions.ServiceError` from :meth:`record`
+    *before* the ownership check, deliberately: probing for another
+    tenant's job ids learns nothing new (ids are sequential anyway),
+    while a misaddressed request gets the accurate answer.
+    """
+    if exploration.token_registry is None:
+        return
+    record = exploration.record(job_id)
+    if record.client_id != client.client_id:
+        exploration.note_rejection(client, "unauthorized")
+        raise UnauthorizedError(
+            f"job {job_id} belongs to another client"
+        )
+
+
 def handle_request(
     exploration: ExplorationServer, request: Dict[str, Any]
 ) -> Tuple[Union[Dict[str, Any], Iterable[Dict[str, Any]]], bool]:
@@ -200,18 +244,29 @@ def handle_request(
         op = envelope.op
         job_id = str(envelope.job_id)
         if op == "ping":
+            # Liveness stays unauthenticated — health checks must
+            # not need credentials.
             return {
                 "ok": True, "pong": True, **exploration.info(), **tag,
             }, False
+        # Every other op runs as an authenticated identity (or the
+        # anonymous one when auth is off) — resolved once, here.
+        client = exploration.authenticate(envelope.token)
         if op == "submit":
             if envelope.spec is not None:
                 # v2 typed path: the GridSpec was schema-validated by
                 # the envelope decode (bad specs answer ok:false
                 # before anything is enqueued).
-                record = exploration.submit(envelope.spec)
+                record = exploration.submit(
+                    envelope.spec,
+                    client=client,
+                    priority=envelope.priority,
+                )
             else:
                 record = exploration.submit(
-                    jobs_from_request(envelope.extra_dict())
+                    jobs_from_request(envelope.extra_dict()),
+                    client=client,
+                    priority=envelope.priority,
                 )
             return {
                 "ok": True,
@@ -222,12 +277,15 @@ def handle_request(
                 **tag,
             }, False
         if op == "status":
+            _check_job_access(exploration, client, job_id)
             snapshot = exploration.status(job_id)
             return {"ok": True, **snapshot, **tag}, False
         if op == "wait":
+            _check_job_access(exploration, client, job_id)
             record = exploration.wait(job_id, timeout=envelope.timeout)
             return {"ok": True, **record.snapshot(), **tag}, False
         if op == "result":
+            _check_job_access(exploration, client, job_id)
             payload = exploration.result_payload(job_id)
             record = exploration.record(job_id)
             return {
@@ -237,7 +295,9 @@ def handle_request(
                 **tag,
             }, False
         if op == "events":
-            exploration.record(job_id)  # unknown IDs fail up front
+            # Unknown IDs and foreign jobs fail up front, before the
+            # stream starts.
+            _check_job_access(exploration, client, job_id)
             return _event_stream(
                 exploration,
                 job_id,
@@ -246,11 +306,25 @@ def handle_request(
                 tag,
             ), False
         if op == "cancel":
+            _check_job_access(exploration, client, job_id)
             cancelled = exploration.cancel(job_id)
             return {"ok": True, "cancelled": cancelled, **tag}, False
         if op == "shutdown":
             return {"ok": True, "bye": True, **tag}, True
         raise ReproError(f"unknown op {op!r}")
+    except ServiceRejectionError as error:
+        # Policy refusals are first-class answers: a stable machine
+        # code and (for overload) a retry hint, never a dropped
+        # connection or a traceback.
+        response: Dict[str, Any] = {
+            "ok": False,
+            "error": str(error),
+            "code": error.code,
+            **tag,
+        }
+        if error.retry_after is not None:
+            response["retry_after"] = error.retry_after
+        return response, False
     except ReproError as error:
         return {"ok": False, "error": str(error), **tag}, False
     except (ValueError, TypeError, KeyError, OSError) as error:
@@ -270,11 +344,68 @@ def handle_request(
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: newline-delimited JSON requests in, out."""
+    """One connection: newline-delimited JSON requests in, out.
+
+    Two transport-level guards (the rest of validation lives in
+    :func:`handle_request`): a request line longer than the server's
+    ``max_request_bytes`` is answered with a typed ``oversized``
+    error and the connection closed (the line cannot be resynced
+    mid-stream), and a peer that stalls mid-line past
+    ``read_timeout`` gets a typed ``stalled`` error and is dropped —
+    neither ever buffers unbounded input or pins a handler thread.
+    """
 
     def handle(self) -> None:
         """Serve requests until the peer closes or asks for shutdown."""
-        for raw in self.rfile:
+        exploration = self.server.exploration  # type: ignore[attr-defined]
+        max_bytes = self.server.max_request_bytes  # type: ignore[attr-defined]
+        read_timeout = self.server.read_timeout  # type: ignore[attr-defined]
+        if read_timeout is not None:
+            self.connection.settimeout(read_timeout)
+        while True:
+            try:
+                raw = self.rfile.readline(max_bytes + 1)
+            except socket.timeout:
+                exploration.runner.metrics.counter(
+                    "ipc.stalled_connections"
+                ).inc()
+                logger.warning(
+                    "dropping stalled connection from %s "
+                    "(no complete request in %gs)",
+                    self.client_address, read_timeout,
+                )
+                self._reply({
+                    "ok": False,
+                    "error": (
+                        f"no complete request line within "
+                        f"{read_timeout:g}s"
+                    ),
+                    "code": "stalled",
+                })
+                return
+            except OSError:
+                return  # peer vanished mid-read
+            if not raw:
+                return  # orderly close
+            if len(raw) > max_bytes:
+                exploration.runner.metrics.counter(
+                    "ipc.oversized_requests"
+                ).inc()
+                logger.warning(
+                    "rejected oversized request from %s "
+                    "(> %d bytes)",
+                    self.client_address, max_bytes,
+                )
+                self._reply({
+                    "ok": False,
+                    "error": (
+                        f"request line exceeds {max_bytes} bytes"
+                    ),
+                    "code": "oversized",
+                })
+                # The rest of the over-long line is unread; there is
+                # no way back to a line boundary, so close.
+                return
             line = raw.strip()
             if not line:
                 continue
@@ -282,17 +413,14 @@ class _Handler(socketserver.StreamRequestHandler):
                 request = json.loads(line)
                 if not isinstance(request, dict):
                     raise ValueError("request must be a JSON object")
-            except ValueError as error:
+            except ValueError as error:  # repro: allow[RPR008] request loop, not a retry: one iteration per client request, bounded by the read deadline
                 logger.warning(
                     "rejected undecodable request from %s: %s",
                     self.client_address, error,
                 )
                 self._reply({"ok": False, "error": f"bad request: {error}"})
                 continue
-            response, stop = handle_request(
-                self.server.exploration,  # type: ignore[attr-defined]
-                request,
-            )
+            response, stop = handle_request(exploration, request)
             if isinstance(response, dict):
                 self._reply(response)
             else:
@@ -310,9 +438,15 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
 
     def _reply(self, response: Dict[str, Any]) -> None:
-        payload = json.dumps(response, sort_keys=True)
-        self.wfile.write(payload.encode("utf-8") + b"\n")
-        self.wfile.flush()
+        try:
+            payload = json.dumps(response, sort_keys=True)
+            self.wfile.write(payload.encode("utf-8") + b"\n")
+            self.wfile.flush()
+        except OSError:
+            # The peer is gone; the enclosing loop exits on its next
+            # read.  A reply to a dead socket must not kill the
+            # handler with a traceback.
+            pass
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -322,10 +456,16 @@ class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
     def __init__(
-        self, address: Tuple[str, int], exploration: ExplorationServer
+        self,
+        address: Tuple[str, int],
+        exploration: ExplorationServer,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
     ) -> None:
         super().__init__(address, _Handler)
         self.exploration = exploration
+        self.max_request_bytes = max_request_bytes
+        self.read_timeout = read_timeout
 
     def initiate_shutdown(self) -> None:
         """Stop the listener (from a handler thread) and the service."""
@@ -346,6 +486,13 @@ class IPCServer:
     host / port:
         Bind address.  Port ``0`` (default) lets the OS pick a free
         port — read it back from :attr:`address`.
+    max_request_bytes:
+        Cap on one request line; longer lines are answered with a
+        typed ``oversized`` error and the connection closed.
+    read_timeout:
+        Per-connection read deadline (seconds); a peer with no
+        complete request line within it is answered with a typed
+        ``stalled`` error and dropped.  ``None`` disables.
     """
 
     def __init__(
@@ -353,9 +500,15 @@ class IPCServer:
         exploration: ExplorationServer,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        read_timeout: Optional[float] = DEFAULT_READ_TIMEOUT,
     ) -> None:
         self.exploration = exploration
-        self._tcp = _ThreadingTCPServer((host, port), exploration)
+        self._tcp = _ThreadingTCPServer(
+            (host, port), exploration,
+            max_request_bytes=max_request_bytes,
+            read_timeout=read_timeout,
+        )
         self._thread: Optional[threading.Thread] = None
 
     @property

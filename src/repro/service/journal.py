@@ -47,13 +47,22 @@ JOURNAL_NAME = "journal.jsonl"
 
 @dataclass(frozen=True)
 class JournalEntry:
-    """One open (submitted, not yet terminal) journal record."""
+    """One open (submitted, not yet terminal) journal record.
+
+    ``client_id``/``priority`` carry the submitting tenant so a
+    replay after a crash restores per-client accounting, not just the
+    work itself.  Absent on pre-tenancy journals — replay then runs
+    the entry as the anonymous client, which is exactly what those
+    servers did.
+    """
 
     job_id: str
     key: Optional[str]
     spec: Optional[Dict[str, Any]]
     shard: Optional[Any] = None
     point_timeout: Optional[float] = None
+    client_id: Optional[str] = None
+    priority: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """The ``submitted`` line this entry serializes to."""
@@ -67,6 +76,10 @@ class JournalEntry:
             record["shard"] = self.shard
         if self.point_timeout is not None:
             record["point_timeout"] = self.point_timeout
+        if self.client_id is not None:
+            record["client"] = self.client_id
+        if self.priority is not None:
+            record["priority"] = self.priority
         return record
 
 
@@ -90,6 +103,9 @@ class JobJournal:
         self._lock = threading.Lock()
         self._handle: Optional[Any] = None
         self._unsynced = 0
+        self._appends_since_compact = 0
+        self.compactions = 0
+        self.last_replay_lines = 0
 
     # -- appends ------------------------------------------------------
 
@@ -125,6 +141,7 @@ class JobJournal:
             self._handle.write(line + "\n")
             self._handle.flush()
             self._unsynced += 1
+            self._appends_since_compact += 1
             if sync or self._unsynced >= self._fsync_every:
                 os.fsync(self._handle.fileno())
                 self._unsynced = 0
@@ -138,6 +155,7 @@ class JobJournal:
         dying mid-append) is dropped silently; any other undecodable
         line is skipped with a warning.
         """
+        self.last_replay_lines = 0
         if not self.path.exists():
             return []
         try:
@@ -155,6 +173,7 @@ class JobJournal:
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
+            self.last_replay_lines += 1
             try:
                 record = json.loads(line)
                 if not isinstance(record, dict):
@@ -171,12 +190,22 @@ class JobJournal:
                 continue
             if kind == "submitted":
                 spec = record.get("spec")
+                client_id = record.get("client")
+                priority = record.get("priority")
                 open_entries[job_id] = JournalEntry(
                     job_id=job_id,
                     key=record.get("key"),
                     spec=spec if isinstance(spec, dict) else None,
                     shard=record.get("shard"),
                     point_timeout=record.get("point_timeout"),
+                    client_id=(
+                        str(client_id) if client_id is not None
+                        else None
+                    ),
+                    priority=(
+                        str(priority) if priority is not None
+                        else None
+                    ),
                 )
             elif kind in ("terminal", "replayed"):
                 open_entries.pop(job_id, None)
@@ -209,6 +238,29 @@ class JobJournal:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, self.path)
+            self._appends_since_compact = 0
+            self.compactions += 1
+
+    def compact_if_needed(
+        self, open_entries: List[JournalEntry], threshold: int
+    ) -> bool:
+        """Compact when the journal has grown past ``threshold`` lines.
+
+        The trigger is dead weight, not size: at startup the line
+        count just replayed, at runtime the appends since the last
+        compaction — either way a journal holding at most
+        ``threshold`` live-or-settled lines is left alone, so steady
+        low-traffic servers never pay the rewrite.  Returns whether a
+        compaction ran.
+        """
+        grown = max(
+            self.last_replay_lines, self._appends_since_compact
+        )
+        if grown <= max(0, int(threshold)):
+            return False
+        self.compact(open_entries)
+        self.last_replay_lines = 0
+        return True
 
     def close(self) -> None:
         """Flush, fsync, and release the append handle."""

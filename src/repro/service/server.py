@@ -28,7 +28,6 @@ line-oriented JSON socket in front of it and
 from __future__ import annotations
 
 import logging
-import queue
 import threading
 import time
 from dataclasses import dataclass, field
@@ -55,25 +54,53 @@ from repro.engine.batch import (
     normalize_point_timeout,
     split_results,
 )
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import (
+    OverloadedError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+    ServiceRejectionError,
+    UnauthorizedError,
+)
 from repro.obs.warehouse import RunWarehouse, warehouse_for
 from repro.report.serialize import (
     failed_point_to_dict,
     sweep_point_to_dict,
 )
+from repro.retry import backoff_schedule
 from repro.service.journal import JOURNAL_NAME, JobJournal, JournalEntry
 from repro.service.store import GridMemo
+from repro.service.tenancy import (
+    ANONYMOUS_CLIENT,
+    AdmissionQueue,
+    ClientAccount,
+    ClientIdentity,
+    PRIORITIES,
+    TOKENS_NAME,
+    TokenRegistry,
+    priority_rank,
+)
 
 logger = logging.getLogger(__name__)
 
 #: Job lifecycle states, in order of progress.  ``cancelled`` is
 #: reachable only from ``queued`` — a running grid is not interrupted.
+#: ``shed`` is the overload variant of ``cancelled``: a queued job
+#: evicted by the admission controller to make room for
+#: higher-priority work when the bounded queue is full.
 JOB_STATUSES: Tuple[str, ...] = (
-    "queued", "running", "done", "failed", "cancelled",
+    "queued", "running", "done", "failed", "cancelled", "shed",
 )
 
 #: States from which a job record will never change again.
-TERMINAL_STATUSES: Tuple[str, ...] = ("done", "failed", "cancelled")
+TERMINAL_STATUSES: Tuple[str, ...] = (
+    "done", "failed", "cancelled", "shed",
+)
+
+#: Consecutive-overload backoff hints (seconds): the ``retry_after``
+#: a rejected client is told grows with each back-to-back overload
+#: rejection and resets once any submission is admitted again.
+_RETRY_AFTER = backoff_schedule(6, base=0.25, cap=5.0)
 
 
 def grid_payload(
@@ -188,6 +215,14 @@ class JobRecord:
     #: submission's runner options; like ``shard``, pure execution
     #: strategy excluded from ``key``.
     point_timeout: Optional[float] = None
+    #: The submitting tenant and the priority class this job drains
+    #: at.  Execution policy only — neither is part of ``key``, so
+    #: identical grids memo-hit across clients.
+    client_id: str = "anonymous"
+    priority: str = "normal"
+    #: Per-client concurrency ceiling (grid points in flight on the
+    #: pool at once) from the client's quota; ``None`` = uncapped.
+    max_concurrent: Optional[int] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -214,6 +249,8 @@ class JobRecord:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "client": self.client_id,
+            "priority": self.priority,
         }
         if self.results is not None:
             points, failures = split_results(self.results)
@@ -260,6 +297,26 @@ class ExplorationServer:
         memory stays flat.  Queued and running jobs are never
         evicted, and an evicted grid's results remain answerable
         from the persisted memo when a ``cache_dir`` is configured.
+    require_auth:
+        Enable the tenancy layer: submissions must authenticate via
+        a bearer token resolved against ``tokens_path``.  Off by
+        default — the anonymous single-trust service is unchanged.
+    tokens_path:
+        The ``tokens.json`` registry (see
+        :class:`repro.service.tenancy.TokenRegistry`).  Defaults to
+        ``tokens.json`` next to the cache directory; required (here
+        or via ``cache_dir``) when ``require_auth`` is set.
+    max_queue_depth:
+        Bound on the total admission queue.  When full, an arriving
+        submission either sheds the newest queued job of a strictly
+        lower priority class or is rejected with a typed
+        :class:`~repro.exceptions.OverloadedError` carrying a
+        ``retry_after`` hint.  ``None`` (default) = unbounded.
+    journal_compact_threshold:
+        Compact the job journal at startup when replay folded more
+        than this many lines (and count compactions in
+        ``info()['health']``).  ``0`` compacts whenever the journal
+        is non-trivial.
     """
 
     def __init__(
@@ -270,6 +327,10 @@ class ExplorationServer:
         retries: int = 0,
         share_tables: bool = True,
         max_records: Optional[int] = None,
+        require_auth: bool = False,
+        tokens_path: Union[str, Path, None] = None,
+        max_queue_depth: Optional[int] = None,
+        journal_compact_threshold: int = 256,
     ) -> None:
         if runner is None:
             runner = BatchRunner(
@@ -312,15 +373,35 @@ class ExplorationServer:
             self.journal = JobJournal(
                 Path(self.runner.cache_dir) / JOURNAL_NAME
             )
+        #: Tenancy: the token registry (when auth is on), per-client
+        #: live accounting, and the priority-classed admission queue
+        #: replacing the old FIFO.
+        self.token_registry: Optional[TokenRegistry] = None
+        if require_auth:
+            if tokens_path is None:
+                if self.runner.cache_dir is None:
+                    raise ServiceError(
+                        "require_auth needs a tokens_path (or a "
+                        "cache_dir to find tokens.json next to)"
+                    )
+                tokens_path = (
+                    Path(self.runner.cache_dir) / TOKENS_NAME
+                )
+            self.token_registry = TokenRegistry.load(tokens_path)
+        self.require_auth = require_auth
+        self.journal_compact_threshold = int(journal_compact_threshold)
         self._records: Dict[str, JobRecord] = {}
         self._memo: Dict[str, str] = {}
-        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._queue = AdmissionQueue(max_depth=max_queue_depth)
+        self._accounts: Dict[str, ClientAccount] = {}
+        self._overload_streak = 0
         self._lock = threading.Lock()
         self._done = threading.Condition(self._lock)
         self._stop = threading.Event()
         self._counter = 0
         self.memo_hits = 0
         self.records_evicted = 0
+        self.jobs_shed = 0
         self._dispatcher = threading.Thread(
             target=self._drain, name="repro-exploration-dispatcher",
             daemon=True,
@@ -336,13 +417,30 @@ class ExplorationServer:
     # Submission and queries
     # ------------------------------------------------------------------
     def submit(
-        self, jobs: Union[GridSpec, Sequence[BatchJob]]
+        self,
+        jobs: Union[GridSpec, Sequence[BatchJob]],
+        client: Optional[ClientIdentity] = None,
+        priority: Optional[str] = None,
+        preadmitted: bool = False,
     ) -> JobRecord:
         """Enqueue a grid; returns its (possibly pre-answered) record.
 
         The canonical submission is a :class:`repro.api.GridSpec`;
         a raw job sequence is still accepted and hashes to the same
         canonical key the spec would.  An empty grid is rejected.
+
+        ``client`` is the authenticated tenant the submission runs
+        as (default: the unlimited anonymous identity — the
+        pre-tenancy behavior); ``priority`` may *lower* the job
+        below the client's class.  Admission is checked in order:
+        grid size against the client's quota, queued-job count
+        against its quota, then the bounded queue — a full queue
+        sheds the newest strictly-lower-priority queued job, or
+        rejects this arrival with a typed
+        :class:`~repro.exceptions.OverloadedError` and a
+        ``retry_after`` hint.  ``preadmitted`` (journal replay only)
+        skips quota and overload checks: recovered work was already
+        admitted once.
 
         A grid whose :func:`~repro.api.specs.jobs_canonical_key`
         matches a previously *completed* clean submission is answered
@@ -351,8 +449,14 @@ class ExplorationServer:
         the memo persisted by *any* earlier server process on that
         directory.  Either way the returned record is already
         ``done``, flagged ``cached``, and the queue and the pool are
-        never touched.
+        never touched (memo hits cost no queue quota).
         """
+        identity = ANONYMOUS_CLIENT if client is None else client
+        try:
+            effective = identity.effective_priority(priority)
+        except UnauthorizedError:
+            self.note_rejection(identity, "unauthorized")
+            raise
         shard: Union[int, str, None] = None
         point_timeout: Optional[float] = None
         spec_dict: Optional[Dict[str, Any]] = None
@@ -371,7 +475,21 @@ class ExplorationServer:
         if not job_tuple:
             raise ServiceError("cannot submit an empty grid")
         key = jobs_canonical_key(job_tuple)
+        quota = identity.quota
+        shed_job_id: Optional[str] = None
         with self._lock:
+            account = self._account_locked(identity)
+            if not preadmitted and quota.max_grid_size is not None \
+                    and len(job_tuple) > quota.max_grid_size:
+                account.rejected_quota += 1
+                self.runner.metrics.counter(
+                    "service.rejected_quota"
+                ).inc()
+                raise QuotaExceededError(
+                    f"grid of {len(job_tuple)} points exceeds client "
+                    f"{identity.client_id!r} max_grid_size "
+                    f"{quota.max_grid_size}"
+                )
             self._counter += 1
             job_id = f"job-{self._counter:04d}"
             memo_id = self._memo.get(key)
@@ -383,6 +501,8 @@ class ExplorationServer:
                     status="done",
                     cached=True,
                     key=key,
+                    client_id=identity.client_id,
+                    priority=effective,
                     started_at=source.started_at,
                     finished_at=source.finished_at,
                     results=source.results,
@@ -391,6 +511,8 @@ class ExplorationServer:
                 )
                 self._records[job_id] = record
                 self.memo_hits += 1
+                account.submitted += 1
+                account.done += 1
                 self.runner.metrics.counter("service.memo_hits").inc()
                 self._evict_locked(keep=job_id)
                 self._journal_closed(record, spec_dict)
@@ -406,28 +528,147 @@ class ExplorationServer:
                     status="done",
                     cached=True,
                     key=key,
+                    client_id=identity.client_id,
+                    priority=effective,
                     finished_at=time.time(),
                     payload=payload,
                 )
                 self._records[job_id] = record
                 self._memo[key] = job_id
                 self.memo_hits += 1
+                account.submitted += 1
+                account.done += 1
                 self.runner.metrics.counter("service.memo_hits").inc()
                 self._evict_locked(keep=job_id)
                 self._journal_closed(record, spec_dict)
                 return record
+            if not preadmitted and quota.max_queued_jobs is not None \
+                    and account.queued >= quota.max_queued_jobs:
+                account.rejected_quota += 1
+                self.runner.metrics.counter(
+                    "service.rejected_quota"
+                ).inc()
+                raise QuotaExceededError(
+                    f"client {identity.client_id!r} already has "
+                    f"{account.queued} queued job(s) "
+                    f"(max_queued_jobs {quota.max_queued_jobs})"
+                )
+            if not preadmitted and self._queue.is_full():
+                shed_job_id = self._shed_for_locked(effective)
+                if shed_job_id is None and self._queue.is_full():
+                    streak = min(
+                        self._overload_streak, len(_RETRY_AFTER) - 1
+                    )
+                    retry_after = _RETRY_AFTER[streak]
+                    self._overload_streak += 1
+                    account.rejected_overload += 1
+                    self.runner.metrics.counter(
+                        "service.rejected_overloaded"
+                    ).inc()
+                    raise OverloadedError(
+                        f"admission queue is full "
+                        f"({self._queue.max_depth} jobs) and nothing "
+                        f"below priority {effective!r} is queued; "
+                        f"retry in {retry_after:.2f}s",
+                        retry_after=retry_after,
+                    )
             record = JobRecord(
                 job_id=job_id, jobs=job_tuple, key=key, shard=shard,
                 point_timeout=point_timeout,
+                client_id=identity.client_id,
+                priority=effective,
+                max_concurrent=quota.max_concurrent_points,
             )
             self._records[job_id] = record
+            account.submitted += 1
+            account.queued += 1
+            self._overload_streak = 0
             self._evict_locked(keep=job_id)
             # Durability point: the submission is journaled (and
             # fsynced) before the caller ever learns the job id, so
             # an accepted job survives any crash after this line.
             self._journal_submitted(record, spec_dict)
-        self._queue.put(job_id)
+        if shed_job_id is not None:
+            self._journal_terminal(shed_job_id, "shed")
+        self._queue.push(record.job_id, record.priority)
         return record
+
+    # ------------------------------------------------------------------
+    # Tenancy plumbing
+    # ------------------------------------------------------------------
+    def authenticate(self, token: Optional[str]) -> ClientIdentity:
+        """Resolve a bearer token to an identity (IPC entry point).
+
+        With auth off every token — including none — resolves to the
+        anonymous identity, exactly the pre-tenancy service.
+        """
+        if self.token_registry is None:
+            return ANONYMOUS_CLIENT
+        try:
+            return self.token_registry.authenticate(token)
+        except UnauthorizedError:
+            self.runner.metrics.counter(
+                "service.rejected_unauthorized"
+            ).inc()
+            raise
+
+    def note_rejection(
+        self, identity: ClientIdentity, code: str
+    ) -> None:
+        """Count one policy rejection against ``identity``."""
+        counter = {
+            "unauthorized": "service.rejected_unauthorized",
+            "over_quota": "service.rejected_quota",
+            "overloaded": "service.rejected_overloaded",
+        }[code]
+        self.runner.metrics.counter(counter).inc()
+        with self._lock:
+            account = self._account_locked(identity)
+            if code == "unauthorized":
+                account.rejected_unauthorized += 1
+            elif code == "over_quota":
+                account.rejected_quota += 1
+            else:
+                account.rejected_overload += 1
+
+    def _account_locked(
+        self, identity: ClientIdentity
+    ) -> ClientAccount:
+        """The live account for ``identity`` (caller holds the lock)."""
+        account = self._accounts.get(identity.client_id)
+        if account is None:
+            account = ClientAccount(identity=identity)
+            self._accounts[identity.client_id] = account
+        return account
+
+    def _shed_for_locked(self, incoming: str) -> Optional[str]:
+        """Evict one queued job strictly below ``incoming`` priority.
+
+        Caller holds the lock.  Returns the shed job id (its terminal
+        journal entry is the caller's job, outside the lock), or
+        ``None`` when nothing sheddable is queued — including the
+        race where the dispatcher popped the candidate first, which
+        simply means the queue has room again.
+        """
+        candidate = self._queue.shed_candidate(incoming)
+        if candidate is None:
+            return None
+        shed_id, shed_priority = candidate
+        if not self._queue.remove(shed_id, shed_priority):
+            return None
+        shed_record = self._records.get(shed_id)
+        if shed_record is None or shed_record.status != "queued":
+            return None
+        shed_record.status = "shed"
+        shed_record.finished_at = time.time()
+        shed_account = self._accounts.get(shed_record.client_id)
+        if shed_account is not None:
+            shed_account.queued -= 1
+            shed_account.shed += 1
+        self.jobs_shed += 1
+        self.runner.metrics.counter("service.jobs_shed").inc()
+        self._done.notify_all()
+        return shed_id
 
     # ------------------------------------------------------------------
     # Journal plumbing
@@ -445,6 +686,8 @@ class ExplorationServer:
                 spec=spec_dict,
                 shard=record.shard,
                 point_timeout=record.point_timeout,
+                client_id=record.client_id,
+                priority=record.priority,
             ))
         except OSError as error:
             self._journal_degraded(record.job_id, error)
@@ -458,6 +701,8 @@ class ExplorationServer:
         try:
             self.journal.record_submitted(JournalEntry(
                 job_id=record.job_id, key=record.key, spec=spec_dict,
+                client_id=record.client_id,
+                priority=record.priority,
             ))
             self.journal.record_terminal(
                 record.job_id, record.status
@@ -513,9 +758,23 @@ class ExplorationServer:
                 ).inc()
                 self._journal_terminal(entry.job_id, "lost")
                 continue
+            identity = self._replay_identity(entry)
+            priority = entry.priority
+            if priority not in PRIORITIES or priority_rank(
+                priority
+            ) < priority_rank(identity.priority):
+                # Garbage in the journal, or the client's class was
+                # demoted between restarts: run at the current class
+                # rather than losing recovered work to a rejection.
+                priority = None
             try:
                 spec = GridSpec.from_dict(entry.spec)
-                record = self.submit(spec)
+                record = self.submit(
+                    spec,
+                    client=identity,
+                    priority=priority,
+                    preadmitted=True,
+                )
             except ReproError as error:
                 logger.warning(
                     "could not replay journaled job %s: %s",
@@ -537,10 +796,43 @@ class ExplorationServer:
             if entry.key is not None:
                 replayed_keys[entry.key] = record.job_id
         if entries or self.journal.path.exists():
+            # Auto-compaction: only rewrite the file once its dead
+            # weight (replayed-and-settled lines) crosses the
+            # threshold, so small journals restart without paying an
+            # fsync'd rewrite every time.
             try:
-                self.journal.compact(self.journal.replay())
+                if self.journal.compact_if_needed(
+                    self.journal.replay(),
+                    self.journal_compact_threshold,
+                ):
+                    self.runner.metrics.counter(
+                        "service.journal_compactions"
+                    ).inc()
             except OSError as error:
                 self._journal_degraded("compact", error)
+
+    def _replay_identity(self, entry: JournalEntry) -> ClientIdentity:
+        """The identity a journaled submission replays as.
+
+        Preference order: the token registry's current entry for the
+        journaled client name (quota edits between restarts apply),
+        then a bare identity carrying the journaled name/priority
+        (auth off, or a client since removed — its accounting still
+        reattaches), then anonymous for pre-tenancy journals.
+        """
+        if entry.client_id is None:
+            return ANONYMOUS_CLIENT
+        if self.token_registry is not None:
+            known = self.token_registry.identity_for(entry.client_id)
+            if known is not None:
+                return known
+        try:
+            return ClientIdentity(
+                client_id=entry.client_id,
+                priority=entry.priority or "normal",
+            )
+        except ReproError:
+            return ANONYMOUS_CLIENT
 
     def _evict_locked(self, keep: Optional[str] = None) -> None:
         """Drop oldest terminal records beyond ``max_records``.
@@ -743,13 +1035,18 @@ class ExplorationServer:
                 return False
             record.status = "cancelled"
             record.finished_at = time.time()
+            self._queue.remove(job_id, record.priority)
+            account = self._accounts.get(record.client_id)
+            if account is not None:
+                account.queued -= 1
+                account.cancelled += 1
             self._done.notify_all()
         self._journal_terminal(job_id, "cancelled")
         return True
 
     def info(self) -> Dict[str, object]:
         """Server-wide counters for monitoring and tests."""
-        queue_depth = self._queue.qsize()
+        queue_depth = self._queue.depth()
         self.runner.metrics.gauge("service.queue_depth").set(
             queue_depth
         )
@@ -776,6 +1073,9 @@ class ExplorationServer:
                 "service.journal_replays"
             ),
             "journal_errors": journal_errors,
+            "journal_compactions": snapshot.counter(
+                "service.journal_compactions"
+            ),
             "quarantined_entries": quarantined,
             "faults_injected": snapshot.counter("faults.injected"),
         }
@@ -796,6 +1096,14 @@ class ExplorationServer:
                 "records_evicted": self.records_evicted,
                 "persistent_memo": self.grid_memo is not None,
                 "queue_depth": queue_depth,
+                "max_queue_depth": self._queue.max_depth,
+                "auth": self.require_auth,
+                "jobs_shed": self.jobs_shed,
+                "clients": {
+                    client_id: account.snapshot()
+                    for client_id, account
+                    in sorted(self._accounts.items())
+                },
                 "warehouse": self.warehouse is not None,
                 "health": health,
                 "search": {
@@ -834,6 +1142,13 @@ class ExplorationServer:
                 if record.status == "queued":
                     record.status = "cancelled"
                     record.finished_at = time.time()
+                    self._queue.remove(
+                        record.job_id, record.priority
+                    )
+                    account = self._accounts.get(record.client_id)
+                    if account is not None:
+                        account.queued -= 1
+                        account.cancelled += 1
                     cancelled.append(record.job_id)
             self._done.notify_all()
         for job_id in cancelled:
@@ -854,18 +1169,26 @@ class ExplorationServer:
     # Dispatcher
     # ------------------------------------------------------------------
     def _drain(self) -> None:
-        """Dispatcher loop: execute queued grids until stopped."""
+        """Dispatcher loop: execute queued grids until stopped.
+
+        Jobs come off the admission queue weighted-fair by priority
+        class, not FIFO — see
+        :class:`repro.service.tenancy.AdmissionQueue`.
+        """
         while not self._stop.is_set():
-            try:
-                job_id = self._queue.get(timeout=0.05)
-            except queue.Empty:
+            job_id = self._queue.pop(timeout=0.05)
+            if job_id is None:
                 continue
             with self._lock:
                 record = self._records[job_id]
                 if record.status != "queued":
-                    continue  # cancelled while waiting
+                    continue  # cancelled/shed while waiting
                 record.status = "running"
                 record.started_at = time.time()
+                account = self._accounts.get(record.client_id)
+                if account is not None:
+                    account.queued -= 1
+                    account.running += 1
             results: List[BatchResult] = []
             total = len(record.jobs)
             try:
@@ -876,6 +1199,7 @@ class ExplorationServer:
                     self.runner.run_iter(
                         list(record.jobs), shard=record.shard,
                         point_timeout=record.point_timeout,
+                        max_concurrent=record.max_concurrent,
                     )
                 ):
                     results.append(result)
@@ -920,6 +1244,10 @@ class ExplorationServer:
                     record.status = "failed"
                     record.error = f"{type(error).__name__}: {error}"
                     record.finished_at = time.time()
+                    account = self._accounts.get(record.client_id)
+                    if account is not None:
+                        account.running -= 1
+                        account.failed += 1
                     self._done.notify_all()
                 self._journal_terminal(job_id, "failed")
                 continue
@@ -951,6 +1279,7 @@ class ExplorationServer:
                         grid_payload(record.jobs, results),
                         job_id=job_id,
                         source="service",
+                        client=record.client_id,
                         metrics=run_metrics,
                         point_telemetry=align_point_telemetry(
                             results, self.runner.last_run_telemetry
@@ -969,5 +1298,9 @@ class ExplorationServer:
                 record.finished_at = time.time()
                 if clean and record.key is not None:
                     self._memo[record.key] = job_id
+                account = self._accounts.get(record.client_id)
+                if account is not None:
+                    account.running -= 1
+                    account.done += 1
                 self._done.notify_all()
             self._journal_terminal(job_id, "done")

@@ -1,0 +1,471 @@
+"""Multi-tenant policy for the exploration service.
+
+PR 8 made the service survive crashes; this module makes it survive
+*clients*.  Until it existed :class:`~repro.service.server.
+ExplorationServer` was single-trust: any connection could submit
+unbounded grids, fill the queue, and starve every other caller.  The
+tenancy layer adds the three production primitives that fix that,
+while keeping the anonymous single-trust mode the default (a bare
+``ExplorationServer()`` behaves exactly as before):
+
+* **Identity** — bearer tokens loaded from a ``tokens.json`` next to
+  the cache directory (:class:`TokenRegistry`), compared in constant
+  time, resolving to a :class:`ClientIdentity` with a priority class
+  and a :class:`QuotaPolicy`;
+* **Quotas** — per-client ceilings on queued jobs, concurrently
+  running grid points, and grid size, enforced by the server's
+  admission path with typed
+  :class:`~repro.exceptions.QuotaExceededError` rejections;
+* **Priority + overload** — an :class:`AdmissionQueue` that drains
+  priority classes weighted-fair (smooth weighted round-robin, never
+  starving ``low``) and, when bounded and full, sheds the
+  lowest-priority queued work first so a typed
+  :class:`~repro.exceptions.OverloadedError` with a ``retry_after``
+  hint replaces a fallen-over server.
+
+Nothing in this module touches result content: scheduling order,
+quotas and identity are pure *execution* policy, so fixed-seed grids
+stay bit-identical with tenancy enabled (asserted by
+``tests/service/test_tenancy.py``).
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError, UnauthorizedError
+
+__all__ = [
+    "ANONYMOUS_CLIENT",
+    "AdmissionQueue",
+    "ClientAccount",
+    "ClientIdentity",
+    "PRIORITIES",
+    "PRIORITY_WEIGHTS",
+    "QuotaPolicy",
+    "TOKENS_NAME",
+    "TokenRegistry",
+]
+
+#: File name of the token registry inside (next to) the cache dir.
+TOKENS_NAME = "tokens.json"
+
+#: Priority classes, best first.  The tuple order is the shedding
+#: order reversed: under overload the *last* class loses first.
+PRIORITIES: Tuple[str, ...] = ("high", "normal", "low")
+
+#: Weighted-fair drain weights: out of every 7 dequeues under full
+#: backlog, 4 are high, 2 normal, 1 low — low-priority work is slowed
+#: under contention, never starved.
+PRIORITY_WEIGHTS: Dict[str, int] = {"high": 4, "normal": 2, "low": 1}
+
+
+def priority_rank(priority: str) -> int:
+    """Position of ``priority`` in :data:`PRIORITIES` (0 = best)."""
+    return PRIORITIES.index(priority)
+
+
+def _validated_priority(priority: str, where: str) -> str:
+    if priority not in PRIORITIES:
+        raise ConfigurationError(
+            f"{where}: priority must be one of {PRIORITIES}, "
+            f"got {priority!r}"
+        )
+    return priority
+
+
+def _optional_limit(value: Any, where: str) -> Optional[int]:
+    """Validate a quota ceiling: ``None`` (unlimited) or int >= 1."""
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < 1:
+        raise ConfigurationError(
+            f"{where} must be an int >= 1 or null, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-client admission ceilings; ``None`` means unlimited.
+
+    ``max_queued_jobs`` bounds how many of the client's jobs may sit
+    in the admission queue at once; ``max_concurrent_points`` caps
+    how many grid points of one of its jobs the engine keeps in
+    flight on the pool simultaneously (the fairness knob that stops
+    one tenant's giant grid from monopolising every worker);
+    ``max_grid_size`` bounds the number of points a single
+    submission may carry.
+    """
+
+    max_queued_jobs: Optional[int] = None
+    max_concurrent_points: Optional[int] = None
+    max_grid_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_queued_jobs", "max_concurrent_points",
+            "max_grid_size",
+        ):
+            object.__setattr__(
+                self, name,
+                _optional_limit(getattr(self, name), f"quota {name}"),
+            )
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "quota") -> "QuotaPolicy":
+        """Build a policy from a ``tokens.json`` quota object."""
+        if data is None:
+            return cls()
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"{where} must be an object, got {type(data).__name__}"
+            )
+        unknown = sorted(
+            set(data) - {
+                "max_queued_jobs", "max_concurrent_points",
+                "max_grid_size",
+            }
+        )
+        if unknown:
+            raise ConfigurationError(
+                f"{where}: unknown quota field(s): {', '.join(unknown)}"
+            )
+        return cls(**data)
+
+    def to_dict(self) -> Dict[str, Optional[int]]:
+        """Plain-data form for ``info()`` gauges and docs."""
+        return {
+            "max_queued_jobs": self.max_queued_jobs,
+            "max_concurrent_points": self.max_concurrent_points,
+            "max_grid_size": self.max_grid_size,
+        }
+
+
+@dataclass(frozen=True)
+class ClientIdentity:
+    """Who a request runs as: name, priority class, and quota."""
+
+    client_id: str
+    priority: str = "normal"
+    quota: QuotaPolicy = field(default_factory=QuotaPolicy)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.client_id, str) or not self.client_id:
+            raise ConfigurationError(
+                f"client_id must be a non-empty string, "
+                f"got {self.client_id!r}"
+            )
+        _validated_priority(
+            self.priority, f"client {self.client_id!r}"
+        )
+
+    def effective_priority(
+        self, requested: Optional[str]
+    ) -> str:
+        """The priority a submission runs at.
+
+        A client may *lower* its work below its class (a ``high``
+        client can submit ``low`` housekeeping sweeps) but never
+        raise it above — the registry, not the request, grants rank.
+        """
+        if requested is None:
+            return self.priority
+        requested = _validated_priority(requested, "request")
+        if priority_rank(requested) < priority_rank(self.priority):
+            raise UnauthorizedError(
+                f"client {self.client_id!r} (class {self.priority}) "
+                f"may not submit at priority {requested!r}"
+            )
+        return requested
+
+
+#: The single-trust identity every request runs as when auth is off —
+#: unlimited quota, normal priority, exactly the pre-tenancy service.
+ANONYMOUS_CLIENT = ClientIdentity(client_id="anonymous")
+
+
+class TokenRegistry:
+    """Bearer-token → :class:`ClientIdentity` resolution.
+
+    Loaded once from a ``tokens.json`` shaped like::
+
+        {"clients": {
+            "alice": {"token": "a1...", "priority": "high",
+                       "quota": {"max_queued_jobs": 4}},
+            "bot":   {"token": "b2...", "priority": "low"}
+        }}
+
+    ``priority`` defaults to ``normal`` and ``quota`` to unlimited.
+    Lookup compares the presented token against every registered one
+    with :func:`hmac.compare_digest` — constant-time per comparison,
+    and every registered token is always compared, so timing reveals
+    neither which byte diverged nor whether any client matched.
+    """
+
+    def __init__(self, clients: Dict[str, ClientIdentity]) -> None:
+        self._by_token: Dict[str, ClientIdentity] = clients
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TokenRegistry":
+        """Parse ``tokens.json``; raises on malformed registries.
+
+        Unlike most service inputs this fails *hard*: a server that
+        silently dropped a mistyped client entry would lock that
+        tenant out while looking healthy.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read token registry {path}: {error}"
+            ) from error
+        except ValueError as error:
+            raise ConfigurationError(
+                f"token registry {path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(data, dict) \
+                or not isinstance(data.get("clients"), dict):
+            raise ConfigurationError(
+                f"token registry {path} needs a 'clients' object"
+            )
+        by_token: Dict[str, ClientIdentity] = {}
+        for name, entry in sorted(data["clients"].items()):
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"token registry client {name!r} must be an object"
+                )
+            unknown = sorted(
+                set(entry) - {"token", "priority", "quota"}
+            )
+            if unknown:
+                raise ConfigurationError(
+                    f"token registry client {name!r}: unknown "
+                    f"field(s): {', '.join(unknown)}"
+                )
+            token = entry.get("token")
+            if not isinstance(token, str) or not token:
+                raise ConfigurationError(
+                    f"token registry client {name!r} needs a "
+                    f"non-empty string 'token'"
+                )
+            if token in by_token:
+                raise ConfigurationError(
+                    f"token registry client {name!r} reuses another "
+                    f"client's token"
+                )
+            by_token[token] = ClientIdentity(
+                client_id=str(name),
+                priority=entry.get("priority", "normal"),
+                quota=QuotaPolicy.from_dict(
+                    entry.get("quota"),
+                    where=f"client {name!r} quota",
+                ),
+            )
+        return cls(by_token)
+
+    def __len__(self) -> int:
+        return len(self._by_token)
+
+    def identity_for(self, client_id: str) -> Optional[ClientIdentity]:
+        """The registered identity named ``client_id``, if any.
+
+        Name lookup, not authentication — used by journal replay to
+        reattach recovered work to a client's *current* registry
+        entry (so quota edits between restarts apply).
+        """
+        for identity in self._by_token.values():
+            if identity.client_id == client_id:
+                return identity
+        return None
+
+    def authenticate(self, token: Optional[str]) -> ClientIdentity:
+        """Resolve ``token``; raises :class:`UnauthorizedError`.
+
+        Every registered token is compared (no early exit on match),
+        so the call's timing is independent of which — if any —
+        client the presented token belongs to.
+        """
+        if not token:
+            raise UnauthorizedError(
+                "this server requires a bearer token "
+                "(submit with --token / ServiceClient(token=...))"
+            )
+        presented = token.encode("utf-8")
+        matched: Optional[ClientIdentity] = None
+        for registered, identity in self._by_token.items():
+            if hmac.compare_digest(
+                registered.encode("utf-8"), presented
+            ):
+                matched = identity
+        if matched is None:
+            raise UnauthorizedError("unknown bearer token")
+        return matched
+
+
+@dataclass
+class ClientAccount:
+    """One client's live accounting — the ``info()`` per-client block.
+
+    Mutated only under the server lock.  ``queued``/``running`` are
+    gauges rebuilt from the journal on restart; the rest are
+    monotonic counters for this server process.
+    """
+
+    identity: ClientIdentity
+    queued: int = 0
+    running: int = 0
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected_unauthorized: int = 0
+    rejected_quota: int = 0
+    rejected_overload: int = 0
+    shed: int = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data form for ``info()['clients']``."""
+        return {
+            "priority": self.identity.priority,
+            "quota": self.identity.quota.to_dict(),
+            "queued": self.queued,
+            "running": self.running,
+            "submitted": self.submitted,
+            "done": self.done,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": {
+                "unauthorized": self.rejected_unauthorized,
+                "over_quota": self.rejected_quota,
+                "overloaded": self.rejected_overload,
+            },
+            "shed": self.shed,
+        }
+
+
+class AdmissionQueue:
+    """Bounded, priority-classed admission queue with fair drain.
+
+    Replaces the dispatcher's FIFO ``queue.Queue``: entries are
+    ``(job_id, priority)`` pairs held in per-class FIFO lists and
+    drained by *smooth weighted round-robin* over
+    :data:`PRIORITY_WEIGHTS` — each :meth:`pop` adds every non-empty
+    class's weight to its credit, serves the class with the highest
+    credit, and charges it the total active weight.  Under a full
+    backlog the long-run service ratio converges to the weights
+    (4:2:1) while staying deterministic and burst-free; an idle class
+    costs nothing.
+
+    ``max_depth`` bounds the total queued entries.  The queue itself
+    never rejects — :meth:`shed_candidate` tells the admission
+    controller which queued job would be sacrificed for an incoming
+    one, and :meth:`remove` executes the eviction (also used by
+    cancellation, so stale ids never linger and depth stays exact).
+    """
+
+    def __init__(self, max_depth: Optional[int] = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ConfigurationError(
+                f"max_depth must be >= 1 or None, got {max_depth}"
+            )
+        self.max_depth = max_depth
+        self._classes: Dict[str, List[str]] = {
+            priority: [] for priority in PRIORITIES
+        }
+        self._credit: Dict[str, int] = {
+            priority: 0 for priority in PRIORITIES
+        }
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+
+    def depth(self) -> int:
+        """Total queued entries across every class."""
+        with self._lock:
+            return sum(len(jobs) for jobs in self._classes.values())
+
+    def is_full(self) -> bool:
+        """Whether admission would exceed ``max_depth``."""
+        if self.max_depth is None:
+            return False
+        return self.depth() >= self.max_depth
+
+    def push(self, job_id: str, priority: str) -> None:
+        """Enqueue one admitted job (caller already checked bounds)."""
+        _validated_priority(priority, "admission queue")
+        with self._ready:
+            self._classes[priority].append(job_id)
+            self._ready.notify()
+
+    def shed_candidate(
+        self, incoming_priority: str
+    ) -> Optional[Tuple[str, str]]:
+        """The queued ``(job_id, priority)`` to shed for an arrival.
+
+        Lowest-priority class first, and within the class the
+        *newest* entry — the oldest queued job has waited longest and
+        wasted most by being dropped.  Only work in a class strictly
+        worse than ``incoming_priority`` is sacrificed: an arrival
+        never sheds its equals, so a saturated class cannot churn
+        itself.  ``None`` means the incoming request is the loser.
+        """
+        incoming_rank = priority_rank(incoming_priority)
+        with self._lock:
+            for priority in reversed(PRIORITIES):
+                if priority_rank(priority) <= incoming_rank:
+                    return None
+                jobs = self._classes[priority]
+                if jobs:
+                    return jobs[-1], priority
+        return None
+
+    def remove(self, job_id: str, priority: str) -> bool:
+        """Drop a queued entry (shed or cancelled); False if absent."""
+        with self._lock:
+            jobs = self._classes[priority]
+            try:
+                jobs.remove(job_id)
+            except ValueError:
+                return False
+            return True
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Dequeue the next job id, weighted-fair; None on timeout."""
+        with self._ready:
+            if not self._wait_nonempty(timeout):
+                return None
+            active = [
+                priority for priority in PRIORITIES
+                if self._classes[priority]
+            ]
+            total = sum(
+                PRIORITY_WEIGHTS[priority] for priority in active
+            )
+            for priority in active:
+                self._credit[priority] += PRIORITY_WEIGHTS[priority]
+            # Highest credit wins; PRIORITIES order breaks ties so
+            # equal-credit rounds favor the better class.
+            chosen = max(
+                active, key=lambda priority: (
+                    self._credit[priority],
+                    -priority_rank(priority),
+                ),
+            )
+            self._credit[chosen] -= total
+            return self._classes[chosen].pop(0)
+
+    def _wait_nonempty(self, timeout: Optional[float]) -> bool:
+        """Await an entry under the lock; False when ``timeout`` hits."""
+        return self._ready.wait_for(
+            lambda: any(
+                self._classes[priority] for priority in PRIORITIES
+            ),
+            timeout=timeout,
+        )

@@ -23,8 +23,8 @@ class TestCurrentSchema:
     def test_carries_every_version_constant(self):
         schema = current_schema()
         assert schema["spec_schema_version"] == 2
-        assert schema["protocol_version"] == 2
-        assert schema["supported_protocol_versions"] == [1, 2]
+        assert schema["protocol_version"] == 3
+        assert schema["supported_protocol_versions"] == [1, 2, 3]
 
     def test_json_round_trip_is_lossless(self):
         schema = current_schema()

@@ -35,7 +35,7 @@ class TestJobRequest:
         # Round-trips losslessly, so a proxy could re-emit it.
         assert JobRequest.from_dict(request.to_dict()) == request
 
-    @pytest.mark.parametrize("version", [0, 3, "2", True, None])
+    @pytest.mark.parametrize("version", [0, 4, "2", True, None])
     def test_unsupported_versions_rejected(self, version):
         with pytest.raises(ConfigurationError, match="version"):
             JobRequest.from_dict({"op": "ping", "v": version})

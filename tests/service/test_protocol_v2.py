@@ -58,7 +58,7 @@ def send_line(raw, text):
 class TestVersionNegotiation:
     def test_unsupported_version_is_an_error_response(self, exploration):
         response, stop = handle_request(
-            exploration, {"v": 3, "op": "ping"}
+            exploration, {"v": 4, "op": "ping"}
         )
         assert not response["ok"]
         assert "unsupported protocol version" in response["error"]
